@@ -1,0 +1,370 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper, plus ablation and microarchitecture benches. Security figures
+// run their full analytical sweep per iteration and report the headline
+// quantity as a custom metric; performance figures run a reduced
+// workload subset through the cycle simulator (the full 78-workload
+// sweep is available via cmd/rowswap-figures).
+//
+// Run everything:  go test -bench=. -benchmem
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/tracker"
+)
+
+// benchPerfOpts is the reduced configuration for simulator-backed
+// figures: 3 representative workloads, 4 cores, short traces.
+func benchPerfOpts() report.PerfOptions {
+	return report.PerfOptions{
+		Workloads: []string{"gcc", "gups", "povray"},
+		Cores:     4,
+		Sim:       sim.Options{Instructions: 1_000_000},
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable01ThresholdHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Table1(io.Discard)
+	}
+	b.ReportMetric(config.ThresholdReductionFactor(), "x-reduction")
+}
+
+func BenchmarkTable04Storage(b *testing.B) {
+	m := storage.NewModel()
+	for i := 0; i < b.N; i++ {
+		report.Table4(io.Discard)
+	}
+	b.ReportMetric(m.Reduction(1200), "x-storage-reduction@1200")
+}
+
+func BenchmarkTable05Power(b *testing.B) {
+	m := power.NewModel()
+	for i := 0; i < b.N; i++ {
+		report.Table5(io.Discard)
+	}
+	b.ReportMetric(100*(1-m.ScaleSRS(4800).SRAMmW/m.RRS(4800).SRAMmW), "%-sram-saving")
+}
+
+// --- Security figures ---
+
+func BenchmarkFig01aTimeToBreakRRSRandomGuess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Fig1a(io.Discard)
+	}
+	b.ReportMetric(attack.NewRandomGuessRRS(4800, 6).TimeToBreakDays(0), "days-to-break@4800r6")
+}
+
+func BenchmarkFig06JuggernautTimeToBreak(b *testing.B) {
+	var days float64
+	for i := 0; i < b.N; i++ {
+		report.Fig6(io.Discard, 0)
+		_, tt := attack.NewJuggernautRRS(4800, 6).BestRounds()
+		days = tt / config.Day
+	}
+	b.ReportMetric(days*24, "hours-to-break@4800r6")
+}
+
+func BenchmarkFig06MonteCarlo(b *testing.B) {
+	m := attack.NewJuggernautRRS(4800, 6)
+	n, _ := m.BestRounds()
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack.MonteCarlo(m, n, 10, rng)
+	}
+}
+
+func BenchmarkFig07RequiredGuesses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Fig7(io.Discard)
+	}
+}
+
+func BenchmarkFig10SRSTimeToBreak(b *testing.B) {
+	var years float64
+	for i := 0; i < b.N; i++ {
+		report.Fig10(io.Discard)
+		_, tt := attack.NewJuggernautSRS(4800, 6).BestRounds()
+		years = tt / config.Year
+	}
+	b.ReportMetric(years, "years-to-break-srs@4800r6")
+}
+
+func BenchmarkFig13OutlierAppearance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Fig13(io.Discard)
+	}
+	b.ReportMetric(attack.NewOutlierModel(4800, 3).TimeToAppearDays(3, 3), "days-to-3-outliers@r3")
+}
+
+func BenchmarkSecMultiBankAttack(b *testing.B) {
+	m := attack.NewJuggernautRRS(4800, 6)
+	m.Banks = 16
+	var days float64
+	for i := 0; i < b.N; i++ {
+		_, tt := m.BestRounds()
+		days = tt / config.Day
+	}
+	b.ReportMetric(days, "days-to-break-16bank")
+}
+
+func BenchmarkSecOpenPagePolicy(b *testing.B) {
+	m := attack.NewJuggernautRRS(4800, 6)
+	m.ACTPeriodNS = 60
+	var days float64
+	for i := 0; i < b.N; i++ {
+		_, tt := m.BestRounds()
+		days = tt / config.Day
+	}
+	b.ReportMetric(days, "days-to-break-openpage")
+}
+
+func BenchmarkSecDDR5(b *testing.B) {
+	m := attack.NewJuggernautRRS(3100, 10)
+	m.Timing = config.DDR5()
+	var days float64
+	for i := 0; i < b.N; i++ {
+		_, tt := m.BestRounds()
+		days = tt / config.Day
+	}
+	b.ReportMetric(days, "days-to-break-ddr5@3100r10")
+}
+
+// --- Performance figures (reduced workload subset) ---
+
+func BenchmarkFig04UnswapVsNoUnswap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig4(io.Discard, benchPerfOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12SRSvsRRSPerf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig12(io.Discard, benchPerfOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14ScaleSRSvsRRS(b *testing.B) {
+	var rows []report.PerfRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = report.Fig14(io.Discard, benchPerfOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Workload == "gcc" {
+			b.ReportMetric((1-r.Norm["rrs"])*100, "%-gcc-rrs-slowdown")
+			b.ReportMetric((1-r.Norm["scale-srs"])*100, "%-gcc-scale-slowdown")
+		}
+	}
+}
+
+func BenchmarkFig15SensitivityTRH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig15(io.Discard, benchPerfOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16HydraTracker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig16(io.Discard, benchPerfOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComparatorsIXA: BlockHammer and AQUA vs Scale-SRS (§IX-A).
+func BenchmarkComparatorsIXA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Comparators(io.Discard, benchPerfOpts(), 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design decisions called out in DESIGN.md) ---
+
+// AblationSwapRate: Scale-SRS's reduced swap rate is the scalability
+// lever — compare swap rate 3 vs 6 at T_RH 1200 on the hot workload.
+func BenchmarkAblationSwapRate(b *testing.B) {
+	w, _ := trace.WorkloadByName("gcc", 4)
+	opt := sim.Options{Instructions: 800_000}
+	for i := 0; i < b.N; i++ {
+		for _, rate := range []int{3, 6} {
+			sys := config.Default()
+			sys.Core.Cores = 4
+			sys.Mitigation = config.DefaultScaleSRS(1200)
+			sys.Mitigation.SwapRate = rate
+			if _, err := sim.Run(w, sys, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// AblationPlaceBackRate: SRS's lazy place-back vs the window-end bulk
+// unravel of chained swaps (the Fig. 4 motivation).
+func BenchmarkAblationPlaceBackRate(b *testing.B) {
+	w, _ := trace.WorkloadByName("gcc", 4)
+	opt := sim.Options{Instructions: 800_000}
+	for i := 0; i < b.N; i++ {
+		sys := config.Default()
+		sys.Core.Cores = 4
+		sys.Mitigation = config.DefaultSRS(1200) // lazy place-back
+		if _, err := sim.Run(w, sys, opt); err != nil {
+			b.Fatal(err)
+		}
+		sys.Mitigation = config.DefaultRRS(1200) // chained, bulk unravel
+		sys.Mitigation.ImmediateUnswap = false
+		if _, err := sim.Run(w, sys, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationTrackerChoice: Misra-Gries (on-chip) vs Hydra (memory-backed).
+func BenchmarkAblationTrackerChoice(b *testing.B) {
+	w, _ := trace.WorkloadByName("gcc", 4)
+	opt := sim.Options{Instructions: 800_000}
+	for i := 0; i < b.N; i++ {
+		for _, trk := range []config.TrackerKind{config.TrackerMisraGries, config.TrackerHydra} {
+			sys := config.Default()
+			sys.Core.Cores = 4
+			sys.Mitigation = config.DefaultRRS(1200)
+			sys.Mitigation.Tracker = trk
+			if _, err := sim.Run(w, sys, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// AblationCompactRIT: the §VIII-4 single-table tagged RIT vs the split
+// real/mirrored layout — identical behaviour, nearly half the RIT SRAM.
+func BenchmarkAblationCompactRIT(b *testing.B) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 8192
+	sys.Mitigation = config.DefaultSRS(4800)
+	for i := 0; i < b.N; i++ {
+		for _, compact := range []bool{false, true} {
+			mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+			var s *core.SRS
+			if compact {
+				s = core.NewSRSCompact(mem, sys, sys.Mitigation, stats.NewRNG(1))
+			} else {
+				s = core.NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(1))
+			}
+			for j := 0; j < 500; j++ {
+				s.OnAggressor(j%2, dram.RowID(j%200), dram.Cycles(j)*20_000)
+			}
+		}
+	}
+	m := storage.NewModel()
+	b.ReportMetric(m.ScaleSRS(1200).RITBytes/m.ScaleSRSCompact(1200).RITBytes, "x-rit-storage-saving")
+}
+
+// --- Microarchitecture benches ---
+
+func BenchmarkSwapOperation(b *testing.B) {
+	sys := config.Default()
+	sys.Mitigation = config.DefaultSRS(4800)
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	s := core.NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnAggressor(i%32, dram.RowID(i%1000), dram.Cycles(i)*20_000)
+		// End an epoch periodically, as the controller does: the RIT is
+		// provisioned per epoch and relies on unlocking for eviction.
+		if i%1000 == 999 {
+			s.OnWindowEnd(dram.Cycles(i) * 20_000)
+		}
+	}
+}
+
+func BenchmarkTrackerRecordMisraGries(b *testing.B) {
+	t := tracker.NewMisraGries(32, 1700)
+	rng := stats.NewRNG(2)
+	rows := make([]int32, 4096)
+	for i := range rows {
+		rows[i] = int32(rng.Intn(128 * 1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.RecordACT(i%32, rows[i%len(rows)])
+	}
+}
+
+func BenchmarkTrackerRecordHydra(b *testing.B) {
+	t := tracker.NewHydra(32, 128*1024, 128, 400, 2048)
+	rng := stats.NewRNG(3)
+	rows := make([]int32, 4096)
+	for i := range rows {
+		rows[i] = int32(rng.Intn(128 * 1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.RecordACT(i%32, rows[i%len(rows)])
+	}
+}
+
+func BenchmarkLLCAccess(b *testing.B) {
+	l := cache.New(config.DefaultLLC(), 128)
+	rng := stats.NewRNG(4)
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1<<26)) &^ 63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		l.Access(a, i%3 == 0, a>>13)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	p, _ := trace.ProfileByName("gcc")
+	g := trace.NewGenerator(p, config.DefaultGeometry(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkEndToEndSimCyclePerInstr(b *testing.B) {
+	w, _ := trace.WorkloadByName("mcf", 2)
+	sys := config.Default()
+	sys.Core.Cores = 2
+	sys.Mitigation = config.DefaultScaleSRS(1200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w, sys, sim.Options{Instructions: 50_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

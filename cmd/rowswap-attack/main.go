@@ -1,0 +1,94 @@
+// Command rowswap-attack evaluates the Juggernaut and random-guess
+// attack models against RRS and SRS for arbitrary parameters.
+//
+// Examples (rounds default to the optimum, as in §III-C):
+//
+//	rowswap-attack -defense rrs -trh 4800 -rate 6
+//	rowswap-attack -defense srs -trh 4800 -rate 6
+//	rowswap-attack -defense rrs -trh 4800 -rate 6 -rounds 1100 -mc 1000
+//	rowswap-attack -defense rrs -trh 3100 -rate 10 -ddr5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func main() {
+	defense := flag.String("defense", "rrs", "defense under attack: rrs or srs")
+	trh := flag.Int("trh", 4800, "Row Hammer threshold T_RH")
+	rate := flag.Int("rate", 6, "swap rate T_RH/T_S")
+	rounds := flag.Int("rounds", -1, "biasing attack rounds N (-1 = optimize)")
+	untargeted := flag.Bool("untargeted", false, "use the untargeted random-guess attack (Fig. 1a)")
+	banks := flag.Int("banks", 1, "banks attacked simultaneously (§III-C)")
+	openPage := flag.Bool("openpage", false, "open-page controller policy (§VIII-3)")
+	ddr5 := flag.Bool("ddr5", false, "DDR5 timing: 2x refresh rate (§VIII-5)")
+	mcIters := flag.Int("mc", 0, "validate with Monte-Carlo iterations")
+	seed := flag.Uint64("seed", 42, "Monte-Carlo seed")
+	flag.Parse()
+
+	var m attack.Model
+	switch *defense {
+	case "rrs":
+		m = attack.NewJuggernautRRS(*trh, *rate)
+	case "srs":
+		m = attack.NewJuggernautSRS(*trh, *rate)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown defense %q\n", *defense)
+		os.Exit(2)
+	}
+	m.Untargeted = *untargeted
+	m.Banks = *banks
+	if *openPage {
+		m.ACTPeriodNS = 60
+	}
+	if *ddr5 {
+		m.Timing = config.DDR5()
+	}
+
+	n := *rounds
+	var tt float64
+	if n < 0 {
+		n, tt = m.BestRounds()
+		fmt.Printf("optimal attack rounds N = %d\n", n)
+	} else {
+		tt = m.TimeToBreakNS(n)
+	}
+	fmt.Printf("defense=%s TRH=%d swap-rate=%d (T_S=%d) rounds=%d\n",
+		m.Defense, *trh, *rate, m.TS(), n)
+	fmt.Printf("aggressor ACTs after rounds: %.0f\n", m.AggressorACTs(n))
+	fmt.Printf("required correct guesses k : %d\n", m.RequiredGuesses(n))
+	fmt.Printf("guesses per window G       : %d\n", m.Guesses(n))
+	fmt.Printf("per-window success prob    : %.3g\n", m.EpochSuccessProb(n))
+	fmt.Printf("expected time-to-break     : %s\n", fmtTime(tt))
+
+	if *mcIters > 0 {
+		res := attack.MonteCarlo(m, n, *mcIters, stats.NewRNG(*seed))
+		if res.Skipped {
+			fmt.Println("monte-carlo: skipped (success probability too small to simulate)")
+		} else {
+			fmt.Printf("monte-carlo (%d iters)     : %s (%.0f epochs avg)\n",
+				res.Iterations, fmtTime(res.MeanTimeNS), res.MeanEpochs)
+		}
+	}
+}
+
+func fmtTime(ns float64) string {
+	switch {
+	case ns >= 2*config.Year:
+		return fmt.Sprintf("%.2f years", ns/config.Year)
+	case ns >= config.Day:
+		return fmt.Sprintf("%.2f days", ns/config.Day)
+	case ns >= config.Hour:
+		return fmt.Sprintf("%.2f hours", ns/config.Hour)
+	case ns >= config.Second:
+		return fmt.Sprintf("%.2f s", ns/config.Second)
+	default:
+		return fmt.Sprintf("%.2f ms", ns/config.Millisecond)
+	}
+}

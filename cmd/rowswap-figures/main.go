@@ -1,0 +1,107 @@
+// Command rowswap-figures regenerates the tables and figures of the
+// paper's evaluation. Each experiment prints the same rows/series the
+// paper reports, computed from this repository's models and simulator.
+//
+// Usage:
+//
+//	rowswap-figures -fig 6            # one figure
+//	rowswap-figures -all -quick       # everything, 12-workload subset
+//	rowswap-figures -fig 14           # full 78-workload Fig. 14 (minutes)
+//
+// Figure identifiers: 1a, t1 (Table I), 4, 6, 7, 10, 12, 13, 14, 15,
+// 16, t4 (Table IV), t5 (Table V), disc (§III-C/§VIII analyses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure/table to regenerate (1a,t1,4,6,7,10,12,13,14,15,16,t4,t5,disc)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	quick := flag.Bool("quick", false, "use the 12-workload subset for performance figures")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (overrides -quick)")
+	instructions := flag.Int64("instructions", 0, "per-core instruction budget (default 1.5M)")
+	cores := flag.Int("cores", 8, "simulated cores")
+	mcIters := flag.Int("mc", 200, "Monte-Carlo iterations for Fig. 6 (0 disables)")
+	progress := flag.Bool("progress", false, "print per-workload progress for performance figures")
+	flag.Parse()
+
+	if *fig == "" && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	popt := report.PerfOptions{
+		Cores: *cores,
+		Sim:   sim.Options{Instructions: *instructions},
+	}
+	if *quick {
+		popt.Workloads = report.QuickWorkloads
+	}
+	if *workloads != "" {
+		popt.Workloads = strings.Split(*workloads, ",")
+	}
+	if *progress {
+		popt.Progress = os.Stderr
+	}
+
+	run := func(id string) {
+		fmt.Printf("==== %s ====\n", id)
+		var err error
+		switch id {
+		case "1a":
+			report.Fig1a(os.Stdout)
+		case "t1":
+			report.Table1(os.Stdout)
+		case "4":
+			_, err = report.Fig4(os.Stdout, popt)
+		case "6":
+			report.Fig6(os.Stdout, *mcIters)
+		case "7":
+			report.Fig7(os.Stdout)
+		case "10":
+			report.Fig10(os.Stdout)
+		case "12":
+			_, err = report.Fig12(os.Stdout, popt)
+		case "13":
+			report.Fig13(os.Stdout)
+		case "14":
+			_, err = report.Fig14(os.Stdout, popt)
+		case "15":
+			_, err = report.Fig15(os.Stdout, popt)
+		case "16":
+			_, err = report.Fig16(os.Stdout, popt)
+		case "t4":
+			report.Table4(os.Stdout)
+		case "t5":
+			report.Table5(os.Stdout)
+		case "disc":
+			report.Discussion(os.Stdout)
+		case "cmp":
+			_, err = report.Comparators(os.Stdout, popt, 1200)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", id)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *all {
+		for _, id := range []string{"t1", "1a", "6", "7", "10", "13", "t4", "t5", "disc", "4", "12", "14", "15", "16", "cmp"} {
+			run(id)
+		}
+		return
+	}
+	run(*fig)
+}

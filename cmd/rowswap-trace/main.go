@@ -1,0 +1,118 @@
+// Command rowswap-trace exports the synthetic workload traces to the
+// USIMM-compatible text format and inspects existing trace files.
+//
+// Examples:
+//
+//	rowswap-trace -export gcc -n 1000000 -out gcc.trace
+//	rowswap-trace -inspect gcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+func main() {
+	export := flag.String("export", "", "benchmark profile to export (see rowswap-sim -list)")
+	n := flag.Int("n", 1_000_000, "records to export")
+	out := flag.String("out", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	flag.Parse()
+
+	switch {
+	case *export != "":
+		doExport(*export, *n, *out, *seed)
+	case *inspect != "":
+		doInspect(*inspect)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doExport(name string, n int, out string, seed uint64) {
+	p, ok := trace.ProfileByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(2)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	g := trace.NewGenerator(p, config.DefaultGeometry(), seed)
+	if err := trace.WriteRecords(w, trace.Capture(g, n)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if out != "" {
+		fmt.Printf("wrote %d records of %s to %s\n", n, name, out)
+	}
+}
+
+func doInspect(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := trace.ReadRecords(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	geo := config.DefaultGeometry()
+	var gaps, writes, noAlloc int
+	rowCounts := map[uint64]int{}
+	bankCounts := map[int]int{}
+	for _, r := range recs {
+		gaps += r.Gap
+		if r.Write {
+			writes++
+		}
+		if r.NoAlloc {
+			noAlloc++
+		}
+		loc := dram.DecodeAddr(geo, r.Addr)
+		rowCounts[uint64(loc.BankIdx)<<32|uint64(uint32(loc.Row))]++
+		bankCounts[loc.BankIdx]++
+	}
+	n := len(recs)
+	fmt.Printf("records            : %d\n", n)
+	fmt.Printf("instructions       : %d (avg gap %.1f)\n", gaps+n, float64(gaps)/float64(n))
+	fmt.Printf("writes             : %.1f%%\n", pct(writes, n))
+	fmt.Printf("LLC-bypassing      : %.1f%%\n", pct(noAlloc, n))
+	fmt.Printf("distinct DRAM rows : %d across %d banks\n", len(rowCounts), len(bankCounts))
+
+	// Top rows by access count — the candidates for T_S crossings.
+	type rc struct {
+		key uint64
+		n   int
+	}
+	var rows []rc
+	for k, c := range rowCounts {
+		rows = append(rows, rc{k, c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Println("hottest rows (bank/row: accesses):")
+	for i := 0; i < 5 && i < len(rows); i++ {
+		fmt.Printf("  bank %2d row %6d: %d\n",
+			rows[i].key>>32, uint32(rows[i].key), rows[i].n)
+	}
+}
+
+func pct(a, b int) float64 { return 100 * float64(a) / float64(b) }

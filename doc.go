@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Scalable and
+// Secure Row-Swap: Efficient and Safe Row Hammer Mitigation in Memory
+// Systems" (Woo, Saileshwar, Nair — HPCA 2023).
+//
+// The library lives under internal/: the row-swap mitigations (RRS, SRS,
+// Scale-SRS) in internal/core, the DDR4 memory-system simulator in
+// internal/dram + internal/memctrl + internal/sim, the attack models in
+// internal/attack, and the figure/table regeneration engine in
+// internal/report. Executables are under cmd/, runnable examples under
+// examples/, and bench_test.go in this directory hosts one benchmark per
+// reproduced table and figure.
+package repro

@@ -1,0 +1,50 @@
+// GUPS: run the paper's most memory-intensive workload through the
+// whole-system simulator under each defense at T_RH 1200 and compare
+// normalized performance — a one-workload slice of Figure 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	w, ok := trace.WorkloadByName("gups", 8)
+	if !ok {
+		log.Fatal("gups workload missing")
+	}
+	opt := sim.Options{Instructions: 1_000_000}
+
+	fmt.Println("GUPS, 8 cores, T_RH 1200 (compressed-window simulation)")
+	fmt.Printf("%-14s %10s %12s %8s %8s %6s\n",
+		"mitigation", "IPC", "normalized", "swaps", "unswaps", "pins")
+
+	sys := config.Default()
+	sys.Mitigation = config.Mitigation{}
+	base, err := sim.Run(w, sys, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %10.4f %12s %8d %8d %6d\n", "baseline", base.MeanIPC, "1.0000", 0, 0, 0)
+
+	for _, m := range []config.Mitigation{
+		config.DefaultRRS(1200),
+		config.DefaultSRS(1200),
+		config.DefaultScaleSRS(1200),
+	} {
+		sys.Mitigation = m
+		r, err := sim.Run(w, sys, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10.4f %12.4f %8d %8d %6d\n",
+			r.Mitigation, r.MeanIPC, r.MeanIPC/base.MeanIPC,
+			r.Mit.Swaps, r.Mit.Unswaps, r.Mit.Pins)
+	}
+	fmt.Println("\nexpected shape: RRS slowest (unswap-swap per crossing at swap rate 6);")
+	fmt.Println("SRS similar or better (swap-only); Scale-SRS best (swap rate 3).")
+}

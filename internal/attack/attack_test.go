@@ -1,0 +1,326 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// --- Model plumbing ---
+
+func TestEquationPlumbing(t *testing.T) {
+	m := NewJuggernautRRS(4800, 6)
+	if m.TS() != 800 {
+		t.Fatalf("TS = %d", m.TS())
+	}
+	// Equation 4: t_actual = 64ms - 8192*350ns ~ 61.13 ms.
+	if ta := m.TActual(); math.Abs(ta-61.1328e6) > 1e3 {
+		t.Errorf("TActual = %g ns", ta)
+	}
+	// Equation 1 at N=800: 1600 + 1.5*800 = 2800.
+	if a := m.AggressorACTs(800); a != 2800 {
+		t.Errorf("AggressorACTs(800) = %g", a)
+	}
+	// Equation 3: k = ceil((4800-2800)/800) = 3.
+	if k := m.RequiredGuesses(800); k != 3 {
+		t.Errorf("RequiredGuesses(800) = %d", k)
+	}
+}
+
+func TestRequiredGuessesMatchesFig7(t *testing.T) {
+	// Fig. 7 at T_RH 4800: <=500 rounds needs k=4; >=1100 rounds needs 2.
+	m := NewJuggernautRRS(4800, 6)
+	if k := m.RequiredGuesses(500); k != 4 {
+		t.Errorf("k(500) = %d, want 4", k)
+	}
+	if k := m.RequiredGuesses(1100); k != 2 {
+		t.Errorf("k(1100) = %d, want 2", k)
+	}
+	// Fig. 7: at lower T_RH the rounds alone suffice (k=0).
+	low := NewJuggernautRRS(1200, 6)
+	if k := low.RequiredGuesses(600); k != 0 {
+		t.Errorf("k = %d at TRH 1200 with 600 rounds, want 0", k)
+	}
+}
+
+func TestGuessesDecreaseWithRounds(t *testing.T) {
+	m := NewJuggernautRRS(4800, 6)
+	g0, g800 := m.Guesses(0), m.Guesses(800)
+	if g0 <= g800 {
+		t.Errorf("Guesses should shrink with rounds: %d vs %d", g0, g800)
+	}
+	if g800 <= 0 {
+		t.Errorf("Guesses(800) = %d", g800)
+	}
+	// Rounds beyond the window leave no guesses.
+	if g := m.Guesses(100000); g != 0 {
+		t.Errorf("Guesses(100000) = %d, want 0", g)
+	}
+}
+
+// --- Headline results ---
+
+// Fig. 6: Juggernaut breaks RRS at T_RH 4800, swap rate 6 in ~4 hours at
+// the optimal round count (~1100).
+func TestJuggernautBreaksRRSInHours(t *testing.T) {
+	m := NewJuggernautRRS(4800, 6)
+	n, tt := m.BestRounds()
+	hours := tt / config.Hour
+	if hours > 24 {
+		t.Errorf("best time-to-break = %.1f h, paper: ~4 h (<1 day)", hours)
+	}
+	if hours < 1 || hours > 8 {
+		t.Errorf("best time-to-break = %.2f h, want ~4 h", hours)
+	}
+	if n < 900 || n > 1300 {
+		t.Errorf("best rounds = %d, paper: ~1100", n)
+	}
+}
+
+// §III-C / Fig. 6: at T_RH 2400 and 1200 Juggernaut breaks RRS within a
+// single refresh window using latent activations alone.
+func TestJuggernautOneWindowAtLowTRH(t *testing.T) {
+	for _, trh := range []int{2400, 1200} {
+		m := NewJuggernautRRS(trh, 6)
+		_, tt := m.BestRounds()
+		if tt != m.Timing.RefreshWindow {
+			t.Errorf("TRH %d: time-to-break = %g ns, want one window (64 ms)", trh, tt)
+		}
+	}
+}
+
+// Abstract: Juggernaut breaks RRS in under 1 day regardless of swap rate.
+func TestJuggernautUnderOneDayAnySwapRate(t *testing.T) {
+	for rate := 4; rate <= 10; rate++ {
+		m := NewJuggernautRRS(4800, rate)
+		_, tt := m.BestRounds()
+		if days := tt / config.Day; days > 1 {
+			t.Errorf("swap rate %d: time-to-break = %.2f days, want < 1", rate, days)
+		}
+	}
+}
+
+// Fig. 1a: the untargeted random-guess attack takes >10^3 days (~3
+// years) at T_RH 4800, swap rate 6.
+func TestRandomGuessTakesYears(t *testing.T) {
+	m := NewRandomGuessRRS(4800, 6)
+	days := m.TimeToBreakDays(0)
+	if days < 1000 {
+		t.Errorf("untargeted attack = %.0f days, paper: >10^3", days)
+	}
+	if days > 20000 {
+		t.Errorf("untargeted attack = %.0f days, implausibly high", days)
+	}
+	// Higher swap rate is better for security (Fig. 1a trend).
+	m7 := NewRandomGuessRRS(4800, 7)
+	if m7.TimeToBreakDays(0) <= days {
+		t.Error("higher swap rate should increase untargeted attack time")
+	}
+}
+
+// Fig. 10: SRS at T_RH 4800, swap rate 6 survives >2 years of Juggernaut
+// while RRS falls in hours; SRS improves with swap rate.
+func TestSRSSurvivesJuggernaut(t *testing.T) {
+	srs := NewJuggernautSRS(4800, 6)
+	n, tt := srs.BestRounds()
+	if n != 0 {
+		t.Errorf("SRS best rounds = %d; rounds must not help (no latent accumulation)", n)
+	}
+	years := tt / config.Year
+	if years < 2 {
+		t.Errorf("SRS time-to-break = %.2f years, paper: > 2", years)
+	}
+	rrs := NewJuggernautRRS(4800, 6)
+	_, rrsTT := rrs.BestRounds()
+	if tt < 1000*rrsTT {
+		t.Errorf("SRS (%.3g ns) should outlast RRS (%.3g ns) by orders of magnitude", tt, rrsTT)
+	}
+	// Higher swap rates strengthen SRS overall (Fig. 10's trend). The
+	// curve has integer-k cliffs (§III-C), so compare endpoints rather
+	// than demanding strict monotonicity.
+	_, t10 := NewJuggernautSRS(4800, 10).BestRounds()
+	if t10 <= tt {
+		t.Errorf("SRS at rate 10 (%.3g) should beat rate 6 (%.3g)", t10, tt)
+	}
+	for rate := 7; rate <= 10; rate++ {
+		if _, cur := NewJuggernautSRS(4800, rate).BestRounds(); cur/config.Year < 2 {
+			t.Errorf("SRS rate %d below 2 years", rate)
+		}
+	}
+}
+
+// §VIII-3: open-page policy (slower effective ACT period) stretches the
+// RRS break time from hours to days at T_RH 4800 — but at T_RH <= 3300
+// Juggernaut still wins in under a day even at swap rate 10.
+func TestOpenPagePolicy(t *testing.T) {
+	closed := NewJuggernautRRS(4800, 6)
+	open := closed
+	open.ACTPeriodNS = 60 // tRC x 4/3: row-conflict stalls under open page
+	_, ct := closed.BestRounds()
+	_, ot := open.BestRounds()
+	if ot <= ct {
+		t.Error("open page should slow the attack")
+	}
+	if days := ot / config.Day; days < 1 || days > 30 {
+		t.Errorf("open-page break time = %.1f days, paper: ~10", days)
+	}
+	lowOpen := NewJuggernautRRS(3300, 10)
+	lowOpen.ACTPeriodNS = 60
+	if _, tt := lowOpen.BestRounds(); tt/config.Day > 1 {
+		t.Errorf("TRH 3300 rate 10 open-page = %.2f days, paper: < 1", tt/config.Day)
+	}
+}
+
+// §VIII-5: DDR5 (2x refresh rate) still falls to Juggernaut in under a
+// day when T_RH <= 3100, regardless of swap rate up to 10.
+func TestDDR5StillVulnerable(t *testing.T) {
+	for rate := 6; rate <= 10; rate++ {
+		m := NewJuggernautRRS(3100, rate)
+		m.Timing = config.DDR5()
+		if _, tt := m.BestRounds(); tt/config.Day > 1 {
+			t.Errorf("DDR5 TRH 3100 rate %d: %.2f days, paper: < 1", rate, tt/config.Day)
+		}
+	}
+}
+
+// §III-C: attacking all 16 banks of a channel slashes per-bank time and
+// makes the attack far slower than single-bank (4 h -> ~years).
+func TestMultiBankMuchSlower(t *testing.T) {
+	single := NewJuggernautRRS(4800, 6)
+	multi := single
+	multi.Banks = 16
+	_, st := single.BestRounds()
+	_, mt := multi.BestRounds()
+	if mt < 100*st {
+		t.Errorf("16-bank attack (%.3g) should be >>100x slower than single (%.3g)", mt, st)
+	}
+}
+
+// --- Monte Carlo (Fig. 6 validation) ---
+
+func TestMonteCarloMatchesAnalyticalModel(t *testing.T) {
+	m := NewJuggernautRRS(4800, 6)
+	rng := stats.NewRNG(1234)
+	for _, n := range []int{1100, 1200} {
+		want := m.TimeToBreakNS(n)
+		res := MonteCarlo(m, n, 400, rng)
+		if res.Skipped {
+			t.Fatalf("MC skipped at N=%d (p=%g)", n, m.EpochSuccessProb(n))
+		}
+		ratio := res.MeanTimeNS / want
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("N=%d: MC %.3g vs analytical %.3g (ratio %.2f)", n, res.MeanTimeNS, want, ratio)
+		}
+	}
+}
+
+func TestMonteCarloLatentOnlyRegime(t *testing.T) {
+	m := NewJuggernautRRS(1200, 6)
+	res := MonteCarlo(m, 600, 10, stats.NewRNG(1))
+	if res.MeanEpochs != 1 || res.MeanTimeNS != m.Timing.RefreshWindow {
+		t.Errorf("latent-only attack should take exactly one window: %+v", res)
+	}
+}
+
+func TestMonteCarloSkipsInfeasible(t *testing.T) {
+	m := NewJuggernautSRS(4800, 10) // astronomically small p
+	res := MonteCarlo(m, 0, 10, stats.NewRNG(2))
+	if !res.Skipped || !math.IsInf(res.MeanTimeNS, 1) {
+		t.Errorf("MC should skip infeasible regimes: %+v", res)
+	}
+}
+
+// --- Outlier model (Fig. 13) ---
+
+func TestOutlierTimesMatchFig13(t *testing.T) {
+	o := NewOutlierModel(4800, 3) // Scale-SRS swap rate 3
+	// ~850 swaps fit in a window at T_S = 1600 (§V-B counts 1134 at
+	// T_S = 1200 before accounting for swap latency).
+	if s := o.SwapsPerWindow(); s < 700 || s > 900 {
+		t.Errorf("SwapsPerWindow = %d", s)
+	}
+	// Fig. 13: 3 outlier rows with 3 swaps appear roughly monthly.
+	d3 := o.TimeToAppearDays(3, 3)
+	if d3 < 10 || d3 > 90 {
+		t.Errorf("3 outliers: %.1f days, paper: ~31", d3)
+	}
+	// 4 outliers: decades (paper: 64 years).
+	d4 := o.TimeToAppearDays(4, 3)
+	if d4/365 < 20 || d4/365 > 200 {
+		t.Errorf("4 outliers: %.1f years, paper: ~64", d4/365)
+	}
+	// Higher swap rates mean smaller T_S, more swaps per window, and
+	// therefore outliers appearing sooner (Fig. 13's x-axis trend).
+	for rate := 4; rate <= 6; rate++ {
+		or := NewOutlierModel(4800, rate)
+		if or.TimeToAppearDays(3, 3) >= d3 {
+			t.Errorf("rate %d should see outliers sooner than rate %d", rate, rate-1)
+		}
+		d3 = or.TimeToAppearDays(3, 3)
+	}
+}
+
+func TestOutlierExpectationConsistency(t *testing.T) {
+	o := NewOutlierModel(4800, 3)
+	// Expected rows with k swaps must fall steeply in k.
+	r1 := o.ExpectedRowsWithKSwaps(1)
+	r2 := o.ExpectedRowsWithKSwaps(2)
+	r3 := o.ExpectedRowsWithKSwaps(3)
+	if !(r1 > 100*r2 && r2 > 100*r3) {
+		t.Errorf("R_K should decay steeply: %g %g %g", r1, r2, r3)
+	}
+	// Poisson PMFs over m sum to 1.
+	sum := 0.0
+	for m := 0; m < 50; m++ {
+		sum += o.ProbMOutliers(m, 3)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("outlier PMF sums to %g", sum)
+	}
+}
+
+func TestPinBufferProvisioning(t *testing.T) {
+	// §V-C: 3 outliers x 11 banks x 2 channels = 66 entries; 66 rows of
+	// 8 KB = 528 KB = 6.5% of an 8 MB LLC.
+	n := PinBufferEntries(3, 11, 2)
+	if n != 66 {
+		t.Errorf("PinBufferEntries = %d, want 66", n)
+	}
+	frac := float64(LLCPinBytes(n, 8*1024)) / float64(8*1024*1024)
+	if frac < 0.06 || frac > 0.07 {
+		t.Errorf("multi-bank LLC fraction = %.3f, paper: 6.5%%", frac)
+	}
+	// Single-bank attack: 3 rows x 8 KB x 2 channels = 48 KB.
+	if got := LLCPinBytes(PinBufferEntries(3, 1, 2), 8*1024); got != 48*1024 {
+		t.Errorf("single-bank pin bytes = %d, want 48 KB", got)
+	}
+}
+
+// Within a fixed k (required guesses), time-to-break grows as G shrinks;
+// across k boundaries it jumps by orders of magnitude — the "steep
+// cliffs" of Fig. 6.
+func TestTimeCliffsAtIntegerK(t *testing.T) {
+	m := NewJuggernautRRS(4800, 6)
+	// Around N=1067 the required guesses drop from 3 to 2 and the break
+	// time falls off a cliff.
+	k1050, k1100 := m.RequiredGuesses(1050), m.RequiredGuesses(1100)
+	if k1050 != 3 || k1100 != 2 {
+		t.Fatalf("k(1050)=%d k(1100)=%d, want 3 and 2", k1050, k1100)
+	}
+	t1050, t1100 := m.TimeToBreakNS(1050), m.TimeToBreakNS(1100)
+	if t1100 >= t1050/10 {
+		t.Errorf("no cliff: t(1050)=%.3g t(1100)=%.3g", t1050, t1100)
+	}
+	// Within the same k, more rounds = fewer guesses = slower attack.
+	if m.TimeToBreakNS(1300) <= t1100 {
+		t.Error("time should grow with rounds within fixed k")
+	}
+}
+
+func TestDefenseString(t *testing.T) {
+	if DefenseRRS.String() != "rrs" || DefenseSRS.String() != "srs" {
+		t.Error("Defense.String wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package attack
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// MonteCarloResult summarizes an event-driven simulation of the attack.
+type MonteCarloResult struct {
+	Iterations int
+	MeanTimeNS float64
+	MeanEpochs float64
+	// Skipped reports that the analytical success probability was too
+	// small to simulate directly (the artifact's C++ simulator has the
+	// same practical bound); callers should fall back to the model.
+	Skipped bool
+}
+
+// MonteCarlo validates the analytical model by event-driven simulation,
+// mirroring the paper's "bins and buckets" artifact: each refresh window
+// the attacker performs its biasing rounds and G random guesses; the
+// number of guesses landing on the aggressor's original location is
+// drawn from the exact selection process (Poisson-thinned, G << R), and
+// the attack succeeds when k land within one window. The expected attack
+// time is the mean over iterations of (windows until success) x 64 ms.
+func MonteCarlo(m Model, rounds, iterations int, rng *stats.RNG) MonteCarloResult {
+	k := m.RequiredGuesses(rounds)
+	g := m.Guesses(rounds)
+	res := MonteCarloResult{Iterations: iterations}
+	if k == 0 {
+		// Latent activations alone succeed in the first window.
+		res.MeanEpochs = 1
+		res.MeanTimeNS = m.Timing.RefreshWindow
+		return res
+	}
+	if g < k {
+		res.Skipped = true
+		res.MeanTimeNS = math.Inf(1)
+		return res
+	}
+	// Practicality bound: expected epochs per success (the artifact's
+	// C++ simulator is similarly bounded by wall clock).
+	if p := m.EpochSuccessProb(rounds); p < 2e-6 {
+		res.Skipped = true
+		res.MeanTimeNS = math.Inf(1)
+		return res
+	}
+	lambda := float64(g) / float64(m.RowsPerBank)
+	var totalEpochs float64
+	for it := 0; it < iterations; it++ {
+		epochs := 0
+		for {
+			epochs++
+			if rng.Poisson(lambda) >= k {
+				break
+			}
+		}
+		totalEpochs += float64(epochs)
+	}
+	res.MeanEpochs = totalEpochs / float64(iterations)
+	res.MeanTimeNS = res.MeanEpochs * m.Timing.RefreshWindow
+	return res
+}

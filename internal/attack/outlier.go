@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// OutlierModel analyses how often benign-or-adversarial swap activity
+// produces "outlier" rows whose original location is chosen as a swap
+// destination k or more times within one refresh window (§V-B, Fig. 13
+// and footnote 4). Scale-SRS's reduced swap rate is safe because such
+// outliers are vanishingly rare and are neutralized by LLC pinning.
+type OutlierModel struct {
+	Timing      config.Timing
+	TRH         int
+	SwapRate    int
+	RowsPerBank int
+}
+
+// NewOutlierModel returns the model at the paper's defaults.
+func NewOutlierModel(trh, swapRate int) OutlierModel {
+	return OutlierModel{
+		Timing:      config.DDR4(),
+		TRH:         trh,
+		SwapRate:    swapRate,
+		RowsPerBank: 128 * 1024,
+	}
+}
+
+// TS returns the swap threshold.
+func (o OutlierModel) TS() int { return o.TRH / o.SwapRate }
+
+// SwapsPerWindow returns the maximum number of swap operations an
+// attacker can force in one refresh window: each requires T_S
+// activations (tRC apart) plus the swap itself. This bounds the number
+// of rows that can be "chosen" per window (§V-B's 1134-row argument).
+func (o OutlierModel) SwapsPerWindow() int {
+	tActual := o.Timing.RefreshWindow - o.Timing.TRFC*float64(o.Timing.RefreshOpsPerWindow())
+	per := float64(o.TS()-1)*o.Timing.TRC + 2.7*config.Microsecond
+	return int(tActual / per)
+}
+
+// ProbRowChosenK returns p_{k,T_S}: the probability a specific location
+// is selected exactly k times among the window's random swap
+// destinations (Equation 8 applied to swap targeting).
+func (o OutlierModel) ProbRowChosenK(k int) float64 {
+	return stats.BinomialPMF(o.SwapsPerWindow(), k, 1/float64(o.RowsPerBank))
+}
+
+// ExpectedRowsWithKSwaps returns R_K = R x p_{k,T_S}: the expected
+// number of rows receiving k swaps in one window.
+func (o OutlierModel) ExpectedRowsWithKSwaps(k int) float64 {
+	return float64(o.RowsPerBank) * o.ProbRowChosenK(k)
+}
+
+// ProbMOutliers returns the Poisson probability (footnote 4) of exactly
+// m rows with k swaps appearing simultaneously in one window:
+// e^{-R_K} R_K^m / m!.
+func (o OutlierModel) ProbMOutliers(m, k int) float64 {
+	return stats.PoissonPMF(m, o.ExpectedRowsWithKSwaps(k))
+}
+
+// TimeToAppearNS returns the expected time until a window exhibits m or
+// more rows with k swaps each.
+func (o OutlierModel) TimeToAppearNS(m, k int) float64 {
+	p := stats.PoissonTail(m, o.ExpectedRowsWithKSwaps(k))
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return o.Timing.RefreshWindow / p
+}
+
+// TimeToAppearDays converts TimeToAppearNS to days.
+func (o OutlierModel) TimeToAppearDays(m, k int) float64 {
+	return o.TimeToAppearNS(m, k) / config.Day
+}
+
+// PinBufferEntries returns the pin-buffer provisioning of §V-C: in the
+// worst multi-bank attack up to `outliers` rows per bank appear in
+// banksPerChannel banks of each channel.
+func PinBufferEntries(outliers, banksPerChannel, channels int) int {
+	return outliers * banksPerChannel * channels
+}
+
+// LLCPinBytes returns the LLC capacity consumed by pinned rows.
+func LLCPinBytes(rows, rowBytes int) int { return rows * rowBytes }

@@ -1,0 +1,228 @@
+// Package cache models the shared last-level cache (LLC) of Table III
+// plus the pin-buffer extension of Scale-SRS (§V-C): a small buffer in
+// front of the LLC that redirects the physical addresses of pinned DRAM
+// rows into reserved set regions so that outlier rows can be served from
+// SRAM for the remainder of a refresh interval, with no further DRAM
+// activations.
+package cache
+
+import "repro/internal/config"
+
+// line is one cache line's metadata.
+type line struct {
+	tag    uint64
+	valid  bool
+	dirty  bool
+	pinned bool
+	lru    uint64
+}
+
+// AccessResult describes the outcome of an LLC access.
+type AccessResult struct {
+	Hit       bool
+	PinnedHit bool
+	// Writeback, if WritebackValid, is the line-aligned address of a dirty
+	// victim that must be written to memory.
+	Writeback      uint64
+	WritebackValid bool
+}
+
+// Stats aggregates LLC event counts.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Bypasses   uint64
+	Writebacks uint64
+	PinnedHits uint64
+	PinnedRows uint64 // cumulative rows pinned
+}
+
+// LLC is a set-associative, LRU, write-back cache with a pin-buffer.
+// It is not safe for concurrent use.
+type LLC struct {
+	sets      int
+	ways      int
+	lineBytes int
+	data      []line // sets*ways, way-major within set
+	clock     uint64
+
+	// Pin-buffer: rowKey -> index of the reserved set region. Each pinned
+	// 8 KB row occupies linesPerRow lines spread over setsPerPin
+	// contiguous sets starting at pin-region index * setsPerPin.
+	pinned      map[uint64]int
+	setsPerPin  int
+	waysPerPin  int
+	linesPerRow int
+	nextRegion  int
+
+	stats Stats
+}
+
+// New returns an LLC with the given configuration. linesPerRow is the
+// number of cache lines in one DRAM row (128 for 8 KB rows), needed to
+// size the pin regions.
+func New(cfg config.LLC, linesPerRow int) *LLC {
+	sets := cfg.Sets()
+	l := &LLC{
+		sets:        sets,
+		ways:        cfg.Ways,
+		lineBytes:   cfg.LineBytes,
+		data:        make([]line, sets*cfg.Ways),
+		pinned:      make(map[uint64]int),
+		linesPerRow: linesPerRow,
+	}
+	// A pinned row uses half the ways of enough contiguous sets to hold
+	// linesPerRow lines (the paper's example: 8 KB row, 8 ways used -> 16
+	// contiguous sets).
+	l.waysPerPin = cfg.Ways / 2
+	if l.waysPerPin < 1 {
+		l.waysPerPin = 1
+	}
+	l.setsPerPin = (linesPerRow + l.waysPerPin - 1) / l.waysPerPin
+	return l
+}
+
+// Sets returns the number of sets.
+func (l *LLC) Sets() int { return l.sets }
+
+// Stats returns a copy of the event counters.
+func (l *LLC) Stats() Stats { return l.stats }
+
+func (l *LLC) setIndex(addr uint64) int {
+	return int((addr / uint64(l.lineBytes)) % uint64(l.sets))
+}
+
+func (l *LLC) tag(addr uint64) uint64 {
+	return addr / uint64(l.lineBytes) / uint64(l.sets)
+}
+
+func (l *LLC) set(idx int) []line {
+	return l.data[idx*l.ways : (idx+1)*l.ways]
+}
+
+// Access performs a demand access. rowKey identifies the DRAM row the
+// address belongs to (used by the pin-buffer check, which precedes normal
+// lookup). On a miss the line is filled, possibly evicting a dirty
+// victim. Pinned rows always hit.
+func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
+	l.clock++
+	if _, ok := l.pinned[rowKey]; ok {
+		l.stats.Hits++
+		l.stats.PinnedHits++
+		return AccessResult{Hit: true, PinnedHit: true}
+	}
+	setIdx := l.setIndex(addr)
+	tag := l.tag(addr)
+	set := l.set(setIdx)
+	for i := range set {
+		if set[i].valid && !set[i].pinned && set[i].tag == tag {
+			set[i].lru = l.clock
+			if write {
+				set[i].dirty = true
+			}
+			l.stats.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	l.stats.Misses++
+	res := AccessResult{}
+	// Fill: choose an invalid way, else LRU among non-pinned ways.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		if set[i].pinned {
+			continue
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < oldest {
+			oldest = set[i].lru
+			victim = i
+		}
+	}
+	if victim < 0 {
+		// Every way pinned: the access bypasses the cache entirely.
+		l.stats.Bypasses++
+		return res
+	}
+	if set[victim].valid && set[victim].dirty {
+		res.Writeback = l.victimAddr(setIdx, set[victim].tag)
+		res.WritebackValid = true
+		l.stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: l.clock}
+	return res
+}
+
+func (l *LLC) victimAddr(setIdx int, tag uint64) uint64 {
+	return (tag*uint64(l.sets) + uint64(setIdx)) * uint64(l.lineBytes)
+}
+
+// IsPinned reports whether a row is currently pinned.
+func (l *LLC) IsPinned(rowKey uint64) bool {
+	_, ok := l.pinned[rowKey]
+	return ok
+}
+
+// PinnedRows returns the number of currently pinned rows.
+func (l *LLC) PinnedRows() int { return len(l.pinned) }
+
+// PinRow reserves a set region for the DRAM row identified by rowKey and
+// marks it pinned. It returns the dirty victim addresses displaced by the
+// reservation (which must be written back) and false if the row was
+// already pinned.
+func (l *LLC) PinRow(rowKey uint64) (writebacks []uint64, ok bool) {
+	if _, dup := l.pinned[rowKey]; dup {
+		return nil, false
+	}
+	region := l.nextRegion
+	l.nextRegion = (l.nextRegion + 1) % (l.sets / l.setsPerPin)
+	base := region * l.setsPerPin
+	// Reserve waysPerPin ways in each set of the region, displacing
+	// whatever lives there.
+	for s := base; s < base+l.setsPerPin; s++ {
+		set := l.set(s)
+		reserved := 0
+		for i := range set {
+			if reserved == l.waysPerPin {
+				break
+			}
+			if set[i].pinned {
+				continue // already reserved by another pinned row
+			}
+			if set[i].valid && set[i].dirty {
+				writebacks = append(writebacks, l.victimAddr(s, set[i].tag))
+				l.stats.Writebacks++
+			}
+			set[i] = line{valid: true, pinned: true}
+			reserved++
+		}
+	}
+	l.pinned[rowKey] = region
+	l.stats.PinnedRows++
+	return writebacks, true
+}
+
+// UnpinAll releases every pin-buffer entry and its reserved lines. The
+// paper clears pinned rows at the end of the refresh interval.
+func (l *LLC) UnpinAll() {
+	for i := range l.data {
+		if l.data[i].pinned {
+			l.data[i] = line{}
+		}
+	}
+	l.pinned = make(map[uint64]int)
+}
+
+// PinBufferEntryBits returns the size in bits of one pin-buffer entry:
+// a 48-bit physical address minus the row-offset bits (§V-C: 35 bits for
+// 8 KB rows).
+func PinBufferEntryBits(rowBytes int) int {
+	offset := 0
+	for 1<<offset < rowBytes {
+		offset++
+	}
+	return 48 - offset
+}

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func newLLC() *LLC { return New(config.DefaultLLC(), 128) }
+
+func TestMissThenHit(t *testing.T) {
+	l := newLLC()
+	r := l.Access(0x1000, false, 1)
+	if r.Hit {
+		t.Error("cold access hit")
+	}
+	r = l.Access(0x1000, false, 1)
+	if !r.Hit {
+		t.Error("second access missed")
+	}
+	s := l.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := config.LLC{Bytes: 64 * 2 * 4, Ways: 2, LineBytes: 64} // 4 sets, 2 ways
+	l := New(cfg, 128)
+	setStride := uint64(64 * 4)
+	// Fill set 0 with two dirty lines, then force an eviction.
+	l.Access(0*setStride, true, 1)
+	l.Access(1*setStride, true, 2)
+	r := l.Access(2*setStride, false, 3)
+	if r.Hit || !r.WritebackValid {
+		t.Fatalf("expected miss with writeback, got %+v", r)
+	}
+	if r.Writeback != 0 {
+		t.Errorf("writeback addr = %#x, want %#x (LRU victim)", r.Writeback, 0)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	cfg := config.LLC{Bytes: 64 * 2 * 1, Ways: 2, LineBytes: 64} // 1 set, 2 ways
+	l := New(cfg, 128)
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	l.Access(a, false, 1)
+	l.Access(b, false, 2)
+	l.Access(a, false, 1) // refresh a; b is now LRU
+	l.Access(c, false, 3) // evicts b
+	if !l.Access(a, false, 1).Hit {
+		t.Error("a should still be cached")
+	}
+	if l.Access(b, false, 2).Hit {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestPinnedRowAlwaysHits(t *testing.T) {
+	l := newLLC()
+	const rowKey = 42
+	if l.IsPinned(rowKey) {
+		t.Error("row pinned before PinRow")
+	}
+	_, ok := l.PinRow(rowKey)
+	if !ok {
+		t.Fatal("PinRow failed")
+	}
+	if _, ok := l.PinRow(rowKey); ok {
+		t.Error("duplicate PinRow succeeded")
+	}
+	r := l.Access(0xdead000, false, rowKey)
+	if !r.Hit || !r.PinnedHit {
+		t.Errorf("pinned access = %+v, want pinned hit", r)
+	}
+	if l.PinnedRows() != 1 {
+		t.Errorf("PinnedRows = %d", l.PinnedRows())
+	}
+	l.UnpinAll()
+	if l.IsPinned(rowKey) || l.PinnedRows() != 0 {
+		t.Error("UnpinAll did not clear pins")
+	}
+}
+
+func TestPinReservationDisplacesAndProtects(t *testing.T) {
+	cfg := config.LLC{Bytes: 64 * 4 * 32, Ways: 4, LineBytes: 64} // 32 sets, 4 ways
+	l := New(cfg, 16)                                             // pin: 2 ways x 8 sets
+	// Dirty-fill set 0 completely.
+	for w := 0; w < 4; w++ {
+		l.Access(uint64(w)*64*32*4, true, uint64(100+w))
+	}
+	wbs, ok := l.PinRow(7)
+	if !ok {
+		t.Fatal("PinRow failed")
+	}
+	if len(wbs) != 2 {
+		t.Errorf("pin displaced %d dirty lines from set 0, want 2 (waysPerPin)", len(wbs))
+	}
+	// Fills into set 0 must not evict the pinned ways: with 2 ways left,
+	// lines fill and evict only among themselves.
+	for i := 0; i < 8; i++ {
+		l.Access(uint64(1000+i)*64*32, false, uint64(200+i))
+	}
+	if !l.IsPinned(7) {
+		t.Error("pin lost after fills")
+	}
+	if !l.Access(0, false, 7).PinnedHit {
+		t.Error("pinned row no longer hits")
+	}
+}
+
+func TestAllWaysPinnedBypasses(t *testing.T) {
+	cfg := config.LLC{Bytes: 64 * 2 * 8, Ways: 2, LineBytes: 64} // 8 sets, 2 ways
+	l := New(cfg, 8)                                             // waysPerPin=1, setsPerPin=8
+	l.PinRow(1)                                                  // reserves way 0 of all 8 sets
+	l.PinRow(2)                                                  // reserves way 1 of all 8 sets
+	r := l.Access(0x10000, false, 99)
+	if r.Hit {
+		t.Error("access should miss when all ways pinned")
+	}
+	if l.Stats().Bypasses == 0 {
+		t.Error("expected a bypass when no way is available")
+	}
+}
+
+func TestPaperPinCapacityFraction(t *testing.T) {
+	// §V-C: 3 pinned rows = 48 KB, ~0.5% of an 8MB LLC... the paper says
+	// 0.05% for 3 rows of 8KB in a 2-channel attack and 6.5% for 66 rows.
+	// Verify our reservation cost: one pinned row reserves
+	// setsPerPin * waysPerPin lines = linesPerRow lines = one row's worth.
+	l := newLLC()
+	l.PinRow(1)
+	reserved := 0
+	for _, ln := range l.data {
+		if ln.pinned {
+			reserved++
+		}
+	}
+	if reserved != 128 {
+		t.Errorf("one pinned 8KB row reserved %d lines, want 128", reserved)
+	}
+	// 66 rows (multi-bank attack) => 66*8KB / 8MB = 6.45%.
+	for k := uint64(2); k <= 66; k++ {
+		l.PinRow(k)
+	}
+	frac := float64(66*128) / float64(l.sets*l.ways)
+	if frac < 0.06 || frac > 0.07 {
+		t.Errorf("66-row capacity fraction = %.3f, want ~0.065", frac)
+	}
+}
+
+func TestPinBufferEntryBits(t *testing.T) {
+	if got := PinBufferEntryBits(8 * 1024); got != 35 {
+		t.Errorf("PinBufferEntryBits(8KB) = %d, want 35", got)
+	}
+}
+
+func TestWorkingSetSmallerThanCacheHasHighHitRate(t *testing.T) {
+	l := newLLC()
+	rng := stats.NewRNG(5)
+	// 1 MB working set in an 8 MB cache.
+	for i := 0; i < 200000; i++ {
+		addr := uint64(rng.Intn(1<<20)) &^ 63
+		l.Access(addr, false, addr>>13)
+	}
+	s := l.Stats()
+	hitRate := float64(s.Hits) / float64(s.Hits+s.Misses)
+	if hitRate < 0.9 {
+		t.Errorf("hit rate = %.3f for cache-resident working set", hitRate)
+	}
+}
+
+func TestWorkingSetLargerThanCacheMisses(t *testing.T) {
+	l := newLLC()
+	rng := stats.NewRNG(6)
+	// 256 MB working set in an 8 MB cache.
+	for i := 0; i < 200000; i++ {
+		addr := uint64(rng.Intn(1<<28)) &^ 63
+		l.Access(addr, false, addr>>13)
+	}
+	s := l.Stats()
+	hitRate := float64(s.Hits) / float64(s.Hits+s.Misses)
+	if hitRate > 0.1 {
+		t.Errorf("hit rate = %.3f for 32x-oversized working set", hitRate)
+	}
+}

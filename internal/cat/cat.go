@@ -1,0 +1,282 @@
+// Package cat implements a Collision Avoidance Table (CAT): a skewed,
+// overprovisioned associative structure in the style of MIRAGE
+// (Saileshwar & Qureshi, USENIX Security 2021).
+//
+// The paper uses CATs in two places: the Row Indirection Table (RIT) that
+// records swapped-row mappings, and the Misra-Gries aggressor tracker.
+// The essential property is that, with two skewed hash functions,
+// power-of-two-choices insertion, and modest overprovisioning, the table
+// behaves like a fully associative structure — an adversary cannot force
+// set-conflict evictions of live entries.
+package cat
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ErrFull is returned by Insert when both candidate sets are fully
+// occupied by locked (current-epoch) entries. A correctly provisioned
+// table never reports it; the mitigation layer treats it as a security
+// alarm.
+var ErrFull = errors.New("cat: both candidate sets full of locked entries")
+
+// entry is one slot in the table.
+type entry struct {
+	key    uint64
+	val    uint64
+	locked bool // inserted during the current epoch
+	valid  bool
+}
+
+// Table is a two-skew CAT mapping uint64 keys to uint64 values.
+// It is not safe for concurrent use.
+type Table struct {
+	ways  int
+	sets  int // sets per skew (power of two)
+	seed  [2]uint64
+	slots [][]entry // indexed [skew*sets + set][way]
+	live  int
+
+	rng *stats.RNG
+}
+
+// New returns a CAT with capacity for at least minEntries live entries,
+// overprovisioned by the given factor (e.g. 1.5 means 50% extra slots,
+// split across two skews). ways is the associativity of each set.
+func New(minEntries, ways int, overprovision float64, rng *stats.RNG) *Table {
+	if minEntries < 1 {
+		minEntries = 1
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if overprovision < 1 {
+		overprovision = 1
+	}
+	total := int(float64(minEntries) * overprovision)
+	// Two skews; round sets-per-skew up to a power of two.
+	perSkew := (total + 2*ways - 1) / (2 * ways)
+	sets := 1
+	for sets < perSkew {
+		sets <<= 1
+	}
+	t := &Table{
+		ways:  ways,
+		sets:  sets,
+		slots: make([][]entry, 2*sets),
+		rng:   rng,
+	}
+	t.seed[0] = rng.Uint64() | 1
+	t.seed[1] = rng.Uint64() | 1
+	for i := range t.slots {
+		t.slots[i] = make([]entry, ways)
+	}
+	return t
+}
+
+// hash mixes key with the skew seed (SplitMix64 finalizer).
+func (t *Table) hash(skew int, key uint64) int {
+	z := key ^ t.seed[skew]
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z & uint64(t.sets-1))
+}
+
+func (t *Table) set(skew int, key uint64) []entry {
+	return t.slots[skew*t.sets+t.hash(skew, key)]
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.live }
+
+// Capacity returns the total number of slots.
+func (t *Table) Capacity() int { return 2 * t.sets * t.ways }
+
+// Lookup returns the value mapped to key.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	for skew := 0; skew < 2; skew++ {
+		s := t.set(skew, key)
+		for i := range s {
+			if s[i].valid && s[i].key == key {
+				return s[i].val, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Locked reports whether key is present and locked (current epoch).
+func (t *Table) Locked(key uint64) bool {
+	for skew := 0; skew < 2; skew++ {
+		s := t.set(skew, key)
+		for i := range s {
+			if s[i].valid && s[i].key == key {
+				return s[i].locked
+			}
+		}
+	}
+	return false
+}
+
+// Insert adds key→val with the lock bit set, replacing any existing entry
+// for key. If both candidate sets are full, it first evicts a random
+// unlocked (previous-epoch) entry; if every slot is locked it returns
+// ErrFull. The evicted key, if any, is returned so the caller can perform
+// the corresponding place-back work.
+func (t *Table) Insert(key, val uint64) (evictedKey, evictedVal uint64, evicted bool, err error) {
+	// Update in place if present.
+	for skew := 0; skew < 2; skew++ {
+		s := t.set(skew, key)
+		for i := range s {
+			if s[i].valid && s[i].key == key {
+				s[i].val = val
+				s[i].locked = true
+				return 0, 0, false, nil
+			}
+		}
+	}
+	// Power-of-two-choices: insert into the candidate set with more room.
+	s0, s1 := t.set(0, key), t.set(1, key)
+	f0, f1 := freeSlots(s0), freeSlots(s1)
+	target := s0
+	if f1 > f0 {
+		target = s1
+	}
+	if i := firstFree(target); i >= 0 {
+		target[i] = entry{key: key, val: val, locked: true, valid: true}
+		t.live++
+		return 0, 0, false, nil
+	}
+	// No free slot in the fuller choice either — try evicting an unlocked
+	// entry from either candidate set, chosen uniformly at random.
+	var victims []*entry
+	for _, s := range [][]entry{s0, s1} {
+		for i := range s {
+			if s[i].valid && !s[i].locked {
+				victims = append(victims, &s[i])
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return 0, 0, false, fmt.Errorf("%w (key %d)", ErrFull, key)
+	}
+	v := victims[t.rng.Intn(len(victims))]
+	evictedKey, evictedVal = v.key, v.val
+	*v = entry{key: key, val: val, locked: true, valid: true}
+	return evictedKey, evictedVal, true, nil
+}
+
+func freeSlots(s []entry) int {
+	n := 0
+	for i := range s {
+		if !s[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func firstFree(s []entry) int {
+	for i := range s {
+		if !s[i].valid {
+			return i
+		}
+	}
+	return -1
+}
+
+// Update rewrites the value for an existing key without touching its lock
+// bit. It reports whether the key was present.
+func (t *Table) Update(key, val uint64) bool {
+	for skew := 0; skew < 2; skew++ {
+		s := t.set(skew, key)
+		for i := range s {
+			if s[i].valid && s[i].key == key {
+				s[i].val = val
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	for skew := 0; skew < 2; skew++ {
+		s := t.set(skew, key)
+		for i := range s {
+			if s[i].valid && s[i].key == key {
+				s[i] = entry{}
+				t.live--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnlockAll clears every lock bit. The mitigation calls it at the end of
+// an epoch: surviving entries become candidates for lazy eviction.
+func (t *Table) UnlockAll() {
+	for _, s := range t.slots {
+		for i := range s {
+			s[i].locked = false
+		}
+	}
+}
+
+// Clear removes all entries.
+func (t *Table) Clear() {
+	for _, s := range t.slots {
+		for i := range s {
+			s[i] = entry{}
+		}
+	}
+	t.live = 0
+}
+
+// Pair is a key/value tuple returned by enumeration methods.
+type Pair struct{ Key, Val uint64 }
+
+// Entries returns all live entries in unspecified order.
+func (t *Table) Entries() []Pair {
+	out := make([]Pair, 0, t.live)
+	for _, s := range t.slots {
+		for i := range s {
+			if s[i].valid {
+				out = append(out, Pair{s[i].key, s[i].val})
+			}
+		}
+	}
+	return out
+}
+
+// UnlockedEntries returns all live entries whose lock bit is clear
+// (i.e. entries surviving from the previous epoch, due for lazy eviction).
+func (t *Table) UnlockedEntries() []Pair {
+	var out []Pair
+	for _, s := range t.slots {
+		for i := range s {
+			if s[i].valid && !s[i].locked {
+				out = append(out, Pair{s[i].key, s[i].val})
+			}
+		}
+	}
+	return out
+}
+
+// AnyUnlocked returns one unlocked live entry, if any exists.
+func (t *Table) AnyUnlocked() (Pair, bool) {
+	for _, s := range t.slots {
+		for i := range s {
+			if s[i].valid && !s[i].locked {
+				return Pair{s[i].key, s[i].val}, true
+			}
+		}
+	}
+	return Pair{}, false
+}

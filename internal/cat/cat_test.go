@@ -1,0 +1,206 @@
+package cat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func newTest(minEntries int) *Table {
+	return New(minEntries, 8, 1.5, stats.NewRNG(99))
+}
+
+func TestInsertLookup(t *testing.T) {
+	tb := newTest(100)
+	for i := uint64(0); i < 100; i++ {
+		if _, _, _, err := tb.Insert(i, i*10); err != nil {
+			t.Fatalf("Insert(%d) = %v", i, err)
+		}
+	}
+	if tb.Len() != 100 {
+		t.Errorf("Len = %d, want 100", tb.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := tb.Lookup(i)
+		if !ok || v != i*10 {
+			t.Errorf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tb.Lookup(1000); ok {
+		t.Error("Lookup of absent key succeeded")
+	}
+}
+
+func TestInsertReplacesExisting(t *testing.T) {
+	tb := newTest(10)
+	tb.Insert(5, 1)
+	tb.Insert(5, 2)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert, want 1", tb.Len())
+	}
+	if v, _ := tb.Lookup(5); v != 2 {
+		t.Errorf("Lookup = %d, want 2", v)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	tb := newTest(10)
+	tb.Insert(7, 70)
+	if !tb.Update(7, 71) {
+		t.Error("Update of present key failed")
+	}
+	if v, _ := tb.Lookup(7); v != 71 {
+		t.Errorf("value after Update = %d", v)
+	}
+	if tb.Update(8, 1) {
+		t.Error("Update of absent key succeeded")
+	}
+	if !tb.Delete(7) {
+		t.Error("Delete of present key failed")
+	}
+	if tb.Delete(7) {
+		t.Error("Delete of absent key succeeded")
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d after delete", tb.Len())
+	}
+}
+
+func TestLockSemantics(t *testing.T) {
+	tb := newTest(10)
+	tb.Insert(1, 10)
+	if !tb.Locked(1) {
+		t.Error("fresh insert should be locked")
+	}
+	tb.UnlockAll()
+	if tb.Locked(1) {
+		t.Error("UnlockAll did not clear lock")
+	}
+	if tb.Locked(99) {
+		t.Error("absent key reported locked")
+	}
+	p, ok := tb.AnyUnlocked()
+	if !ok || p.Key != 1 {
+		t.Errorf("AnyUnlocked = %+v, %v", p, ok)
+	}
+	if got := len(tb.UnlockedEntries()); got != 1 {
+		t.Errorf("UnlockedEntries = %d, want 1", got)
+	}
+	// Re-inserting relocks.
+	tb.Insert(1, 11)
+	if !tb.Locked(1) {
+		t.Error("re-insert should relock")
+	}
+	if _, ok := tb.AnyUnlocked(); ok {
+		t.Error("no unlocked entries expected")
+	}
+}
+
+func TestEvictionOfUnlockedUnderPressure(t *testing.T) {
+	// Tiny table: force set conflicts. 2 skews x 1..2 sets x 2 ways.
+	tb := New(4, 2, 1.0, stats.NewRNG(1))
+	cap := tb.Capacity()
+	// Fill beyond capacity with unlocked entries: every insert beyond
+	// capacity must evict rather than fail.
+	tb.UnlockAll()
+	evictions := 0
+	for i := uint64(0); i < uint64(cap*4); i++ {
+		_, _, ev, err := tb.Insert(i, i)
+		if err != nil {
+			// All candidate slots locked: unlock and continue, counting it.
+			tb.UnlockAll()
+			_, _, ev, err = tb.Insert(i, i)
+			if err != nil {
+				t.Fatalf("Insert failed even after unlock: %v", err)
+			}
+		}
+		if ev {
+			evictions++
+		}
+		tb.UnlockAll()
+	}
+	if evictions == 0 {
+		t.Error("expected evictions under pressure")
+	}
+	if tb.Len() > cap {
+		t.Errorf("Len %d exceeds capacity %d", tb.Len(), cap)
+	}
+}
+
+func TestErrFullWhenAllLocked(t *testing.T) {
+	tb := New(4, 1, 1.0, stats.NewRNG(2))
+	var sawErr bool
+	for i := uint64(0); i < uint64(tb.Capacity()*8); i++ {
+		if _, _, _, err := tb.Insert(i, i); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("expected ErrFull when inserting locked entries beyond capacity")
+	}
+}
+
+func TestOverprovisionedNeverFull(t *testing.T) {
+	// Paper-scale RIT: ~1700 live entries, 50% overprovisioned. Inserting
+	// the live set each epoch must never raise ErrFull.
+	tb := New(1700, 8, 1.5, stats.NewRNG(3))
+	rng := stats.NewRNG(4)
+	for epoch := 0; epoch < 20; epoch++ {
+		for i := 0; i < 1700; i++ {
+			key := uint64(rng.Intn(128 * 1024))
+			if _, _, _, err := tb.Insert(key, key); err != nil {
+				t.Fatalf("epoch %d insert %d: %v", epoch, i, err)
+			}
+		}
+		tb.UnlockAll()
+	}
+}
+
+func TestClearAndEntries(t *testing.T) {
+	tb := newTest(50)
+	for i := uint64(0); i < 50; i++ {
+		tb.Insert(i, i)
+	}
+	if got := len(tb.Entries()); got != 50 {
+		t.Errorf("Entries = %d, want 50", got)
+	}
+	tb.Clear()
+	if tb.Len() != 0 || len(tb.Entries()) != 0 {
+		t.Error("Clear did not empty table")
+	}
+}
+
+// Property: after any sequence of inserts (no conflicting duplicates), a
+// lookup of every inserted key returns the latest value.
+func TestPropertyInsertLookupConsistency(t *testing.T) {
+	f := func(keys []uint16) bool {
+		if len(keys) > 300 {
+			keys = keys[:300]
+		}
+		tb := New(512, 8, 1.5, stats.NewRNG(7))
+		want := map[uint64]uint64{}
+		for i, k := range keys {
+			key := uint64(k)
+			val := uint64(i)
+			if _, _, _, err := tb.Insert(key, val); err != nil {
+				return false
+			}
+			want[key] = val
+		}
+		if tb.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, ok := tb.Lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package config holds the system configuration used throughout the
+// reproduction: DDR4 device timing, memory-system geometry, core
+// parameters, and the Row Hammer mitigation parameters studied in the
+// paper (Table III of Woo et al., HPCA 2023).
+//
+// All durations are expressed in nanoseconds (float64) for the analytical
+// models and converted to integer cycles by the cycle-level simulator.
+package config
+
+import "fmt"
+
+// Time unit helpers. The analytical models in internal/attack work in
+// nanoseconds; the cycle simulator multiplies by clock frequency.
+const (
+	Nanosecond  = 1.0
+	Microsecond = 1e3 * Nanosecond
+	Millisecond = 1e6 * Nanosecond
+	Second      = 1e9 * Nanosecond
+	Minute      = 60 * Second
+	Hour        = 60 * Minute
+	Day         = 24 * Hour
+	Year        = 365 * Day
+)
+
+// Timing captures the DRAM timing parameters relevant to Row Hammer
+// analysis and to the cycle-level DDR4 model (Table III).
+type Timing struct {
+	TRCD float64 // ACT -> column command delay (ns)
+	TRP  float64 // PRE -> ACT delay (ns)
+	TCAS float64 // column command -> first data (ns), a.k.a. CL
+	TRC  float64 // ACT -> ACT to the same bank (ns)
+	TRAS float64 // ACT -> PRE minimum (ns)
+	TRFC float64 // refresh cycle time (ns)
+	TREFI float64 // average refresh interval (ns)
+	TBURST float64 // data burst occupancy of the bus for one 64B line (ns)
+	TRRD  float64 // ACT -> ACT different banks, same rank (ns)
+	TWR   float64 // write recovery (ns)
+
+	RefreshWindow float64 // retention / Row Hammer accounting window (ns), typically 64 ms
+}
+
+// DDR4 returns the DDR4-3200 timing assumed by the paper: 14-14-14 (ns),
+// tRC = 45 ns, tRFC = 350 ns, tREFI = 7.8 us, with a 64 ms refresh window.
+func DDR4() Timing {
+	return Timing{
+		TRCD:          14,
+		TRP:           14,
+		TCAS:          14,
+		TRC:           45,
+		TRAS:          31, // tRC - tRP
+		TRFC:          350,
+		TREFI:         7812.5, // 64 ms / 8192 refresh commands (reported as 7.8 us)
+		TBURST:        2.5, // 4 bus cycles at 1.6 GHz DDR (8 beats)
+		TRRD:          5,
+		TWR:           15,
+		RefreshWindow: 64 * Millisecond,
+	}
+}
+
+// DDR5 returns a DDR5-like variant that refreshes twice as often
+// (tREFI halved, 32 ms accounting window), used by the §VIII-5
+// "future DRAM generations" analysis.
+func DDR5() Timing {
+	t := DDR4()
+	t.TREFI /= 2
+	t.RefreshWindow = 32 * Millisecond
+	return t
+}
+
+// RefreshOpsPerWindow returns the number of auto-refresh commands a bank
+// experiences within one refresh window (8192 for DDR4: 64 ms / 7.8 us).
+func (t Timing) RefreshOpsPerWindow() int {
+	return int(t.RefreshWindow / t.TREFI)
+}
+
+// ActiveTime returns t_actual (Equation 4): the window time available for
+// row activations after subtracting refresh penalties.
+func (t Timing) ActiveTime() float64 {
+	return t.RefreshWindow - t.TRFC*float64(t.RefreshOpsPerWindow())
+}
+
+// MaxActivations returns ACT_max: the maximum number of activate commands
+// a single bank can receive in one refresh window (~1.36 M for DDR4).
+func (t Timing) MaxActivations() int {
+	return int(t.ActiveTime() / t.TRC)
+}
+
+// Geometry describes the memory-system organization (Table III).
+type Geometry struct {
+	Channels    int
+	RanksPerCh  int
+	BanksPerRnk int
+	RowsPerBank int
+	RowBytes    int
+	LineBytes   int
+}
+
+// DefaultGeometry returns the 32 GB system of Table III:
+// 2 channels x 1 rank x 16 banks x 128K rows x 8 KB rows.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:    2,
+		RanksPerCh:  1,
+		BanksPerRnk: 16,
+		RowsPerBank: 128 * 1024,
+		RowBytes:    8 * 1024,
+		LineBytes:   64,
+	}
+}
+
+// TotalBytes returns the memory capacity implied by the geometry.
+func (g Geometry) TotalBytes() int64 {
+	return int64(g.Channels) * int64(g.RanksPerCh) * int64(g.BanksPerRnk) *
+		int64(g.RowsPerBank) * int64(g.RowBytes)
+}
+
+// TotalBanks returns the number of independent banks in the system.
+func (g Geometry) TotalBanks() int {
+	return g.Channels * g.RanksPerCh * g.BanksPerRnk
+}
+
+// LinesPerRow returns the number of cache lines stored in one DRAM row.
+func (g Geometry) LinesPerRow() int { return g.RowBytes / g.LineBytes }
+
+// Core describes the processor model (Table III).
+type Core struct {
+	Cores       int
+	ClockGHz    float64
+	ROBSize     int
+	FetchWidth  int
+	RetireWidth int
+}
+
+// DefaultCore returns the 8-core, 3.2 GHz, 192-entry-ROB, 4-wide
+// configuration of Table III.
+func DefaultCore() Core {
+	return Core{Cores: 8, ClockGHz: 3.2, ROBSize: 192, FetchWidth: 4, RetireWidth: 4}
+}
+
+// LLC describes the shared last-level cache (Table III).
+type LLC struct {
+	Bytes     int
+	Ways      int
+	LineBytes int
+}
+
+// DefaultLLC returns the 8 MB, 16-way, 64 B-line shared LLC.
+func DefaultLLC() LLC {
+	return LLC{Bytes: 8 * 1024 * 1024, Ways: 16, LineBytes: 64}
+}
+
+// Sets returns the number of cache sets.
+func (l LLC) Sets() int { return l.Bytes / (l.Ways * l.LineBytes) }
+
+// MitigationKind selects the Row Hammer defense under evaluation.
+type MitigationKind int
+
+// The mitigation mechanisms evaluated in the paper.
+const (
+	MitigationNone        MitigationKind = iota // unprotected baseline
+	MitigationRRS                               // Randomized Row-Swap (ASPLOS'22)
+	MitigationSRS                               // Secure Row-Swap (this paper, §IV)
+	MitigationScaleSRS                          // Scalable and Secure Row-Swap (§V)
+	MitigationBlockHammer                       // throttling comparator (§IX-A)
+	MitigationAQUA                              // quarantine comparator (§IX-A)
+)
+
+// String implements fmt.Stringer.
+func (k MitigationKind) String() string {
+	switch k {
+	case MitigationNone:
+		return "baseline"
+	case MitigationRRS:
+		return "rrs"
+	case MitigationSRS:
+		return "srs"
+	case MitigationScaleSRS:
+		return "scale-srs"
+	case MitigationBlockHammer:
+		return "blockhammer"
+	case MitigationAQUA:
+		return "aqua"
+	default:
+		return fmt.Sprintf("mitigation(%d)", int(k))
+	}
+}
+
+// TrackerKind selects the aggressor-row tracker.
+type TrackerKind int
+
+// The trackers evaluated in the paper (§II-D, Figs. 14 and 16).
+const (
+	TrackerMisraGries TrackerKind = iota // Graphene/RRS-style frequent-item tracker
+	TrackerHydra                         // Hydra hybrid tracker (ISCA'22)
+)
+
+// String implements fmt.Stringer.
+func (k TrackerKind) String() string {
+	switch k {
+	case TrackerMisraGries:
+		return "misra-gries"
+	case TrackerHydra:
+		return "hydra"
+	default:
+		return fmt.Sprintf("tracker(%d)", int(k))
+	}
+}
+
+// Mitigation holds the Row Hammer defense parameters.
+type Mitigation struct {
+	Kind    MitigationKind
+	Tracker TrackerKind
+
+	TRH      int // Row Hammer threshold T_RH
+	SwapRate int // T_RH / T_S
+
+	// ImmediateUnswap selects RRS's unswap-before-reswap behaviour
+	// (the paper's default RRS). Setting it false produces the
+	// "No Unswap" chained-swap variant of Fig. 4.
+	ImmediateUnswap bool
+
+	// OutlierSwaps is the swap count at which Scale-SRS classifies a row
+	// as an outlier and pins it in the LLC (3 in the paper: counter
+	// value >= 3*T_S).
+	OutlierSwaps int
+}
+
+// TS returns the swap threshold T_S = T_RH / SwapRate.
+func (m Mitigation) TS() int {
+	if m.SwapRate <= 0 {
+		return 0
+	}
+	return m.TRH / m.SwapRate
+}
+
+// Validate reports configuration errors.
+func (m Mitigation) Validate() error {
+	if m.Kind == MitigationNone {
+		return nil
+	}
+	if m.TRH <= 0 {
+		return fmt.Errorf("config: TRH must be positive, got %d", m.TRH)
+	}
+	if m.SwapRate <= 0 {
+		return fmt.Errorf("config: SwapRate must be positive, got %d", m.SwapRate)
+	}
+	if m.TS() <= 0 {
+		return fmt.Errorf("config: T_S = TRH/SwapRate = %d/%d is zero", m.TRH, m.SwapRate)
+	}
+	if m.Kind == MitigationScaleSRS && m.OutlierSwaps <= 0 {
+		return fmt.Errorf("config: Scale-SRS requires OutlierSwaps > 0")
+	}
+	return nil
+}
+
+// DefaultRRS returns the RRS configuration used throughout the paper:
+// swap rate 6 with immediate unswaps.
+func DefaultRRS(trh int) Mitigation {
+	return Mitigation{
+		Kind:            MitigationRRS,
+		Tracker:         TrackerMisraGries,
+		TRH:             trh,
+		SwapRate:        6,
+		ImmediateUnswap: true,
+	}
+}
+
+// DefaultSRS returns the SRS configuration (§IV): swap rate 6, swap-only.
+func DefaultSRS(trh int) Mitigation {
+	return Mitigation{
+		Kind:     MitigationSRS,
+		Tracker:  TrackerMisraGries,
+		TRH:      trh,
+		SwapRate: 6,
+	}
+}
+
+// DefaultScaleSRS returns the Scale-SRS configuration (§V): swap rate 3
+// with outlier pinning after 3 swaps.
+func DefaultScaleSRS(trh int) Mitigation {
+	return Mitigation{
+		Kind:         MitigationScaleSRS,
+		Tracker:      TrackerMisraGries,
+		TRH:          trh,
+		SwapRate:     3,
+		OutlierSwaps: 3,
+	}
+}
+
+// DefaultBlockHammer returns the §IX-A throttling comparator at the same
+// tracking granularity as RRS.
+func DefaultBlockHammer(trh int) Mitigation {
+	return Mitigation{
+		Kind:     MitigationBlockHammer,
+		Tracker:  TrackerMisraGries,
+		TRH:      trh,
+		SwapRate: 6,
+	}
+}
+
+// DefaultAQUA returns the §IX-A quarantine comparator: migration at the
+// same threshold RRS would swap at.
+func DefaultAQUA(trh int) Mitigation {
+	return Mitigation{
+		Kind:     MitigationAQUA,
+		Tracker:  TrackerMisraGries,
+		TRH:      trh,
+		SwapRate: 6,
+	}
+}
+
+// System aggregates the full configuration of a simulated machine.
+type System struct {
+	Timing     Timing
+	Geometry   Geometry
+	Core       Core
+	LLC        LLC
+	Mitigation Mitigation
+
+	Seed uint64 // root seed for all randomized structures
+
+	// SwapScale optionally compresses the swap blocking latencies for
+	// time-compressed simulation (0 or 1 = real 2.7 us / 5.4 us values).
+	SwapScale float64
+}
+
+// Default returns the baseline system of Table III with no mitigation.
+func Default() System {
+	return System{
+		Timing:   DDR4(),
+		Geometry: DefaultGeometry(),
+		Core:     DefaultCore(),
+		LLC:      DefaultLLC(),
+		Seed:     0x5ca1ab1e,
+	}
+}
+
+// Validate reports configuration errors across all sections.
+func (s System) Validate() error {
+	if s.Geometry.Channels <= 0 || s.Geometry.BanksPerRnk <= 0 ||
+		s.Geometry.RowsPerBank <= 0 || s.Geometry.RowBytes <= 0 {
+		return fmt.Errorf("config: invalid geometry %+v", s.Geometry)
+	}
+	if s.Geometry.RowBytes%s.Geometry.LineBytes != 0 {
+		return fmt.Errorf("config: row size %d not a multiple of line size %d",
+			s.Geometry.RowBytes, s.Geometry.LineBytes)
+	}
+	if s.Core.Cores <= 0 || s.Core.ROBSize <= 0 || s.Core.RetireWidth <= 0 {
+		return fmt.Errorf("config: invalid core %+v", s.Core)
+	}
+	if s.LLC.Bytes <= 0 || s.LLC.Ways <= 0 || s.LLC.Sets() <= 0 {
+		return fmt.Errorf("config: invalid LLC %+v", s.LLC)
+	}
+	return s.Mitigation.Validate()
+}
+
+// SwapLatency returns t_swap: the latency of a single swap operation
+// (2.7 us in the paper — reading and writing two 8 KB rows through the
+// controller's swap buffer), scaled by SwapScale if set.
+func (s System) SwapLatency() float64 { return 2.7 * Microsecond * s.swapScale() }
+
+// ReswapLatency returns t_reswap: the latency of an unswap-swap pair
+// (5.4 us in the paper), scaled by SwapScale if set.
+func (s System) ReswapLatency() float64 { return 5.4 * Microsecond * s.swapScale() }
+
+func (s System) swapScale() float64 {
+	if s.SwapScale <= 0 {
+		return 1
+	}
+	return s.SwapScale
+}

@@ -1,0 +1,183 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDDR4Derived(t *testing.T) {
+	tm := DDR4()
+	if got := tm.RefreshOpsPerWindow(); got != 8192 {
+		t.Errorf("RefreshOpsPerWindow = %d, want 8192", got)
+	}
+	// Paper: ~1.36 million activations possible in the 64 ms window.
+	acts := tm.MaxActivations()
+	if acts < 1_300_000 || acts > 1_400_000 {
+		t.Errorf("MaxActivations = %d, want ~1.36M", acts)
+	}
+	// t_actual = 64ms - 8192*350ns.
+	want := 64*Millisecond - 8192*350
+	if math.Abs(tm.ActiveTime()-want) > 1 {
+		t.Errorf("ActiveTime = %g, want %g", tm.ActiveTime(), want)
+	}
+}
+
+func TestDDR5HalvesRefreshInterval(t *testing.T) {
+	d4, d5 := DDR4(), DDR5()
+	if d5.TREFI != d4.TREFI/2 {
+		t.Errorf("DDR5 TREFI = %g, want %g", d5.TREFI, d4.TREFI/2)
+	}
+	if d5.RefreshWindow != d4.RefreshWindow/2 {
+		t.Errorf("DDR5 RefreshWindow = %g, want %g", d5.RefreshWindow, d4.RefreshWindow/2)
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	g := DefaultGeometry()
+	if got, want := g.TotalBytes(), int64(32)<<30; got != want {
+		t.Errorf("TotalBytes = %d, want %d (32 GB)", got, want)
+	}
+	if got := g.TotalBanks(); got != 32 {
+		t.Errorf("TotalBanks = %d, want 32", got)
+	}
+	if got := g.LinesPerRow(); got != 128 {
+		t.Errorf("LinesPerRow = %d, want 128", got)
+	}
+}
+
+func TestLLCSets(t *testing.T) {
+	l := DefaultLLC()
+	if got := l.Sets(); got != 8192 {
+		t.Errorf("Sets = %d, want 8192", got)
+	}
+}
+
+func TestMitigationTS(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Mitigation
+		want int
+	}{
+		{"rrs-4800", DefaultRRS(4800), 800},
+		{"rrs-1200", DefaultRRS(1200), 200},
+		{"srs-4800", DefaultSRS(4800), 800},
+		{"scale-4800", DefaultScaleSRS(4800), 1600},
+		{"scale-1200", DefaultScaleSRS(1200), 400},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.TS(); got != tt.want {
+				t.Errorf("TS() = %d, want %d", got, tt.want)
+			}
+			if err := tt.m.Validate(); err != nil {
+				t.Errorf("Validate() = %v", err)
+			}
+		})
+	}
+}
+
+func TestMitigationValidateErrors(t *testing.T) {
+	bad := []Mitigation{
+		{Kind: MitigationRRS, TRH: 0, SwapRate: 6},
+		{Kind: MitigationRRS, TRH: 4800, SwapRate: 0},
+		{Kind: MitigationRRS, TRH: 3, SwapRate: 6},
+		{Kind: MitigationScaleSRS, TRH: 4800, SwapRate: 3, OutlierSwaps: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error for %+v", i, m)
+		}
+	}
+	if err := (Mitigation{Kind: MitigationNone}).Validate(); err != nil {
+		t.Errorf("baseline Validate() = %v, want nil", err)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+	s.Geometry.RowBytes = 100 // not a multiple of 64
+	if err := s.Validate(); err == nil {
+		t.Error("Validate() accepted row size not a multiple of line size")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		MitigationNone.String():     "baseline",
+		MitigationRRS.String():      "rrs",
+		MitigationSRS.String():      "srs",
+		MitigationScaleSRS.String(): "scale-srs",
+		TrackerMisraGries.String():  "misra-gries",
+		TrackerHydra.String():       "hydra",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if MitigationKind(99).String() == "" || TrackerKind(99).String() == "" {
+		t.Error("unknown kinds should still produce a string")
+	}
+}
+
+func TestThresholdHistory(t *testing.T) {
+	h := RHThresholdHistory()
+	if len(h) != 6 {
+		t.Fatalf("history has %d entries, want 6", len(h))
+	}
+	if h[0].TRH != 139_000 || h[len(h)-1].TRH != 4_800 {
+		t.Errorf("history endpoints wrong: %+v", h)
+	}
+	f := ThresholdReductionFactor()
+	if f < 28 || f > 30 {
+		t.Errorf("ThresholdReductionFactor = %.1f, want ~29", f)
+	}
+}
+
+func TestSwapLatencies(t *testing.T) {
+	s := Default()
+	if s.SwapLatency() != 2.7*Microsecond {
+		t.Errorf("SwapLatency = %g", s.SwapLatency())
+	}
+	if s.ReswapLatency() != 2*s.SwapLatency() {
+		t.Errorf("ReswapLatency = %g, want 2x swap", s.ReswapLatency())
+	}
+}
+
+func TestComparatorDefaults(t *testing.T) {
+	b := DefaultBlockHammer(4800)
+	if b.Kind != MitigationBlockHammer || b.TS() != 800 {
+		t.Errorf("BlockHammer default wrong: %+v", b)
+	}
+	if b.Kind.String() != "blockhammer" {
+		t.Errorf("String = %q", b.Kind.String())
+	}
+	a := DefaultAQUA(4800)
+	if a.Kind != MitigationAQUA || a.TS() != 800 {
+		t.Errorf("AQUA default wrong: %+v", a)
+	}
+	if a.Kind.String() != "aqua" {
+		t.Errorf("String = %q", a.Kind.String())
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapScaleCompression(t *testing.T) {
+	s := Default()
+	s.SwapScale = 0.5
+	if s.SwapLatency() != 1.35*Microsecond {
+		t.Errorf("scaled SwapLatency = %g", s.SwapLatency())
+	}
+	s.SwapScale = 0 // unset means real latency
+	if s.SwapLatency() != 2.7*Microsecond {
+		t.Errorf("unscaled SwapLatency = %g", s.SwapLatency())
+	}
+}

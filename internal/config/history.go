@@ -1,0 +1,38 @@
+package config
+
+// ThresholdEntry records a demonstrated Row Hammer threshold for one DRAM
+// generation (Table I of the paper).
+type ThresholdEntry struct {
+	Generation string
+	TRH        int
+	Source     string
+}
+
+// RHThresholdHistory returns the demonstrated T_RH values from 2014 to
+// 2021 reported in Table I. The threshold dropped ~29x in 8 years.
+func RHThresholdHistory() []ThresholdEntry {
+	return []ThresholdEntry{
+		{Generation: "DDR3 (old)", TRH: 139_000, Source: "Kim et al., ISCA 2014"},
+		{Generation: "DDR3 (new)", TRH: 22_400, Source: "Kim et al., ISCA 2020"},
+		{Generation: "DDR4 (old)", TRH: 17_500, Source: "Kim et al., ISCA 2020"},
+		{Generation: "DDR4 (new)", TRH: 10_000, Source: "Kim et al., ISCA 2020"},
+		{Generation: "LPDDR4 (old)", TRH: 16_800, Source: "Kim et al., ISCA 2020"},
+		{Generation: "LPDDR4 (new)", TRH: 4_800, Source: "Kim et al., ISCA 2020 / Half-Double 2021"},
+	}
+}
+
+// ThresholdReductionFactor returns the ratio between the oldest and newest
+// demonstrated thresholds in the history (~29x in the paper).
+func ThresholdReductionFactor() float64 {
+	h := RHThresholdHistory()
+	maxT, minT := h[0].TRH, h[0].TRH
+	for _, e := range h {
+		if e.TRH > maxT {
+			maxT = e.TRH
+		}
+		if e.TRH < minT {
+			minT = e.TRH
+		}
+	}
+	return float64(maxT) / float64(minT)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// QuarantineRows is the per-bank quarantine region size used by the AQUA
+// comparator (a dedicated area whose neighbours hold no victim data).
+const QuarantineRows = 1024
+
+// AQUA reproduces the isolation-based comparator of §IX-A (Saxena et
+// al., MICRO 2022): instead of swapping an aggressor with a random row,
+// AQUA migrates it one-way into a dedicated quarantine region. Hammering
+// a quarantined row only disturbs other quarantine rows, which carry no
+// data. The trade-off the paper notes: AQUA must reserve the quarantine
+// region (capacity loss), while Scale-SRS relies on randomization within
+// the full bank.
+type AQUA struct {
+	eng *engine
+	cfg config.Mitigation
+
+	// maps[bank] tracks logical row -> quarantine slot; occupant[bank]
+	// tracks quarantine slot index -> logical row (or -1).
+	maps     []map[dram.RowID]dram.RowID
+	occupant [][]dram.RowID
+	next     []int // round-robin allocation cursor per bank
+
+	qBase int // first quarantine slot (per bank)
+
+	Migrations uint64
+}
+
+// NewAQUA builds an AQUA instance over mem. The quarantine region sits
+// just below the reserved metadata rows.
+func NewAQUA(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG) *AQUA {
+	eng := newEngine(mem, sys, rng, ReservedRows+QuarantineRows)
+	n := mem.NumBanks()
+	a := &AQUA{
+		eng:      eng,
+		cfg:      m,
+		maps:     make([]map[dram.RowID]dram.RowID, n),
+		occupant: make([][]dram.RowID, n),
+		next:     make([]int, n),
+		qBase:    mem.Geometry().RowsPerBank - ReservedRows - QuarantineRows,
+	}
+	for i := 0; i < n; i++ {
+		a.maps[i] = make(map[dram.RowID]dram.RowID)
+		a.occupant[i] = make([]dram.RowID, QuarantineRows)
+		for j := range a.occupant[i] {
+			a.occupant[i][j] = -1
+		}
+	}
+	return a
+}
+
+// Name implements Mitigation.
+func (a *AQUA) Name() string { return "aqua" }
+
+// Resolve implements Mitigation.
+func (a *AQUA) Resolve(bankIdx int, row dram.RowID) dram.RowID {
+	if slot, ok := a.maps[bankIdx][row]; ok {
+		return slot
+	}
+	return row
+}
+
+// OnAggressor implements Mitigation: migrate the aggressor into the next
+// quarantine slot (swapping with whatever occupied it — usually nothing,
+// i.e. an empty quarantine row returns home as garbage-free filler).
+func (a *AQUA) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
+	cur := a.Resolve(bankIdx, row)
+	slotIdx := a.next[bankIdx]
+	a.next[bankIdx] = (a.next[bankIdx] + 1) % QuarantineRows
+	slot := dram.RowID(a.qBase + slotIdx)
+	if slot == cur {
+		return false // already there (tiny quarantine wrapped onto itself)
+	}
+	// Evictee returns to its home slot via the migration's swap.
+	if prev := a.occupant[bankIdx][slotIdx]; prev >= 0 {
+		delete(a.maps[bankIdx], prev)
+	}
+	a.eng.migrate(bankIdx, cur, slot, now, a.eng.swapCycles)
+	a.eng.stats.Swaps++
+	a.Migrations++
+	// If the aggressor was already quarantined elsewhere, its old slot
+	// now holds the displaced quarantine filler; clear that occupancy.
+	if cur >= dram.RowID(a.qBase) && cur < dram.RowID(a.qBase+QuarantineRows) {
+		a.occupant[bankIdx][int(cur)-a.qBase] = -1
+	}
+	a.maps[bankIdx][row] = slot
+	a.occupant[bankIdx][slotIdx] = row
+	return false
+}
+
+// Tick implements Mitigation.
+func (a *AQUA) Tick(Cycles) {}
+
+// OnWindowEnd implements Mitigation: de-quarantine everything (AQUA does
+// this lazily across the window; migrations here are charged to the bank
+// sequentially, which is pessimistic but simple).
+func (a *AQUA) OnWindowEnd(now Cycles) {
+	for bankIdx := range a.maps {
+		for row, slot := range a.maps[bankIdx] {
+			a.eng.migrate(bankIdx, slot, row, now, a.eng.swapCycles)
+			a.eng.stats.PlaceBacks++
+			delete(a.maps[bankIdx], row)
+			a.occupant[bankIdx][int(slot)-a.qBase] = -1
+		}
+	}
+}
+
+// Stats implements Mitigation.
+func (a *AQUA) Stats() Stats { return a.eng.stats }
+
+// QuarantineFraction returns the capacity share the quarantine reserves.
+func (a *AQUA) QuarantineFraction() float64 {
+	return float64(QuarantineRows) / float64(a.eng.mem.Geometry().RowsPerBank)
+}
+
+var _ Mitigation = (*AQUA)(nil)

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// BlockHammer reproduces the throttling-based comparator of §IX-A
+// (Yağlıkçı et al., HPCA 2021): dual counting Bloom filters estimate
+// per-row activation counts; rows crossing a blacklist threshold are
+// throttled so they cannot reach T_RH within the refresh window. The
+// paper's criticism — which this model reproduces — is that throttling
+// is a denial-of-service channel: at T_RH 4800, a blacklisted row's
+// activations are delayed ~20 us each, so benign hot rows (or victims
+// sharing a bank with an attacker) stall badly.
+//
+// Counting granularity: the memory controller's tracker invokes
+// OnAggressor once per T_S activations, so the filters count in T_S
+// quanta and the throttle charges the delay for a full quantum at once.
+type BlockHammer struct {
+	mem *dram.Memory
+
+	// Dual counting Bloom filters per bank: active counts the current
+	// window, shadow holds the previous one; estimates sum both so rows
+	// cannot escape across the boundary.
+	active []cbf
+	shadow []cbf
+
+	blacklistQuanta uint32 // quanta at which throttling starts
+	delay           Cycles // stall charged per throttled quantum
+
+	stats     Stats
+	Throttles uint64 // throttling events (DoS pressure indicator)
+}
+
+// cbf is a small counting Bloom filter.
+type cbf struct {
+	counters []uint32
+	seeds    [3]uint64
+}
+
+func newCBF(size int, rng *stats.RNG) cbf {
+	f := cbf{counters: make([]uint32, size)}
+	for i := range f.seeds {
+		f.seeds[i] = rng.Uint64() | 1
+	}
+	return f
+}
+
+func (f *cbf) idx(h int, row dram.RowID) int {
+	z := uint64(row) ^ f.seeds[h]
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return int(z % uint64(len(f.counters)))
+}
+
+func (f *cbf) add(row dram.RowID, n uint32) {
+	for h := range f.seeds {
+		f.counters[f.idx(h, row)] += n
+	}
+}
+
+// estimate returns the min-count upper bound on the row's insertions.
+func (f *cbf) estimate(row dram.RowID) uint32 {
+	min := f.counters[f.idx(0, row)]
+	for h := 1; h < len(f.seeds); h++ {
+		if c := f.counters[f.idx(h, row)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+func (f *cbf) clear() {
+	for i := range f.counters {
+		f.counters[i] = 0
+	}
+}
+
+// NewBlockHammer builds the throttling defense. Rows are blacklisted at
+// T_RH/2 estimated activations; the throttle delay is sized so a
+// blacklisted row cannot collect the remaining T_RH/2 activations within
+// the refresh window (~13-20 us per activation at T_RH 4800, matching
+// the §IX-A discussion), scaled with the system's latency scale.
+func NewBlockHammer(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG) *BlockHammer {
+	ts := m.TS()
+	blacklist := m.TRH / 2
+	b := &BlockHammer{
+		mem:             mem,
+		blacklistQuanta: uint32((blacklist + ts - 1) / ts),
+	}
+	perACT := sys.Timing.RefreshWindow / float64(m.TRH-blacklist) // ns per allowed ACT
+	scale := sys.SwapScale
+	if scale <= 0 {
+		scale = 1
+	}
+	b.delay = Cycles(perACT * scale * float64(ts) * sys.Core.ClockGHz)
+	n := mem.NumBanks()
+	b.active = make([]cbf, n)
+	b.shadow = make([]cbf, n)
+	for i := 0; i < n; i++ {
+		b.active[i] = newCBF(4096, rng)
+		b.shadow[i] = newCBF(4096, rng)
+	}
+	return b
+}
+
+// Name implements Mitigation.
+func (b *BlockHammer) Name() string { return "blockhammer" }
+
+// Resolve implements Mitigation: BlockHammer never moves rows.
+func (b *BlockHammer) Resolve(_ int, row dram.RowID) dram.RowID { return row }
+
+// OnAggressor implements Mitigation: account one T_S quantum; once the
+// estimate crosses the blacklist, stall the bank for the throttle delay.
+func (b *BlockHammer) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
+	b.active[bankIdx].add(row, 1)
+	est := b.active[bankIdx].estimate(row) + b.shadow[bankIdx].estimate(row)
+	if est >= b.blacklistQuanta {
+		bank := b.mem.Bank(bankIdx)
+		start := now
+		if bu := bank.BusyUntil(); bu > start {
+			start = bu
+		}
+		bank.Block(start + b.delay)
+		b.Throttles++
+	}
+	return false
+}
+
+// Tick implements Mitigation.
+func (b *BlockHammer) Tick(Cycles) {}
+
+// OnWindowEnd implements Mitigation: rotate the dual filters.
+func (b *BlockHammer) OnWindowEnd(Cycles) {
+	for i := range b.active {
+		b.shadow[i], b.active[i] = b.active[i], b.shadow[i]
+		b.active[i].clear()
+	}
+}
+
+// Stats implements Mitigation.
+func (b *BlockHammer) Stats() Stats { return b.stats }
+
+var _ Mitigation = (*BlockHammer)(nil)

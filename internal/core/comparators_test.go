@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+func blockHammerSetup(trh int) (*BlockHammer, *dram.Memory, config.System) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 8192
+	sys.Mitigation = config.DefaultBlockHammer(trh)
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	return NewBlockHammer(mem, sys, sys.Mitigation, stats.NewRNG(31)), mem, sys
+}
+
+func TestBlockHammerThrottlesHotRow(t *testing.T) {
+	b, mem, sys := blockHammerSetup(4800)
+	// Quanta to blacklist: (TRH/2)/TS = 2400/800 = 3.
+	const row = dram.RowID(9)
+	for i := 0; i < 2; i++ {
+		b.OnAggressor(0, row, dram.Cycles(i)*1000)
+	}
+	if b.Throttles != 0 {
+		t.Fatalf("throttled before blacklist: %d", b.Throttles)
+	}
+	before := mem.Bank(0).BusyUntil()
+	b.OnAggressor(0, row, 5000)
+	if b.Throttles != 1 {
+		t.Fatalf("Throttles = %d after blacklist crossing", b.Throttles)
+	}
+	if mem.Bank(0).BusyUntil() <= before {
+		t.Error("throttle did not stall the bank")
+	}
+	// The row itself never moves.
+	if b.Resolve(0, row) != row {
+		t.Error("BlockHammer must not remap rows")
+	}
+	// The per-ACT delay magnitude matches the §IX-A DoS note (~13-20 us
+	// per activation at T_RH 4800; SwapScale is 1 in this config).
+	perACT := float64(b.delay) / float64(sys.Mitigation.TS()) / sys.Core.ClockGHz
+	if perACT < 10_000 || perACT > 30_000 {
+		t.Errorf("per-ACT throttle = %.0f ns, want ~13-20 us", perACT)
+	}
+}
+
+func TestBlockHammerDoSCollateral(t *testing.T) {
+	// The DoS defect: throttling one row stalls the whole bank, so an
+	// innocent row in the same bank sees the delay too.
+	b, mem, _ := blockHammerSetup(4800)
+	for i := 0; i < 4; i++ {
+		b.OnAggressor(0, 9, dram.Cycles(i)*1000)
+	}
+	stallUntil := mem.Bank(0).BusyUntil()
+	if stallUntil == 0 {
+		t.Fatal("no stall recorded")
+	}
+	tm := mem.Timing()
+	done := mem.Bank(0).Access(500, false, 4000, tm) // innocent access
+	if done < stallUntil {
+		t.Errorf("innocent access completed at %d, before the stall ends (%d)", done, stallUntil)
+	}
+}
+
+func TestBlockHammerFilterRotation(t *testing.T) {
+	b, _, _ := blockHammerSetup(4800)
+	for i := 0; i < 2; i++ {
+		b.OnAggressor(0, 9, 0)
+	}
+	b.OnWindowEnd(0) // counts move to shadow
+	// One more quantum: active(1) + shadow(2) = 3 >= blacklist(3).
+	b.OnAggressor(0, 9, 0)
+	if b.Throttles != 1 {
+		t.Errorf("dual filters should carry counts across the boundary: %d", b.Throttles)
+	}
+	b.OnWindowEnd(0)
+	b.OnWindowEnd(0) // two rotations clear history
+	b.OnAggressor(0, 9, 0)
+	if b.Throttles != 1 {
+		t.Error("counts survived two rotations")
+	}
+}
+
+func aquaSetup(trh int) (*AQUA, *dram.Memory, config.System) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 8192
+	sys.Mitigation = config.DefaultAQUA(trh)
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	return NewAQUA(mem, sys, sys.Mitigation, stats.NewRNG(32)), mem, sys
+}
+
+func TestAQUAMigratesIntoQuarantine(t *testing.T) {
+	a, mem, sys := aquaSetup(4800)
+	const row = dram.RowID(77)
+	a.OnAggressor(0, row, 0)
+	slot := a.Resolve(0, row)
+	qBase := sys.Geometry.RowsPerBank - ReservedRows - QuarantineRows
+	if int(slot) < qBase || int(slot) >= qBase+QuarantineRows {
+		t.Errorf("row migrated to %d, outside quarantine [%d,%d)", slot, qBase, qBase+QuarantineRows)
+	}
+	if mem.Bank(0).LocationOf(row) != slot {
+		t.Error("AQUA map and bank disagree")
+	}
+	if a.Migrations != 1 {
+		t.Errorf("Migrations = %d", a.Migrations)
+	}
+}
+
+func TestAQUARequarantineMovesSlot(t *testing.T) {
+	a, _, _ := aquaSetup(4800)
+	const row = dram.RowID(5)
+	a.OnAggressor(0, row, 0)
+	s1 := a.Resolve(0, row)
+	a.OnAggressor(0, row, 1000)
+	s2 := a.Resolve(0, row)
+	if s1 == s2 {
+		t.Error("re-quarantine should move to a fresh slot")
+	}
+	if a.Migrations != 2 {
+		t.Errorf("Migrations = %d", a.Migrations)
+	}
+}
+
+func TestAQUALatentACTsStayOffHomeSlot(t *testing.T) {
+	// Isolation shares SRS's security property: repeated migrations do
+	// not accumulate activations on the aggressor's original location.
+	a, mem, _ := aquaSetup(4800)
+	const row = dram.RowID(3)
+	for i := 0; i < 50; i++ {
+		a.OnAggressor(0, row, dram.Cycles(i)*10_000)
+	}
+	if acts := mem.Bank(0).ACTCount(row); acts > 2 {
+		t.Errorf("home slot has %d ACTs after 50 migrations", acts)
+	}
+}
+
+func TestAQUAWindowEndRestores(t *testing.T) {
+	a, mem, _ := aquaSetup(4800)
+	for i := 0; i < 20; i++ {
+		a.OnAggressor(0, dram.RowID(i*3), 0)
+	}
+	a.OnWindowEnd(1_000_000)
+	for i := 0; i < 20; i++ {
+		row := dram.RowID(i * 3)
+		if a.Resolve(0, row) != row {
+			t.Errorf("row %d still quarantined after window end", row)
+		}
+		if mem.Bank(0).LocationOf(row) != row {
+			t.Errorf("row %d data not restored", row)
+		}
+	}
+	if err := mem.VerifyPermutations(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAQUAQuarantineFraction(t *testing.T) {
+	a, _, _ := aquaSetup(4800)
+	frac := a.QuarantineFraction()
+	if frac <= 0 || frac > 0.2 {
+		t.Errorf("quarantine fraction = %g", frac)
+	}
+}
+
+func TestComparatorFactory(t *testing.T) {
+	for _, kind := range []config.MitigationKind{config.MitigationBlockHammer, config.MitigationAQUA} {
+		sys := config.Default()
+		sys.Geometry.Channels = 1
+		sys.Geometry.BanksPerRnk = 2
+		sys.Geometry.RowsPerBank = 8192
+		switch kind {
+		case config.MitigationBlockHammer:
+			sys.Mitigation = config.DefaultBlockHammer(4800)
+		case config.MitigationAQUA:
+			sys.Mitigation = config.DefaultAQUA(4800)
+		}
+		mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+		m, err := New(mem, sys, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("New(%v): %v", kind, err)
+		}
+		if m.Name() != kind.String() {
+			t.Errorf("Name = %q, want %q", m.Name(), kind.String())
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// testSystem returns a small system (few rows) for fast mitigation tests.
+func testSystem(kind config.MitigationKind, trh int) (config.System, *dram.Memory) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 4096
+	switch kind {
+	case config.MitigationRRS:
+		sys.Mitigation = config.DefaultRRS(trh)
+	case config.MitigationSRS:
+		sys.Mitigation = config.DefaultSRS(trh)
+	case config.MitigationScaleSRS:
+		sys.Mitigation = config.DefaultScaleSRS(trh)
+	}
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	return sys, mem
+}
+
+func TestBaselineIsIdentity(t *testing.T) {
+	b := Baseline{}
+	if b.Resolve(0, 42) != 42 {
+		t.Error("baseline must not remap")
+	}
+	if b.OnAggressor(0, 42, 0) {
+		t.Error("baseline must not pin")
+	}
+	if b.Stats() != (Stats{}) {
+		t.Error("baseline stats must be zero")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	for _, kind := range []config.MitigationKind{
+		config.MitigationNone, config.MitigationRRS,
+		config.MitigationSRS, config.MitigationScaleSRS,
+	} {
+		sys, mem := testSystem(kind, 4800)
+		m, err := New(mem, sys, stats.NewRNG(1))
+		if err != nil {
+			t.Fatalf("New(%v) = %v", kind, err)
+		}
+		if kind != config.MitigationNone && m.Name() == "baseline" {
+			t.Errorf("factory returned baseline for %v", kind)
+		}
+	}
+	sys, mem := testSystem(config.MitigationRRS, 0) // invalid TRH
+	if _, err := New(mem, sys, stats.NewRNG(1)); err == nil {
+		t.Error("factory accepted invalid config")
+	}
+}
+
+// --- SRS behaviour ---
+
+func TestSRSSwapMovesRowAndResolves(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(2))
+	const row = dram.RowID(100)
+	if s.Resolve(0, row) != row {
+		t.Fatal("unswapped row should resolve to itself")
+	}
+	s.OnAggressor(0, row, 0)
+	slot := s.Resolve(0, row)
+	if slot == row {
+		t.Error("row not moved by swap")
+	}
+	if mem.Bank(0).LocationOf(row) != slot {
+		t.Error("RIT and bank disagree")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := s.Stats().Swaps; got != 1 {
+		t.Errorf("Swaps = %d", got)
+	}
+}
+
+// The paper's key security property (§IV-E): in SRS, repeated mitigation
+// of one row never re-activates the row's original physical location —
+// the single latent activation per swap lands on the *current* slot.
+// In RRS, every unswap-swap adds two activations to the original home.
+func TestLatentActivationPlacement(t *testing.T) {
+	const row = dram.RowID(7)
+	const rounds = 50
+
+	// RRS: home slot accumulates ~2 ACTs per round.
+	sys, mem := testSystem(config.MitigationRRS, 4800)
+	r := NewRRS(mem, sys, sys.Mitigation, stats.NewRNG(3))
+	bank := mem.Bank(0)
+	for i := 0; i < rounds; i++ {
+		r.OnAggressor(0, row, dram.Cycles(i*10000))
+	}
+	rrsHomeACTs := bank.ACTCount(row)
+	if rrsHomeACTs < 2*rounds-1 {
+		t.Errorf("RRS home ACTs = %d, want ~%d (2 per unswap-swap round)", rrsHomeACTs, 2*rounds)
+	}
+
+	// SRS: home slot sees only the single initial-swap latent activation.
+	sys2, mem2 := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem2, sys2, sys2.Mitigation, stats.NewRNG(3))
+	bank2 := mem2.Bank(0)
+	for i := 0; i < rounds; i++ {
+		s.OnAggressor(0, row, dram.Cycles(i*10000))
+	}
+	srsHomeACTs := bank2.ACTCount(row)
+	if srsHomeACTs > 2 {
+		t.Errorf("SRS home ACTs = %d after %d swaps, want <= 2 (no latent accumulation)", srsHomeACTs, rounds)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("SRS Verify after %d swaps: %v", rounds, err)
+	}
+}
+
+func TestSRSPlaceBackRestoresIdentity(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(4))
+	for i := 0; i < 20; i++ {
+		s.OnAggressor(0, dram.RowID(i*7), 0)
+		s.OnAggressor(1, dram.RowID(i*11), 0)
+	}
+	if s.DisplacedRows() == 0 {
+		t.Fatal("no rows displaced")
+	}
+	// End the epoch; then run Tick across the next window so all
+	// place-backs execute.
+	s.OnWindowEnd(0)
+	window := mem.Timing().RefreshWindow
+	for now := Cycles(1); now <= window; now += 1000 {
+		s.Tick(now)
+	}
+	if n := s.DisplacedRows(); n != 0 {
+		t.Errorf("%d rows still displaced after full-epoch place-back", n)
+	}
+	for i := 0; i < mem.NumBanks(); i++ {
+		if !mem.Bank(i).IsIdentity() {
+			t.Errorf("bank %d not identity after place-back", i)
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if s.Stats().PlaceBacks == 0 {
+		t.Error("no place-backs counted")
+	}
+}
+
+func TestSRSPlaceBackIsPaced(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(5))
+	for i := 0; i < 10; i++ {
+		s.OnAggressor(0, dram.RowID(i*5), 0)
+	}
+	s.OnWindowEnd(0)
+	// Immediately after the window boundary, nothing should have been
+	// restored yet (lazy, spread across the epoch).
+	s.Tick(1)
+	if s.DisplacedRows() == 0 {
+		t.Error("place-back ran eagerly; should be paced")
+	}
+	// After a tenth of the window, roughly a tenth of entries (not all)
+	// should be restored.
+	window := mem.Timing().RefreshWindow
+	for now := Cycles(2); now < window/10; now += 500 {
+		s.Tick(now)
+	}
+	if s.Stats().PlaceBacks == 0 {
+		t.Error("no progress within first tenth of window")
+	}
+	if s.DisplacedRows() == 0 {
+		t.Error("all entries restored within first tenth of window; pacing wrong")
+	}
+}
+
+func TestSRSReswapDuringPlaceBackEpoch(t *testing.T) {
+	// A row swapped in epoch N and hammered again in epoch N+1 must be
+	// re-swapped correctly even while place-backs are in flight.
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(6))
+	const row = dram.RowID(9)
+	s.OnAggressor(0, row, 0)
+	s.OnWindowEnd(0)
+	s.OnAggressor(0, row, 100) // re-swap while unlocked
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	window := mem.Timing().RefreshWindow
+	s.OnWindowEnd(window)
+	for now := window + 1; now <= 2*window; now += 1000 {
+		s.Tick(now)
+	}
+	if !mem.Bank(0).IsIdentity() {
+		t.Error("bank not restored after two epochs")
+	}
+}
+
+// --- RRS behaviour ---
+
+func TestRRSUnswapSwapKeepsPairs(t *testing.T) {
+	sys, mem := testSystem(config.MitigationRRS, 4800)
+	r := NewRRS(mem, sys, sys.Mitigation, stats.NewRNG(7))
+	const row = dram.RowID(55)
+	r.OnAggressor(0, row, 0)
+	p1 := r.Resolve(0, row)
+	if p1 == row {
+		t.Fatal("row not swapped")
+	}
+	if r.Resolve(0, p1) != row {
+		t.Error("partner does not resolve back (tuple pair broken)")
+	}
+	st := r.Stats()
+	if st.Swaps != 1 || st.Unswaps != 0 {
+		t.Errorf("stats after initial swap: %+v", st)
+	}
+	// Second mitigation: unswap then swap to a new partner.
+	r.OnAggressor(0, row, 10000)
+	p2 := r.Resolve(0, row)
+	if p2 == row {
+		t.Fatal("row not swapped after reswap")
+	}
+	st = r.Stats()
+	if st.Swaps != 2 || st.Unswaps != 1 {
+		t.Errorf("stats after reswap: %+v", st)
+	}
+	// The old partner must be fully restored.
+	if mem.Bank(0).LocationOf(p1) != p1 {
+		t.Error("old partner not restored by unswap")
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestRRSNoUnswapChainsAndUnravelsAtWindowEnd(t *testing.T) {
+	sys, mem := testSystem(config.MitigationRRS, 4800)
+	m := sys.Mitigation
+	m.ImmediateUnswap = false
+	r := NewRRS(mem, sys, m, stats.NewRNG(8))
+	if r.Name() != "rrs-nounswap" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	const row = dram.RowID(3)
+	for i := 0; i < 10; i++ {
+		r.OnAggressor(0, row, dram.Cycles(i*10000))
+	}
+	if r.Stats().Unswaps != 0 {
+		t.Error("no-unswap variant performed unswaps")
+	}
+	// 10 chained swaps displace ~11 rows.
+	if d := mem.Bank(0).DisplacedRows(); d < 10 {
+		t.Errorf("DisplacedRows = %d, want >= 10 (chaining)", d)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	r.OnWindowEnd(1_000_000)
+	if !mem.Bank(0).IsIdentity() {
+		t.Error("window-end unravel did not restore identity")
+	}
+	if r.Stats().EpochSpikeOps == 0 {
+		t.Error("EpochSpikeOps not counted")
+	}
+	// The spike blocks the bank far into the future.
+	if mem.Bank(0).BusyUntil() <= 1_000_000 {
+		t.Error("bulk unravel should occupy the bank")
+	}
+}
+
+func TestRRSSwapBlocksBank(t *testing.T) {
+	sys, mem := testSystem(config.MitigationRRS, 4800)
+	r := NewRRS(mem, sys, sys.Mitigation, stats.NewRNG(9))
+	r.OnAggressor(0, 20, 1000)
+	swapCycles := Cycles(sys.SwapLatency() * sys.Core.ClockGHz)
+	if got := mem.Bank(0).BusyUntil(); got < 1000+swapCycles {
+		t.Errorf("BusyUntil = %d, want >= %d (t_swap)", got, 1000+swapCycles)
+	}
+	// Reswap blocks for t_reswap.
+	r.OnAggressor(0, 20, 100000)
+	reswapCycles := Cycles(sys.ReswapLatency() * sys.Core.ClockGHz)
+	if got := mem.Bank(0).BusyUntil(); got < 100000+reswapCycles {
+		t.Errorf("BusyUntil = %d, want >= %d (t_reswap)", got, 100000+reswapCycles)
+	}
+}
+
+// --- Scale-SRS behaviour ---
+
+func TestScaleSRSOutlierPinning(t *testing.T) {
+	sys, mem := testSystem(config.MitigationScaleSRS, 4800)
+	s := NewScaleSRS(mem, sys, sys.Mitigation, stats.NewRNG(10))
+	const row = dram.RowID(77)
+	// First two crossings swap; the third (OutlierSwaps=3) pins.
+	if s.OnAggressor(0, row, 0) {
+		t.Fatal("first crossing should swap, not pin")
+	}
+	if s.OnAggressor(0, row, 10000) {
+		t.Fatal("second crossing should swap, not pin")
+	}
+	if !s.OnAggressor(0, row, 20000) {
+		t.Fatal("third crossing should pin")
+	}
+	st := s.Stats()
+	if st.Pins != 1 {
+		t.Errorf("Pins = %d", st.Pins)
+	}
+	if st.Swaps != 2 {
+		t.Errorf("Swaps = %d, want 2 (pin replaces third swap)", st.Swaps)
+	}
+	if st.CounterAccesses != 3 {
+		t.Errorf("CounterAccesses = %d, want 3 (one per crossing)", st.CounterAccesses)
+	}
+	if s.SwapCount(0, row) != 3 {
+		t.Errorf("SwapCount = %d", s.SwapCount(0, row))
+	}
+}
+
+func TestScaleSRSEpochResetsCounters(t *testing.T) {
+	sys, mem := testSystem(config.MitigationScaleSRS, 4800)
+	s := NewScaleSRS(mem, sys, sys.Mitigation, stats.NewRNG(11))
+	const row = dram.RowID(5)
+	s.OnAggressor(0, row, 0)
+	s.OnAggressor(0, row, 1)
+	if s.SwapCount(0, row) != 2 {
+		t.Fatalf("SwapCount = %d", s.SwapCount(0, row))
+	}
+	s.OnWindowEnd(100)
+	if s.SwapCount(0, row) != 0 {
+		t.Error("counter not lazily reset across epochs")
+	}
+	// Fresh epoch: counting restarts, no pin on the next crossing.
+	if s.OnAggressor(0, row, 200) {
+		t.Error("pin fired with stale counter")
+	}
+	if s.Epoch() != 1 {
+		t.Errorf("Epoch = %d", s.Epoch())
+	}
+}
+
+func TestScaleSRSCounterRowActivated(t *testing.T) {
+	sys, mem := testSystem(config.MitigationScaleSRS, 4800)
+	s := NewScaleSRS(mem, sys, sys.Mitigation, stats.NewRNG(12))
+	const row = dram.RowID(30)
+	before := mem.Bank(0).TotalACTs
+	s.OnAggressor(0, row, 0)
+	// One counter access + two migration ACTs.
+	if got := mem.Bank(0).TotalACTs - before; got != 3 {
+		t.Errorf("swap issued %d ACTs, want 3 (counter + 2 migration)", got)
+	}
+	slot := s.counterSlot(row)
+	if int(slot) < sys.Geometry.RowsPerBank-s.counterRows {
+		t.Errorf("counter slot %d outside reserved region", slot)
+	}
+	if mem.Bank(0).ACTCount(slot) != 1 {
+		t.Error("counter row not activated")
+	}
+}
+
+func TestScaleSRSUsesSwapRate3(t *testing.T) {
+	m := config.DefaultScaleSRS(1200)
+	if m.SwapRate != 3 || m.TS() != 400 {
+		t.Errorf("Scale-SRS config: rate=%d TS=%d", m.SwapRate, m.TS())
+	}
+}
+
+// --- Cross-cutting invariants ---
+
+func TestSwapPartnersNeverInReservedRegion(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(13))
+	limit := dram.RowID(sys.Geometry.RowsPerBank - ReservedRows)
+	for i := 0; i < 200; i++ {
+		row := dram.RowID(i % 50)
+		s.OnAggressor(0, row, dram.Cycles(i)*10000)
+		slot := s.Resolve(0, row)
+		if slot >= limit {
+			t.Fatalf("row %d swapped into reserved region (slot %d)", row, slot)
+		}
+	}
+}
+
+func TestDataIntegrityUnderSwapStorm(t *testing.T) {
+	// Property-style stress: hammer random rows through every mechanism,
+	// then check the permutation invariant and RIT consistency.
+	kinds := []config.MitigationKind{
+		config.MitigationRRS, config.MitigationSRS, config.MitigationScaleSRS,
+	}
+	for _, kind := range kinds {
+		sys, mem := testSystem(kind, 1200)
+		mit, err := New(mem, sys, stats.NewRNG(14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(15)
+		now := Cycles(0)
+		window := mem.Timing().RefreshWindow
+		for i := 0; i < 3000; i++ {
+			bank := rng.Intn(mem.NumBanks())
+			row := dram.RowID(rng.Intn(1000))
+			mit.OnAggressor(bank, row, now)
+			mit.Tick(now)
+			now += 5000
+			if now%window < 5000 {
+				mit.OnWindowEnd(now)
+			}
+		}
+		if err := mem.VerifyPermutations(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+		type verifier interface{ Verify() error }
+		if v, ok := mit.(verifier); ok {
+			if err := v.Verify(); err != nil {
+				t.Errorf("%v: %v", kind, err)
+			}
+		}
+	}
+}
+
+func TestResolveRoundTripAfterManySwaps(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(16))
+	rows := []dram.RowID{1, 2, 3, 500, 900}
+	for i := 0; i < 100; i++ {
+		s.OnAggressor(0, rows[i%len(rows)], dram.Cycles(i*5000))
+	}
+	bank := mem.Bank(0)
+	for _, row := range rows {
+		slot := s.Resolve(0, row)
+		if bank.ContentAt(slot) != row {
+			t.Errorf("row %d: Resolve says slot %d but bank content is %d",
+				row, slot, bank.ContentAt(slot))
+		}
+	}
+}

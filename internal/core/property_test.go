@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// Property: under any interleaving of aggressor events, ticks, and
+// window boundaries, SRS maintains (a) the bank's permutation invariant,
+// (b) RIT/bank agreement, and (c) Resolve(row) always names the slot
+// holding the row's data.
+func TestPropertySRSConsistency(t *testing.T) {
+	f := func(seed uint64, script []uint16) bool {
+		sys, mem := testSystem(config.MitigationSRS, 2400)
+		s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(seed))
+		now := Cycles(0)
+		for _, op := range script {
+			bank := int(op>>14) % mem.NumBanks()
+			row := dram.RowID(op % 512)
+			switch (op >> 9) % 8 {
+			case 0, 1, 2, 3, 4:
+				s.OnAggressor(bank, row, now)
+			case 5, 6:
+				s.Tick(now)
+			case 7:
+				s.OnWindowEnd(now)
+			}
+			now += 10_000
+		}
+		if mem.VerifyPermutations() != nil || s.Verify() != nil {
+			return false
+		}
+		for row := dram.RowID(0); row < 512; row++ {
+			for b := 0; b < mem.NumBanks(); b++ {
+				if mem.Bank(b).ContentAt(s.Resolve(b, row)) != row {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the same for immediate-unswap RRS, whose RIT is pairwise —
+// additionally every mapping must be a transposition (Resolve is an
+// involution).
+func TestPropertyRRSInvolution(t *testing.T) {
+	f := func(seed uint64, script []uint16) bool {
+		sys, mem := testSystem(config.MitigationRRS, 2400)
+		r := NewRRS(mem, sys, sys.Mitigation, stats.NewRNG(seed))
+		now := Cycles(0)
+		for _, op := range script {
+			bank := int(op>>14) % mem.NumBanks()
+			row := dram.RowID(op % 256)
+			if (op>>9)%8 == 7 {
+				r.OnWindowEnd(now)
+			} else {
+				r.OnAggressor(bank, row, now)
+			}
+			now += 10_000
+		}
+		if mem.VerifyPermutations() != nil || r.Verify() != nil {
+			return false
+		}
+		for row := dram.RowID(0); row < 256; row++ {
+			for b := 0; b < mem.NumBanks(); b++ {
+				slot := r.Resolve(b, row)
+				if r.Resolve(b, slot) != row {
+					return false // pairs must be transpositions
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a full epoch of place-back after any swap storm restores the
+// identity permutation (nothing is ever stranded).
+func TestPropertyPlaceBackDrainsCompletely(t *testing.T) {
+	f := func(seed uint64, rows []uint16) bool {
+		if len(rows) > 150 {
+			rows = rows[:150]
+		}
+		sys, mem := testSystem(config.MitigationSRS, 4800)
+		s := NewSRS(mem, sys, sys.Mitigation, stats.NewRNG(seed))
+		for i, r := range rows {
+			s.OnAggressor(i%mem.NumBanks(), dram.RowID(r%1024), 0)
+		}
+		s.OnWindowEnd(0)
+		window := mem.Timing().RefreshWindow
+		for now := Cycles(1); now <= window; now += 2_000 {
+			s.Tick(now)
+		}
+		return s.DisplacedRows() == 0 && mem.VerifyPermutations() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scale-SRS pins exactly when a row's epoch swap count reaches
+// the outlier threshold, never earlier.
+func TestPropertyScaleSRSPinThreshold(t *testing.T) {
+	f := func(seed uint64, nCross uint8) bool {
+		sys, mem := testSystem(config.MitigationScaleSRS, 4800)
+		s := NewScaleSRS(mem, sys, sys.Mitigation, stats.NewRNG(seed))
+		const row = dram.RowID(123)
+		crossings := int(nCross%8) + 1
+		for i := 0; i < crossings; i++ {
+			pinned := s.OnAggressor(0, row, Cycles(i)*10_000)
+			wantPin := i+1 >= sys.Mitigation.OutlierSwaps
+			if pinned != wantPin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

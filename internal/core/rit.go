@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cat"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// swapRIT is the swap-only Row Indirection Table of SRS (§IV-C): two
+// equal CAT halves. The real part maps logical row -> the row name of
+// the slot holding its data; the mirrored part maps slot row name ->
+// the logical row stored there. Unlike RRS, tuples have no fixed pairs,
+// so a row can be swapped again without first being unswapped.
+//
+// Invariant (checked by Verify): real and mirror describe the same
+// partial bijection, and both agree with the bank's ground-truth content
+// permutation.
+type swapRIT struct {
+	real   ritTable // logical -> slot
+	mirror ritTable // slot -> logical
+}
+
+func newSwapRIT(minEntries, ways int, overprovision float64, rng *stats.RNG) *swapRIT {
+	return &swapRIT{
+		real:   plainTable{t: cat.New(minEntries, ways, overprovision, rng.Split()), dir: dirReal},
+		mirror: plainTable{t: cat.New(minEntries, ways, overprovision, rng.Split()), dir: dirMirror},
+	}
+}
+
+// resolve returns the slot currently holding the logical row's data.
+func (r *swapRIT) resolve(row dram.RowID) dram.RowID {
+	if v, ok := r.real.Lookup(uint64(row)); ok {
+		return dram.RowID(v)
+	}
+	return row
+}
+
+// occupant returns the logical row whose data sits in the given slot.
+func (r *swapRIT) occupant(slot dram.RowID) dram.RowID {
+	if v, ok := r.mirror.Lookup(uint64(slot)); ok {
+		return dram.RowID(v)
+	}
+	return slot
+}
+
+// touched reports whether the row participates in any mapping (as a
+// displaced logical row or as an occupied slot).
+func (r *swapRIT) touched(row dram.RowID) bool {
+	if _, ok := r.real.Lookup(uint64(row)); ok {
+		return true
+	}
+	if _, ok := r.mirror.Lookup(uint64(row)); ok {
+		return true
+	}
+	return false
+}
+
+// evictedPair is an RIT entry displaced by a CAT conflict, which the
+// mitigation must resolve by restoring the row before the mapping is
+// forgotten.
+type evictedPair struct {
+	logical dram.RowID // row whose data is displaced
+	slot    dram.RowID // slot holding that data
+}
+
+// recordSwap updates both halves after logical row L's data moves from
+// slot curSlot into Z's home slot, and Z's data moves to curSlot
+// (the §IV-C "subsequent swaps" bookkeeping). It returns any entries the
+// CAT had to evict to make room; the caller must restore them.
+func (r *swapRIT) recordSwap(l, curSlot, z dram.RowID) []evictedPair {
+	var evicted []evictedPair
+	note := func(key, val uint64, dir ritDirection, ev bool) {
+		if !ev {
+			return
+		}
+		if dir == dirMirror {
+			evicted = append(evicted, evictedPair{logical: dram.RowID(val), slot: dram.RowID(key)})
+		} else {
+			evicted = append(evicted, evictedPair{logical: dram.RowID(key), slot: dram.RowID(val)})
+		}
+	}
+	// L's data is now in Z's home slot.
+	ek, evv, dir, ev, err := r.real.Insert(uint64(l), uint64(z))
+	note(ek, evv, dir, ev)
+	r.panicOn(err)
+	ek, evv, dir, ev, err = r.mirror.Insert(uint64(z), uint64(l))
+	note(ek, evv, dir, ev)
+	r.panicOn(err)
+	// Z's data is now in curSlot.
+	if curSlot == z {
+		return evicted // degenerate, caller prevents this
+	}
+	ek, evv, dir, ev, err = r.real.Insert(uint64(z), uint64(curSlot))
+	note(ek, evv, dir, ev)
+	r.panicOn(err)
+	ek, evv, dir, ev, err = r.mirror.Insert(uint64(curSlot), uint64(z))
+	note(ek, evv, dir, ev)
+	r.panicOn(err)
+	// If either mapping became an identity (possible when place-backs and
+	// swaps interleave), drop it.
+	r.dropIdentity(l)
+	r.dropIdentity(z)
+	return evicted
+}
+
+// dropIdentity removes real/mirror entries that map a row to itself.
+func (r *swapRIT) dropIdentity(row dram.RowID) {
+	if v, ok := r.real.Lookup(uint64(row)); ok && dram.RowID(v) == row {
+		r.real.Delete(uint64(row))
+		r.mirror.Delete(uint64(row))
+	}
+}
+
+// recordRestore updates both halves after logical row A's data moves
+// from slot X back to A's home slot, displacing occupant B of A's home
+// into slot X. It must never need to insert a brand-new entry (only
+// update or delete), so it cannot trigger CAT evictions.
+func (r *swapRIT) recordRestore(a, x, b dram.RowID) {
+	r.real.Delete(uint64(a))
+	r.mirror.Delete(uint64(a))
+	if b == x {
+		// The chain closed: B's data returned home too.
+		r.real.Delete(uint64(b))
+		r.mirror.Delete(uint64(x))
+		return
+	}
+	r.real.Update(uint64(b), uint64(x))
+	r.mirror.Update(uint64(x), uint64(b))
+}
+
+// anyUnlocked returns one previous-epoch mapping due for place-back.
+func (r *swapRIT) anyUnlocked() (logical, slot dram.RowID, ok bool) {
+	p, ok := r.real.AnyUnlocked()
+	if !ok {
+		return 0, 0, false
+	}
+	return dram.RowID(p.Key), dram.RowID(p.Val), true
+}
+
+// unlockedCount returns the number of previous-epoch real entries.
+func (r *swapRIT) unlockedCount() int { return len(r.real.UnlockedEntries()) }
+
+// unlockAll clears all lock bits (epoch boundary).
+func (r *swapRIT) unlockAll() {
+	r.real.UnlockAll()
+	r.mirror.UnlockAll()
+}
+
+// len returns the number of displaced rows tracked.
+func (r *swapRIT) len() int { return r.real.Len() }
+
+func (r *swapRIT) panicOn(err error) {
+	if err != nil {
+		// A correctly provisioned CAT never fills with locked entries
+		// within one epoch (§IV-B); reaching this is a configuration bug,
+		// not a runtime condition.
+		panic(fmt.Sprintf("core: RIT exhausted: %v", err))
+	}
+}
+
+// Verify checks that the two halves are mutually consistent and agree
+// with the bank's ground-truth content permutation.
+func (r *swapRIT) Verify(bank *dram.Bank) error {
+	for _, p := range r.real.Entries() {
+		logical, slot := dram.RowID(p.Key), dram.RowID(p.Val)
+		if occ, ok := r.mirror.Lookup(uint64(slot)); !ok || dram.RowID(occ) != logical {
+			return fmt.Errorf("core: real <%d,%d> lacks mirror entry", logical, slot)
+		}
+		if got := bank.LocationOf(logical); got != slot {
+			return fmt.Errorf("core: RIT says row %d at slot %d, bank says %d", logical, slot, got)
+		}
+	}
+	for _, p := range r.mirror.Entries() {
+		slot, logical := dram.RowID(p.Key), dram.RowID(p.Val)
+		if v, ok := r.real.Lookup(uint64(logical)); !ok || dram.RowID(v) != slot {
+			return fmt.Errorf("core: mirror <%d,%d> lacks real entry", slot, logical)
+		}
+	}
+	if r.real.Len() != r.mirror.Len() {
+		return fmt.Errorf("core: real/mirror sizes differ: %d vs %d", r.real.Len(), r.mirror.Len())
+	}
+	return nil
+}

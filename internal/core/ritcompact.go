@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/cat"
+	"repro/internal/stats"
+)
+
+// This file implements the storage optimization sketched in §VIII-4:
+// instead of two equal CAT halves (real + mirrored), a single CAT holds
+// both mapping directions, distinguished by one extra bit per entry.
+// Sharing one pool of slots between the two directions nearly halves
+// the RIT storage because the halves no longer need independent
+// worst-case provisioning.
+//
+// The mechanism is exposed by constructing SRS/Scale-SRS with
+// NewSwapRITCompact-backed tables (see NewSRSCompact) and is compared
+// against the split layout by BenchmarkAblationCompactRIT.
+
+// ritDirection tags which mapping an entry belongs to.
+type ritDirection = int
+
+const (
+	dirReal   ritDirection = 0 // logical row -> slot
+	dirMirror ritDirection = 1 // slot -> logical row
+)
+
+// ritTable is the storage interface swapRIT needs. Both the dedicated
+// per-direction cat.Table and the shared tagged view implement it.
+type ritTable interface {
+	Lookup(key uint64) (uint64, bool)
+	// Insert returns any entry evicted to make room; evDir reports which
+	// direction the evicted entry belonged to (a shared table can evict
+	// an entry of the other direction).
+	Insert(key, val uint64) (evKey, evVal uint64, evDir ritDirection, evicted bool, err error)
+	Update(key, val uint64) bool
+	Delete(key uint64) bool
+	UnlockAll()
+	Len() int
+	Entries() []cat.Pair
+	UnlockedEntries() []cat.Pair
+	AnyUnlocked() (cat.Pair, bool)
+}
+
+// plainTable adapts a dedicated cat.Table to ritTable.
+type plainTable struct {
+	t   *cat.Table
+	dir ritDirection
+}
+
+func (p plainTable) Lookup(k uint64) (uint64, bool) { return p.t.Lookup(k) }
+func (p plainTable) Insert(k, v uint64) (uint64, uint64, ritDirection, bool, error) {
+	ek, ev, evicted, err := p.t.Insert(k, v)
+	return ek, ev, p.dir, evicted, err
+}
+func (p plainTable) Update(k, v uint64) bool       { return p.t.Update(k, v) }
+func (p plainTable) Delete(k uint64) bool          { return p.t.Delete(k) }
+func (p plainTable) UnlockAll()                    { p.t.UnlockAll() }
+func (p plainTable) Len() int                      { return p.t.Len() }
+func (p plainTable) Entries() []cat.Pair           { return p.t.Entries() }
+func (p plainTable) UnlockedEntries() []cat.Pair   { return p.t.UnlockedEntries() }
+func (p plainTable) AnyUnlocked() (cat.Pair, bool) { return p.t.AnyUnlocked() }
+
+// taggedView is one direction's view of a shared cat.Table. Keys are
+// packed as key<<1 | dir — the "one bit per entry" of §VIII-4.
+type taggedView struct {
+	t   *cat.Table
+	dir ritDirection
+}
+
+func (v taggedView) pack(k uint64) uint64 { return k<<1 | uint64(v.dir) }
+
+func (v taggedView) Lookup(k uint64) (uint64, bool) { return v.t.Lookup(v.pack(k)) }
+
+func (v taggedView) Insert(k, val uint64) (uint64, uint64, ritDirection, bool, error) {
+	ek, ev, evicted, err := v.t.Insert(v.pack(k), val)
+	if !evicted {
+		return 0, 0, 0, false, err
+	}
+	return ek >> 1, ev, ritDirection(ek & 1), true, err
+}
+
+func (v taggedView) Update(k, val uint64) bool { return v.t.Update(v.pack(k), val) }
+func (v taggedView) Delete(k uint64) bool      { return v.t.Delete(v.pack(k)) }
+func (v taggedView) UnlockAll()                { v.t.UnlockAll() }
+
+func (v taggedView) Len() int {
+	n := 0
+	for _, p := range v.t.Entries() {
+		if ritDirection(p.Key&1) == v.dir {
+			n++
+		}
+	}
+	return n
+}
+
+func (v taggedView) filter(ps []cat.Pair) []cat.Pair {
+	var out []cat.Pair
+	for _, p := range ps {
+		if ritDirection(p.Key&1) == v.dir {
+			out = append(out, cat.Pair{Key: p.Key >> 1, Val: p.Val})
+		}
+	}
+	return out
+}
+
+func (v taggedView) Entries() []cat.Pair         { return v.filter(v.t.Entries()) }
+func (v taggedView) UnlockedEntries() []cat.Pair { return v.filter(v.t.UnlockedEntries()) }
+
+func (v taggedView) AnyUnlocked() (cat.Pair, bool) {
+	for _, p := range v.t.UnlockedEntries() {
+		if ritDirection(p.Key&1) == v.dir {
+			return cat.Pair{Key: p.Key >> 1, Val: p.Val}, true
+		}
+	}
+	return cat.Pair{}, false
+}
+
+// newSwapRITCompact builds a swapRIT whose two directions share one CAT
+// sized for the combined entry count — the §VIII-4 layout.
+func newSwapRITCompact(minEntries, ways int, overprovision float64, rng *stats.RNG) *swapRIT {
+	shared := cat.New(2*minEntries, ways, overprovision, rng.Split())
+	return &swapRIT{
+		real:   taggedView{t: shared, dir: dirReal},
+		mirror: taggedView{t: shared, dir: dirMirror},
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+func TestCompactRITBasicSwapResolve(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRSCompact(mem, sys, sys.Mitigation, stats.NewRNG(21))
+	const row = dram.RowID(44)
+	s.OnAggressor(0, row, 0)
+	slot := s.Resolve(0, row)
+	if slot == row {
+		t.Fatal("compact RIT did not move the row")
+	}
+	if mem.Bank(0).LocationOf(row) != slot {
+		t.Error("compact RIT and bank disagree")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestCompactRITNoLatentAccumulation(t *testing.T) {
+	// The §VIII-4 layout must preserve SRS's security property.
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRSCompact(mem, sys, sys.Mitigation, stats.NewRNG(22))
+	const row = dram.RowID(3)
+	for i := 0; i < 50; i++ {
+		s.OnAggressor(0, row, dram.Cycles(i*10000))
+	}
+	if acts := mem.Bank(0).ACTCount(row); acts > 2 {
+		t.Errorf("home ACTs = %d after 50 swaps, want <= 2", acts)
+	}
+}
+
+func TestCompactRITPlaceBackRestores(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 4800)
+	s := NewSRSCompact(mem, sys, sys.Mitigation, stats.NewRNG(23))
+	for i := 0; i < 25; i++ {
+		s.OnAggressor(0, dram.RowID(i*13), 0)
+		s.OnAggressor(1, dram.RowID(i*7), 0)
+	}
+	s.OnWindowEnd(0)
+	window := mem.Timing().RefreshWindow
+	for now := Cycles(1); now <= window; now += 1000 {
+		s.Tick(now)
+	}
+	if n := s.DisplacedRows(); n != 0 {
+		t.Errorf("%d rows still displaced", n)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestCompactRITSwapStorm(t *testing.T) {
+	sys, mem := testSystem(config.MitigationSRS, 1200)
+	s := NewSRSCompact(mem, sys, sys.Mitigation, stats.NewRNG(24))
+	rng := stats.NewRNG(25)
+	now := Cycles(0)
+	window := mem.Timing().RefreshWindow
+	for i := 0; i < 3000; i++ {
+		s.OnAggressor(rng.Intn(mem.NumBanks()), dram.RowID(rng.Intn(800)), now)
+		s.Tick(now)
+		now += 5000
+		if now%window < 5000 {
+			s.OnWindowEnd(now)
+		}
+	}
+	if err := mem.VerifyPermutations(); err != nil {
+		t.Error(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaggedViewIsolation(t *testing.T) {
+	// Two views over one table must not see each other's keys.
+	rit := newSwapRITCompact(64, 8, 1.5, stats.NewRNG(26))
+	rit.real.Insert(10, 20)
+	if _, ok := rit.mirror.Lookup(10); ok {
+		t.Error("mirror view sees real key")
+	}
+	if v, ok := rit.real.Lookup(10); !ok || v != 20 {
+		t.Error("real view lost its key")
+	}
+	rit.mirror.Insert(10, 99)
+	if v, _ := rit.real.Lookup(10); v != 20 {
+		t.Error("mirror insert clobbered real entry")
+	}
+	if v, ok := rit.mirror.Lookup(10); !ok || v != 99 {
+		t.Error("mirror entry wrong")
+	}
+	if rit.real.Len() != 1 || rit.mirror.Len() != 1 {
+		t.Errorf("Len: real=%d mirror=%d", rit.real.Len(), rit.mirror.Len())
+	}
+	rit.real.UnlockAll() // shared table: unlocks both
+	re := rit.real.UnlockedEntries()
+	me := rit.mirror.UnlockedEntries()
+	if len(re) != 1 || re[0].Key != 10 || re[0].Val != 20 {
+		t.Errorf("real unlocked entries: %+v", re)
+	}
+	if len(me) != 1 || me[0].Val != 99 {
+		t.Errorf("mirror unlocked entries: %+v", me)
+	}
+	if !rit.real.Delete(10) || rit.real.Len() != 0 {
+		t.Error("real delete failed")
+	}
+	if rit.mirror.Len() != 1 {
+		t.Error("real delete removed mirror entry")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cat"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// RRS is Randomized Row-Swap (Saileshwar et al., ASPLOS'22), reproduced
+// here as the baseline defense the paper attacks and improves upon.
+//
+// RRS stores swaps as fixed tuple pairs <A,B>/<B,A> in its RIT. When a
+// swapped row crosses T_S again, RRS first *unswaps* the pair (restoring
+// both rows to their original locations) and then swaps the aggressor
+// with a fresh random partner. The unswap-swap sequence places up to two
+// latent activations on the aggressor's original physical location
+// (Fig. 3) — the defect Juggernaut exploits.
+//
+// With ImmediateUnswap disabled, RRS instead chains swaps (the "No
+// Unswap" variant of Fig. 4) and must unravel every chain at the end of
+// the refresh interval, causing a latency spike.
+type RRS struct {
+	eng *engine
+	cfg config.Mitigation
+
+	// Immediate-unswap mode: per-bank pairwise tables. An entry <A,B>
+	// means A's data is at B's home slot (and symmetrically).
+	pairs []*cat.Table
+
+	// No-unswap mode: per-bank chained indirection (same structure SRS
+	// uses), unwound in bulk at the window boundary.
+	chains []*swapRIT
+}
+
+// NewRRS builds an RRS instance over mem. RIT sizing follows the paper:
+// ceil(ACT_max/T_S) swaps per epoch, two tuple entries per swap, 50%
+// overprovisioned CAT.
+func NewRRS(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG) *RRS {
+	eng := newEngine(mem, sys, rng, ReservedRows)
+	entries := ritEntriesPerBank(sys, m)
+	r := &RRS{eng: eng, cfg: m}
+	if m.ImmediateUnswap {
+		r.pairs = make([]*cat.Table, mem.NumBanks())
+		for i := range r.pairs {
+			r.pairs[i] = cat.New(entries, 8, 1.5, rng.Split())
+		}
+	} else {
+		r.chains = make([]*swapRIT, mem.NumBanks())
+		for i := range r.chains {
+			r.chains[i] = newSwapRIT(entries, 8, 1.5, rng)
+		}
+	}
+	return r
+}
+
+// Name implements Mitigation.
+func (r *RRS) Name() string {
+	if r.cfg.ImmediateUnswap {
+		return "rrs"
+	}
+	return "rrs-nounswap"
+}
+
+// Resolve implements Mitigation.
+func (r *RRS) Resolve(bankIdx int, row dram.RowID) dram.RowID {
+	if r.pairs != nil {
+		if v, ok := r.pairs[bankIdx].Lookup(uint64(row)); ok {
+			return dram.RowID(v)
+		}
+		return row
+	}
+	return r.chains[bankIdx].resolve(row)
+}
+
+// OnAggressor implements Mitigation.
+func (r *RRS) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
+	if r.pairs != nil {
+		r.unswapSwap(bankIdx, row, now)
+	} else {
+		r.chainSwap(bankIdx, row, now)
+	}
+	return false
+}
+
+// unswapSwap is RRS's default mitigation: unswap the existing pair if
+// any, then swap the aggressor with a fresh random partner. Both steps
+// activate the aggressor's original location — the two latent
+// activations of Fig. 3.
+func (r *RRS) unswapSwap(bankIdx int, row dram.RowID, now Cycles) {
+	table := r.pairs[bankIdx]
+	block := r.eng.swapCycles
+	if v, ok := table.Lookup(uint64(row)); ok {
+		// Unswap: row's data is at partner's home and vice versa.
+		partner := dram.RowID(v)
+		r.eng.migrate(bankIdx, row, partner, now, 0) // latent ACT on row's home
+		table.Delete(uint64(row))
+		table.Delete(uint64(partner))
+		r.eng.stats.Unswaps++
+		block = r.eng.reswapCycles
+	}
+	// Swap with a fresh partner.
+	busy := func(c dram.RowID) bool {
+		_, ok := table.Lookup(uint64(c))
+		return ok || r.eng.mem.Bank(bankIdx).LocationOf(c) != c
+	}
+	z := r.eng.randomFreeRow(busy, row)
+	r.eng.migrate(bankIdx, row, z, now, block) // latent ACT on row's home
+	r.eng.stats.Swaps++
+	r.insertPair(bankIdx, row, z, now)
+}
+
+// insertPair records <a,b> and <b,a>, force-unswapping any pairs the CAT
+// evicts to make room (RRS's lazy eviction of previous-epoch tuples).
+func (r *RRS) insertPair(bankIdx int, a, b dram.RowID, now Cycles) {
+	table := r.pairs[bankIdx]
+	for _, ins := range [2][2]dram.RowID{{a, b}, {b, a}} {
+		evK, evV, ev, err := table.Insert(uint64(ins[0]), uint64(ins[1]))
+		if err != nil {
+			panic(fmt.Sprintf("core: RRS RIT exhausted: %v", err))
+		}
+		if ev {
+			r.forceUnswap(bankIdx, dram.RowID(evK), dram.RowID(evV), now)
+		}
+	}
+}
+
+// forceUnswap restores an evicted pair's data before the mapping is
+// lost and removes the partner tuple.
+func (r *RRS) forceUnswap(bankIdx int, p, q dram.RowID, now Cycles) {
+	bank := r.eng.mem.Bank(bankIdx)
+	if bank.LocationOf(p) == q && p != q {
+		r.eng.migrate(bankIdx, p, q, now, r.eng.swapCycles)
+		r.eng.stats.ForcedRestores++
+	}
+	r.pairs[bankIdx].Delete(uint64(q))
+	r.pairs[bankIdx].Delete(uint64(p))
+}
+
+// chainSwap is the "No Unswap" variant: identical to an SRS swap, the
+// chain is unwound only at the window boundary.
+func (r *RRS) chainSwap(bankIdx int, row dram.RowID, now Cycles) {
+	rit := r.chains[bankIdx]
+	curSlot := rit.resolve(row)
+	bank := r.eng.mem.Bank(bankIdx)
+	busy := func(c dram.RowID) bool {
+		return rit.touched(c) || bank.LocationOf(c) != c
+	}
+	z := r.eng.randomFreeRow(busy, row, curSlot)
+	r.eng.migrate(bankIdx, curSlot, z, now, r.eng.swapCycles)
+	r.eng.stats.Swaps++
+	for _, ev := range rit.recordSwap(row, curSlot, z) {
+		r.restoreChain(bankIdx, ev.logical, ev.slot, now)
+		r.eng.stats.ForcedRestores++
+	}
+}
+
+func (r *RRS) restoreChain(bankIdx int, a, x dram.RowID, now Cycles) {
+	bank := r.eng.mem.Bank(bankIdx)
+	rit := r.chains[bankIdx]
+	if bank.LocationOf(a) != x {
+		rit.real.Delete(uint64(a))
+		return
+	}
+	b := bank.ContentAt(a)
+	if b == a {
+		return
+	}
+	r.eng.migrate(bankIdx, x, a, now, r.eng.swapCycles)
+	rit.recordRestore(a, x, b)
+}
+
+// Tick implements Mitigation (RRS has no lazily paced work).
+func (r *RRS) Tick(Cycles) {}
+
+// OnWindowEnd implements Mitigation. Immediate-unswap RRS just unlocks
+// its tuples (they are evicted lazily on demand). The no-unswap variant
+// must unravel every chain right now — the latency spike that motivates
+// unswaps (Fig. 4): all displaced rows are restored back-to-back,
+// blocking the banks.
+func (r *RRS) OnWindowEnd(now Cycles) {
+	if r.pairs != nil {
+		for _, t := range r.pairs {
+			t.UnlockAll()
+		}
+		return
+	}
+	start := now
+	for bankIdx, rit := range r.chains {
+		rit.unlockAll()
+		for {
+			a, x, ok := rit.anyUnlocked()
+			if !ok {
+				break
+			}
+			r.restoreChain(bankIdx, a, x, now)
+			r.eng.stats.EpochSpikeOps++
+			now += r.eng.swapCycles // restores serialize at the controller
+		}
+	}
+	if now > start {
+		// While the controller rewrites its indirection wholesale, demand
+		// traffic to every bank stalls — the "system freeze" of §II-F.2
+		// that makes unswap-less RRS impractical.
+		for i := 0; i < r.eng.mem.NumBanks(); i++ {
+			r.eng.mem.Bank(i).Block(now)
+		}
+	}
+}
+
+// Stats implements Mitigation.
+func (r *RRS) Stats() Stats { return r.eng.stats }
+
+// Verify checks RIT/bank consistency (test hook).
+func (r *RRS) Verify() error {
+	if r.pairs != nil {
+		for bankIdx, table := range r.pairs {
+			bank := r.eng.mem.Bank(bankIdx)
+			for _, p := range table.Entries() {
+				a, b := dram.RowID(p.Key), dram.RowID(p.Val)
+				if v, ok := table.Lookup(uint64(b)); !ok || dram.RowID(v) != a {
+					return fmt.Errorf("bank %d: tuple <%d,%d> lacks partner", bankIdx, a, b)
+				}
+				if bank.LocationOf(a) != b {
+					return fmt.Errorf("bank %d: RIT says row %d at %d, bank says %d",
+						bankIdx, a, b, bank.LocationOf(a))
+				}
+			}
+		}
+		return nil
+	}
+	for bankIdx, rit := range r.chains {
+		if err := rit.Verify(r.eng.mem.Bank(bankIdx)); err != nil {
+			return fmt.Errorf("bank %d: %w", bankIdx, err)
+		}
+	}
+	return nil
+}
+
+var _ Mitigation = (*RRS)(nil)

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// ScaleSRS is Scalable and Secure Row-Swap (§V): SRS extended with
+// per-row swap-tracking counters (stored in a reserved region of DRAM,
+// §IV-F) and outlier detection. When a row's swap count within an epoch
+// reaches OutlierSwaps (3 in the paper), the row is classified as an
+// outlier and pinned in the LLC for the rest of the refresh interval
+// instead of being swapped again. This makes the reduced swap rate of 3
+// safe: the rare outliers that would otherwise break the lower rate
+// simply stop generating DRAM activations.
+type ScaleSRS struct {
+	srs *SRS
+	cfg config.Mitigation
+
+	epoch    uint32 // value of the on-chip epoch register (19-bit)
+	counters map[counterKey]counterVal
+
+	counterRows int // rows per bank used to store counters
+}
+
+type counterKey struct {
+	bank int
+	row  dram.RowID
+}
+
+// counterVal mirrors the paper's counter layout: an epoch-id and the
+// cumulative swap/activation count for that epoch. Counts from stale
+// epochs are ignored (lazy reset).
+type counterVal struct {
+	epoch uint32
+	swaps int
+}
+
+// NewScaleSRS builds a Scale-SRS instance over mem.
+func NewScaleSRS(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG) *ScaleSRS {
+	return &ScaleSRS{
+		srs:         NewSRS(mem, sys, m, rng),
+		cfg:         m,
+		counters:    make(map[counterKey]counterVal),
+		counterRows: counterRowsPerBank(mem.Geometry()),
+	}
+}
+
+// counterRowsPerBank returns how many reserved rows hold the 32-bit
+// per-row counters: 128K rows x 4 B / 8 KB = 64 rows (0.05% of capacity).
+func counterRowsPerBank(g config.Geometry) int {
+	return (g.RowsPerBank*4 + g.RowBytes - 1) / g.RowBytes
+}
+
+// Name implements Mitigation.
+func (s *ScaleSRS) Name() string { return "scale-srs" }
+
+// Resolve implements Mitigation.
+func (s *ScaleSRS) Resolve(bankIdx int, row dram.RowID) dram.RowID {
+	return s.srs.Resolve(bankIdx, row)
+}
+
+// counterSlot returns the reserved physical slot holding the counter for
+// a row: counters live in the top ReservedRows of the bank, 2048
+// four-byte counters per 8 KB row.
+func (s *ScaleSRS) counterSlot(row dram.RowID) dram.RowID {
+	g := s.srs.eng.mem.Geometry()
+	perRow := g.RowBytes / 4
+	return dram.RowID(g.RowsPerBank - s.counterRows + int(row)/perRow)
+}
+
+// OnAggressor implements Mitigation. The row's swap counter is read and
+// updated (one activation of its counter row, tracked by dedicated
+// on-chip counters per §IV-F so it cannot recurse), then either the row
+// is swapped or — if it crossed the outlier threshold — pinned.
+func (s *ScaleSRS) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
+	eng := s.srs.eng
+	bank := eng.mem.Bank(bankIdx)
+	bank.Activate(s.counterSlot(row), now, eng.mem.Timing())
+	eng.stats.CounterAccesses++
+
+	k := counterKey{bank: bankIdx, row: row}
+	v := s.counters[k]
+	if v.epoch != s.epoch {
+		v = counterVal{epoch: s.epoch} // lazy reset on epoch-id mismatch
+	}
+	v.swaps++
+	s.counters[k] = v
+
+	if v.swaps >= s.cfg.OutlierSwaps {
+		eng.stats.Pins++
+		return true // pin in LLC; no further swaps for this row
+	}
+	s.srs.swap(bankIdx, row, now)
+	return false
+}
+
+// Tick implements Mitigation.
+func (s *ScaleSRS) Tick(now Cycles) { s.srs.Tick(now) }
+
+// OnWindowEnd implements Mitigation: advance the epoch register (lazily
+// resetting all counters) and start SRS's lazy place-back schedule.
+func (s *ScaleSRS) OnWindowEnd(now Cycles) {
+	s.epoch++
+	if s.epoch >= 1<<19 {
+		// The 19-bit register wrapped: the paper sweeps all counter rows
+		// (41 us every ~4.6 hours); we model the reset directly.
+		s.epoch = 0
+		s.counters = make(map[counterKey]counterVal)
+	}
+	s.srs.OnWindowEnd(now)
+}
+
+// Stats implements Mitigation.
+func (s *ScaleSRS) Stats() Stats { return s.srs.Stats() }
+
+// Verify checks RIT/bank consistency (test hook).
+func (s *ScaleSRS) Verify() error { return s.srs.Verify() }
+
+// SwapCount returns the row's swap count in the current epoch.
+func (s *ScaleSRS) SwapCount(bankIdx int, row dram.RowID) int {
+	v, ok := s.counters[counterKey{bank: bankIdx, row: row}]
+	if !ok || v.epoch != s.epoch {
+		return 0
+	}
+	return v.swaps
+}
+
+// Epoch returns the value of the on-chip epoch register.
+func (s *ScaleSRS) Epoch() uint32 { return s.epoch }
+
+// Interface conformance checks.
+var (
+	_ Mitigation = (*ScaleSRS)(nil)
+	_ Mitigation = (*SRS)(nil)
+	_ Mitigation = Baseline{}
+)

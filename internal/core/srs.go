@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// ReservedRows is the number of rows at the top of each bank reserved
+// for mitigation metadata (the per-row swap-tracking counters of §IV-F
+// and Hydra's memory-resident counters). Swap partners are never chosen
+// from this region.
+const ReservedRows = 128
+
+// SRS is Secure Row-Swap (§IV): swap-only row indirection with lazy
+// place-back. Because a re-swapped row is never first unswapped to its
+// original location, the single latent activation of each swap lands on
+// the row's *current* (random) slot rather than accumulating on its
+// original physical location — defeating Juggernaut.
+type SRS struct {
+	eng  *engine
+	cfg  config.Mitigation
+	rits []*swapRIT
+
+	// Lazy place-back pacing (§IV-D): the entries surviving from the
+	// previous epoch are spread uniformly across the current one.
+	window     Cycles
+	pbInterval Cycles
+	nextPB     Cycles
+}
+
+// NewSRS builds an SRS instance over mem. The RIT is sized for the
+// worst-case number of swaps in one epoch, ceil(ACT_max / T_S), per bank,
+// with 50% CAT overprovisioning (§IV-B).
+func NewSRS(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG) *SRS {
+	return newSRS(mem, sys, m, rng, newSwapRIT)
+}
+
+// NewSRSCompact builds SRS with the single-table tagged RIT of §VIII-4
+// (one direction bit per entry instead of a mirrored half), which nearly
+// halves RIT storage with identical behaviour.
+func NewSRSCompact(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG) *SRS {
+	return newSRS(mem, sys, m, rng, newSwapRITCompact)
+}
+
+func newSRS(mem *dram.Memory, sys config.System, m config.Mitigation, rng *stats.RNG,
+	mkRIT func(int, int, float64, *stats.RNG) *swapRIT) *SRS {
+	eng := newEngine(mem, sys, rng, ReservedRows)
+	entries := ritEntriesPerBank(sys, m)
+	s := &SRS{
+		eng:    eng,
+		cfg:    m,
+		rits:   make([]*swapRIT, mem.NumBanks()),
+		window: mem.Timing().RefreshWindow,
+	}
+	for i := range s.rits {
+		s.rits[i] = mkRIT(entries, 8, 1.5, rng)
+	}
+	return s
+}
+
+// ritEntriesPerBank returns the worst-case live RIT entries in one
+// epoch: two entries (logical + displaced slot) per possible swap.
+func ritEntriesPerBank(sys config.System, m config.Mitigation) int {
+	ts := m.TS()
+	if ts <= 0 {
+		return 16
+	}
+	maxSwaps := sys.Timing.MaxActivations() / ts
+	if maxSwaps < 8 {
+		maxSwaps = 8
+	}
+	return 2 * maxSwaps
+}
+
+// Name implements Mitigation.
+func (s *SRS) Name() string { return "srs" }
+
+// Resolve implements Mitigation.
+func (s *SRS) Resolve(bankIdx int, row dram.RowID) dram.RowID {
+	return s.rits[bankIdx].resolve(row)
+}
+
+// OnAggressor implements Mitigation: swap the aggressor's current slot
+// with a fresh random row. No unswap ever happens here.
+func (s *SRS) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
+	s.swap(bankIdx, row, now)
+	return false
+}
+
+// swap performs one swap-only mitigation for the logical row.
+func (s *SRS) swap(bankIdx int, row dram.RowID, now Cycles) {
+	rit := s.rits[bankIdx]
+	curSlot := rit.resolve(row)
+	bank := s.eng.mem.Bank(bankIdx)
+	busy := func(c dram.RowID) bool {
+		return rit.touched(c) || bank.LocationOf(c) != c
+	}
+	z := s.eng.randomFreeRow(busy, row, curSlot)
+	s.eng.migrate(bankIdx, curSlot, z, now, s.eng.swapCycles)
+	s.eng.stats.Swaps++
+	for _, ev := range rit.recordSwap(row, curSlot, z) {
+		s.restorePair(bankIdx, ev.logical, ev.slot, now)
+		s.eng.stats.ForcedRestores++
+	}
+}
+
+// restorePair moves logical row a (currently in slot x) back to its home
+// slot, displacing the home's occupant into x — one step of the
+// place-back chain of Fig. 8. Bookkeeping never inserts new RIT entries,
+// so restores cannot cascade.
+func (s *SRS) restorePair(bankIdx int, a, x dram.RowID, now Cycles) {
+	bank := s.eng.mem.Bank(bankIdx)
+	if bank.LocationOf(a) != x {
+		// The mapping is stale (already restored via another chain); drop
+		// any lingering entries.
+		rit := s.rits[bankIdx]
+		rit.real.Delete(uint64(a))
+		return
+	}
+	b := bank.ContentAt(a) // occupant of a's home slot
+	if b == a {
+		return
+	}
+	s.eng.migrate(bankIdx, x, a, now, s.eng.swapCycles)
+	s.rits[bankIdx].recordRestore(a, x, b)
+}
+
+// Tick implements Mitigation: perform at most one paced place-back.
+func (s *SRS) Tick(now Cycles) {
+	if s.nextPB == 0 || now < s.nextPB {
+		return
+	}
+	s.nextPB = now + s.pbInterval
+	for _, bankIdx := range s.pbOrder() {
+		rit := s.rits[bankIdx]
+		if a, x, ok := rit.anyUnlocked(); ok {
+			s.restorePair(bankIdx, a, x, now)
+			s.eng.stats.PlaceBacks++
+			return
+		}
+	}
+	s.nextPB = 0 // nothing left this epoch
+}
+
+// pbOrder visits banks starting at a rotating offset so place-back work
+// spreads across banks.
+func (s *SRS) pbOrder() []int {
+	n := len(s.rits)
+	start := s.eng.rng.Intn(n)
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		order[i] = (start + i) % n
+	}
+	return order
+}
+
+// OnWindowEnd implements Mitigation: unlock all entries and schedule
+// their place-back uniformly across the next epoch.
+func (s *SRS) OnWindowEnd(now Cycles) {
+	total := 0
+	for _, rit := range s.rits {
+		rit.unlockAll()
+		total += rit.unlockedCount()
+	}
+	if total == 0 {
+		s.nextPB = 0
+		return
+	}
+	s.pbInterval = s.window / Cycles(total)
+	if s.pbInterval < 1 {
+		s.pbInterval = 1
+	}
+	s.nextPB = now + s.pbInterval
+}
+
+// Stats implements Mitigation.
+func (s *SRS) Stats() Stats { return s.eng.stats }
+
+// Verify checks RIT/bank consistency on every bank (test hook).
+func (s *SRS) Verify() error {
+	for i, rit := range s.rits {
+		if err := rit.Verify(s.eng.mem.Bank(i)); err != nil {
+			return fmt.Errorf("bank %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DisplacedRows returns the total number of rows away from home.
+func (s *SRS) DisplacedRows() int {
+	n := 0
+	for i := range s.rits {
+		n += s.eng.mem.Bank(i).DisplacedRows()
+	}
+	return n
+}

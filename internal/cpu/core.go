@@ -1,0 +1,164 @@
+// Package cpu implements the trace-driven out-of-order core model of
+// Table III: a 192-entry reorder buffer, 4-wide fetch and retire, with
+// memory operations occupying ROB entries until their data returns.
+// This is the USIMM processor model: non-memory instructions retire at
+// full width; long-latency memory operations stall retirement when they
+// reach the ROB head, so IPC degrades exactly with memory latency.
+package cpu
+
+import (
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// Cycles matches dram.Cycles (avoided import to keep cpu free-standing).
+type Cycles = int64
+
+// Issuer is the memory-system entry point the core calls for each memory
+// operation. It returns the cycle at which the operation's data is ready
+// (reads) or the operation is accepted (writes, typically immediately).
+type Issuer interface {
+	Issue(coreID int, rec trace.Record, now Cycles) Cycles
+}
+
+// robEntry is a group of instructions that complete at the same cycle.
+// Non-memory runs are coalesced into weighted entries so the simulator
+// does not pay per-instruction cost.
+type robEntry struct {
+	count int    // instructions represented
+	done  Cycles // cycle at which they may retire
+}
+
+// Core is one simulated core consuming a trace stream.
+type Core struct {
+	id     int
+	cfg    config.Core
+	stream trace.Stream
+	issue  Issuer
+
+	rob      []robEntry
+	head     int
+	tail     int
+	robCount int // entries in ring
+	robInstr int // instructions occupying the ROB
+
+	gapLeft int          // non-memory instructions awaiting fetch
+	pending trace.Record // memory op awaiting fetch
+	havePend bool
+
+	retired     int64
+	budget      int64
+	finishCycle Cycles
+	done        bool
+
+	// Stats
+	MemOps int64
+}
+
+// NewCore returns a core with the given instruction budget.
+func NewCore(id int, cfg config.Core, stream trace.Stream, issue Issuer, budget int64) *Core {
+	return &Core{
+		id:     id,
+		cfg:    cfg,
+		stream: stream,
+		issue:  issue,
+		rob:    make([]robEntry, cfg.ROBSize+1),
+		budget: budget,
+	}
+}
+
+// Done reports whether the core has retired its instruction budget.
+func (c *Core) Done() bool { return c.done }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() int64 { return c.retired }
+
+// FinishCycle returns the cycle at which the budget was reached (valid
+// once Done). Cores keep running after finishing (rate mode), but IPC is
+// measured at the budget point.
+func (c *Core) FinishCycle() Cycles { return c.finishCycle }
+
+// IPC returns retired-instructions-per-cycle measured at the budget point.
+func (c *Core) IPC() float64 {
+	if c.finishCycle == 0 {
+		return 0
+	}
+	return float64(c.budget) / float64(c.finishCycle)
+}
+
+func (c *Core) push(e robEntry) {
+	c.rob[c.tail] = e
+	c.tail = (c.tail + 1) % len(c.rob)
+	c.robCount++
+	c.robInstr += e.count
+}
+
+// Tick advances the core by one cycle: retire from the ROB head, then
+// fetch new instructions (issuing memory operations to the memory
+// system).
+func (c *Core) Tick(now Cycles) {
+	c.retire(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now Cycles) {
+	width := c.cfg.RetireWidth
+	for width > 0 && c.robCount > 0 {
+		e := &c.rob[c.head]
+		if e.done > now {
+			return // head not complete: in-order retirement stalls
+		}
+		n := e.count
+		if n > width {
+			n = width
+		}
+		e.count -= n
+		width -= n
+		c.robInstr -= n
+		c.retired += int64(n)
+		if e.count == 0 {
+			c.head = (c.head + 1) % len(c.rob)
+			c.robCount--
+		}
+		if !c.done && c.retired >= c.budget {
+			c.done = true
+			c.finishCycle = now
+		}
+	}
+}
+
+func (c *Core) fetch(now Cycles) {
+	width := c.cfg.FetchWidth
+	for width > 0 && c.robInstr < c.cfg.ROBSize && c.robCount < len(c.rob)-1 {
+		if c.gapLeft == 0 && !c.havePend {
+			rec := c.stream.Next()
+			c.gapLeft = rec.Gap
+			c.pending = rec
+			c.havePend = true
+		}
+		if c.gapLeft > 0 {
+			n := c.gapLeft
+			if n > width {
+				n = width
+			}
+			if room := c.cfg.ROBSize - c.robInstr; n > room {
+				n = room
+			}
+			// Non-memory instructions complete next cycle.
+			c.push(robEntry{count: n, done: now + 1})
+			c.gapLeft -= n
+			width -= n
+			continue
+		}
+		// Memory operation: issue to the memory system now; it occupies
+		// one ROB slot until its completion cycle.
+		done := c.issue.Issue(c.id, c.pending, now)
+		if done <= now {
+			done = now + 1
+		}
+		c.push(robEntry{count: 1, done: done})
+		c.MemOps++
+		c.havePend = false
+		width--
+	}
+}

@@ -1,0 +1,128 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// fixedStream yields a repeating record.
+type fixedStream struct {
+	rec trace.Record
+}
+
+func (s *fixedStream) Next() trace.Record { return s.rec }
+func (s *fixedStream) Name() string       { return "fixed" }
+
+// constIssuer completes every memory op after a fixed latency.
+type constIssuer struct {
+	latency Cycles
+	issued  int64
+}
+
+func (i *constIssuer) Issue(_ int, _ trace.Record, now Cycles) Cycles {
+	i.issued++
+	return now + i.latency
+}
+
+func run(c *Core) Cycles {
+	var now Cycles
+	for !c.Done() {
+		c.Tick(now)
+		now++
+		if now > 100_000_000 {
+			panic("core never finished")
+		}
+	}
+	return now
+}
+
+func TestPureComputeIPCEqualsWidth(t *testing.T) {
+	// A stream of non-memory instructions with a zero-latency memory op
+	// every 1000 instructions retires at ~RetireWidth IPC.
+	cfg := config.DefaultCore()
+	st := &fixedStream{rec: trace.Record{Gap: 1000}}
+	c := NewCore(0, cfg, st, &constIssuer{latency: 1}, 100_000)
+	run(c)
+	ipc := c.IPC()
+	if ipc < 3.5 || ipc > 4.05 {
+		t.Errorf("compute-bound IPC = %.2f, want ~4", ipc)
+	}
+}
+
+func TestMemoryBoundIPCDropsWithLatency(t *testing.T) {
+	cfg := config.DefaultCore()
+	// Every other instruction is a memory op.
+	mk := func(lat Cycles) float64 {
+		st := &fixedStream{rec: trace.Record{Gap: 1}}
+		c := NewCore(0, cfg, st, &constIssuer{latency: lat}, 50_000)
+		run(c)
+		return c.IPC()
+	}
+	fast, slow := mk(10), mk(400)
+	if fast <= slow {
+		t.Errorf("IPC should drop with latency: fast=%.3f slow=%.3f", fast, slow)
+	}
+	if slow > 1.0 {
+		t.Errorf("400-cycle-latency every-other-instruction IPC = %.3f, expected memory bound (<1)", slow)
+	}
+}
+
+func TestROBLimitsOutstandingMisses(t *testing.T) {
+	// With a ROB of 192 and all-memory instructions of huge latency,
+	// at most ROBSize requests can be outstanding before the core stalls.
+	cfg := config.DefaultCore()
+	iss := &constIssuer{latency: 1_000_000}
+	st := &fixedStream{rec: trace.Record{Gap: 0}}
+	c := NewCore(0, cfg, st, iss, 1000)
+	for now := Cycles(0); now < 1000; now++ {
+		c.Tick(now)
+	}
+	if iss.issued > int64(cfg.ROBSize) {
+		t.Errorf("issued %d memory ops with ROB of %d", iss.issued, cfg.ROBSize)
+	}
+	if iss.issued < int64(cfg.ROBSize) {
+		t.Errorf("issued only %d, want ROB filled (%d)", iss.issued, cfg.ROBSize)
+	}
+}
+
+func TestMemLevelParallelismOverlapsLatency(t *testing.T) {
+	// 100-cycle latency with abundant independent misses should overlap:
+	// throughput must far exceed the serial 1-per-100-cycles bound.
+	cfg := config.DefaultCore()
+	st := &fixedStream{rec: trace.Record{Gap: 10}}
+	c := NewCore(0, cfg, st, &constIssuer{latency: 100}, 100_000)
+	cycles := run(c)
+	serialCycles := Cycles(100_000 / 11 * 100) // one miss per 11 instrs, serialized
+	if cycles > serialCycles/2 {
+		t.Errorf("took %d cycles; MLP should beat half the serial bound %d", cycles, serialCycles)
+	}
+}
+
+func TestBudgetAndFinishCycle(t *testing.T) {
+	cfg := config.DefaultCore()
+	st := &fixedStream{rec: trace.Record{Gap: 50}}
+	c := NewCore(0, cfg, st, &constIssuer{latency: 20}, 10_000)
+	run(c)
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	if c.Retired() < 10_000 {
+		t.Errorf("Retired = %d, want >= 10000", c.Retired())
+	}
+	if c.FinishCycle() <= 0 {
+		t.Error("FinishCycle not recorded")
+	}
+	if c.MemOps == 0 {
+		t.Error("no memory ops counted")
+	}
+	// Rate mode: a finished core can keep ticking without error.
+	fc := c.FinishCycle()
+	for now := fc + 1; now < fc+100; now++ {
+		c.Tick(now)
+	}
+	if c.FinishCycle() != fc {
+		t.Error("FinishCycle changed after completion")
+	}
+}

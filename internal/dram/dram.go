@@ -1,0 +1,299 @@
+// Package dram models a DDR4 memory device at command granularity:
+// channels, ranks, and banks with per-bank state machines that enforce
+// the timing constraints relevant to Row Hammer analysis (tRC, tRCD,
+// tCAS, tRP, tRFC), per-physical-row activation accounting within each
+// refresh window, and a row-content identity map used to verify the
+// correctness of swap-based mitigations.
+//
+// The simulator operates in integer CPU cycles (3.2 GHz by default), so
+// all nanosecond timing parameters are converted once via FromConfig.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Cycles is a simulation timestamp or duration in CPU clock cycles.
+type Cycles = int64
+
+// RowID identifies a row within a bank (0 .. RowsPerBank-1). It is used
+// both for logical rows (the addresses the OS hands out) and physical
+// slots (the locations where the contents currently live); swap-based
+// mitigations maintain the mapping between the two.
+type RowID = int32
+
+// Timing holds the DDR4 timing parameters converted to CPU cycles.
+type Timing struct {
+	TRCD   Cycles // ACT -> column command
+	TRP    Cycles // PRE -> ACT
+	TCAS   Cycles // column command -> first data
+	TRC    Cycles // ACT -> ACT, same bank
+	TRAS   Cycles // ACT -> PRE
+	TRFC   Cycles // refresh cycle time
+	TREFI  Cycles // refresh command interval
+	TBURST Cycles // bus occupancy for one 64 B line
+	TRRD   Cycles // ACT -> ACT, different bank same rank
+	TWR    Cycles // write recovery
+
+	RefreshWindow Cycles // Row Hammer accounting window (64 ms)
+}
+
+// FromConfig converts nanosecond timing into cycles at clockGHz,
+// rounding up so constraints are never undershot.
+func FromConfig(t config.Timing, clockGHz float64) Timing {
+	c := func(ns float64) Cycles {
+		v := ns * clockGHz
+		ci := Cycles(v)
+		if float64(ci) < v {
+			ci++
+		}
+		if ci < 1 {
+			ci = 1
+		}
+		return ci
+	}
+	return Timing{
+		TRCD:          c(t.TRCD),
+		TRP:           c(t.TRP),
+		TCAS:          c(t.TCAS),
+		TRC:           c(t.TRC),
+		TRAS:          c(t.TRAS),
+		TRFC:          c(t.TRFC),
+		TREFI:         c(t.TREFI),
+		TBURST:        c(t.TBURST),
+		TRRD:          c(t.TRRD),
+		TWR:           c(t.TWR),
+		RefreshWindow: c(t.RefreshWindow),
+	}
+}
+
+// Bank models one DRAM bank: a row buffer, timing state, per-slot
+// activation counters for the current refresh window, and the identity
+// (logical row) of the data currently stored in each physical slot.
+type Bank struct {
+	rows int
+
+	openRow   RowID // physical slot currently in the row buffer, -1 if closed
+	nextACT   Cycles
+	busyUntil Cycles // refresh or migration blocking
+
+	// acts counts activations per physical slot in the current refresh
+	// window — the quantity Row Hammer safety is defined over.
+	acts []uint32
+	// content[slot] is the logical row whose data currently occupies the
+	// physical slot; location[logical] is the inverse permutation.
+	content  []RowID
+	location []RowID
+
+	// Statistics (cumulative, never reset).
+	TotalACTs    uint64
+	TotalRefresh uint64
+
+	maxWindowACT uint32 // highest per-slot count seen in current window
+	hottestSlot  RowID
+}
+
+func newBank(rows int) *Bank {
+	b := &Bank{
+		rows:     rows,
+		openRow:  -1,
+		acts:     make([]uint32, rows),
+		content:  make([]RowID, rows),
+		location: make([]RowID, rows),
+	}
+	for i := 0; i < rows; i++ {
+		b.content[i] = RowID(i)
+		b.location[i] = RowID(i)
+	}
+	return b
+}
+
+// Rows returns the number of rows in the bank.
+func (b *Bank) Rows() int { return b.rows }
+
+// OpenRow returns the physical slot currently open, or -1.
+func (b *Bank) OpenRow() RowID { return b.openRow }
+
+// ACTCount returns the activation count of a physical slot in the
+// current refresh window.
+func (b *Bank) ACTCount(slot RowID) uint32 { return b.acts[slot] }
+
+// MaxWindowACT returns the highest per-slot activation count seen in the
+// current refresh window and the slot that incurred it.
+func (b *Bank) MaxWindowACT() (uint32, RowID) { return b.maxWindowACT, b.hottestSlot }
+
+// ContentAt returns the logical row stored in a physical slot.
+func (b *Bank) ContentAt(slot RowID) RowID { return b.content[slot] }
+
+// LocationOf returns the physical slot storing a logical row's data.
+func (b *Bank) LocationOf(logical RowID) RowID { return b.location[logical] }
+
+// Activate opens the physical slot, enforcing tRC and any busy period.
+// It returns the cycle at which column commands may issue (ACT start +
+// tRCD). The activation is charged to the slot's Row Hammer counter.
+func (b *Bank) Activate(slot RowID, now Cycles, t *Timing) Cycles {
+	start := now
+	if b.nextACT > start {
+		start = b.nextACT
+	}
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	b.openRow = slot
+	b.nextACT = start + t.TRC
+	b.recordACT(slot)
+	return start + t.TRCD
+}
+
+func (b *Bank) recordACT(slot RowID) {
+	b.TotalACTs++
+	b.acts[slot]++
+	if b.acts[slot] > b.maxWindowACT {
+		b.maxWindowACT = b.acts[slot]
+		b.hottestSlot = slot
+	}
+}
+
+// Precharge closes the row buffer.
+func (b *Bank) Precharge() { b.openRow = -1 }
+
+// Access performs a closed-page access to the physical slot: ACT, one
+// column read or write, auto-precharge. It returns the cycle when data is
+// available (read) or accepted (write). Bank availability for the next
+// ACT is governed by tRC via nextACT.
+func (b *Bank) Access(slot RowID, write bool, now Cycles, t *Timing) Cycles {
+	colReady := b.Activate(slot, now, t)
+	b.Precharge()
+	done := colReady + t.TCAS + t.TBURST
+	if write {
+		done += t.TWR
+	}
+	return done
+}
+
+// AccessOpen performs an open-page access: a row-buffer hit issues only
+// the column command; a miss precharges and activates first.
+func (b *Bank) AccessOpen(slot RowID, write bool, now Cycles, t *Timing) Cycles {
+	if b.openRow == slot {
+		start := now
+		if b.busyUntil > start {
+			start = b.busyUntil
+		}
+		done := start + t.TCAS + t.TBURST
+		if write {
+			done += t.TWR
+		}
+		return done
+	}
+	colReady := b.Activate(slot, now, t)
+	done := colReady + t.TCAS + t.TBURST
+	if write {
+		done += t.TWR
+	}
+	return done
+}
+
+// Refresh blocks the bank for tRFC starting no earlier than now.
+func (b *Bank) Refresh(now Cycles, t *Timing) {
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	if b.nextACT > start {
+		start = b.nextACT
+	}
+	b.busyUntil = start + t.TRFC
+	b.openRow = -1
+	b.TotalRefresh++
+}
+
+// Block reserves the bank until the given cycle (used to model the
+// latency of swap and place-back row migrations).
+func (b *Bank) Block(until Cycles) {
+	if until > b.busyUntil {
+		b.busyUntil = until
+	}
+}
+
+// BusyUntil returns the cycle until which the bank is reserved.
+func (b *Bank) BusyUntil() Cycles { return b.busyUntil }
+
+// NextACT returns the earliest cycle at which a new ACT may start.
+func (b *Bank) NextACT() Cycles { return b.nextACT }
+
+// SwapContents exchanges the data identities of two physical slots,
+// updating both direction maps. It does NOT account activations — the
+// mitigation layer issues the explicit Activate sequence so that latent
+// activations are modelled faithfully.
+func (b *Bank) SwapContents(slotA, slotB RowID) {
+	la, lb := b.content[slotA], b.content[slotB]
+	b.content[slotA], b.content[slotB] = lb, la
+	b.location[la], b.location[lb] = slotB, slotA
+}
+
+// VerifyPermutation checks that content and location are mutually inverse
+// permutations — the data-integrity invariant of any swap mitigation.
+func (b *Bank) VerifyPermutation() error {
+	seen := make([]bool, b.rows)
+	for slot, logical := range b.content {
+		if logical < 0 || int(logical) >= b.rows {
+			return fmt.Errorf("dram: slot %d holds out-of-range logical row %d", slot, logical)
+		}
+		if seen[logical] {
+			return fmt.Errorf("dram: logical row %d stored in two slots", logical)
+		}
+		seen[logical] = true
+		if b.location[logical] != RowID(slot) {
+			return fmt.Errorf("dram: location[%d]=%d but content[%d]=%d",
+				logical, b.location[logical], slot, logical)
+		}
+	}
+	return nil
+}
+
+// IsIdentity reports whether every logical row currently resides in its
+// home slot (i.e. all swaps have been unwound).
+func (b *Bank) IsIdentity() bool {
+	for slot, logical := range b.content {
+		if RowID(slot) != logical {
+			return false
+		}
+	}
+	return true
+}
+
+// DisplacedRows returns the number of logical rows not in their home slot.
+func (b *Bank) DisplacedRows() int {
+	n := 0
+	for slot, logical := range b.content {
+		if RowID(slot) != logical {
+			n++
+		}
+	}
+	return n
+}
+
+// StartNewWindow zeroes the per-slot activation counters at a refresh-
+// window boundary.
+func (b *Bank) StartNewWindow() {
+	for i := range b.acts {
+		b.acts[i] = 0
+	}
+	b.maxWindowACT = 0
+	b.hottestSlot = 0
+}
+
+// VictimSlots returns the physical slots whose activation count reached
+// trh in the current window — the slots whose neighbours would have
+// suffered Row Hammer bit flips.
+func (b *Bank) VictimSlots(trh uint32) []RowID {
+	var out []RowID
+	for slot, n := range b.acts {
+		if n >= trh {
+			out = append(out, RowID(slot))
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func testTiming() Timing {
+	return FromConfig(config.DDR4(), 3.2)
+}
+
+func TestFromConfigConversion(t *testing.T) {
+	tm := testTiming()
+	if tm.TRC != 144 { // 45 ns * 3.2 GHz
+		t.Errorf("TRC = %d cycles, want 144", tm.TRC)
+	}
+	if tm.TRFC != 1120 { // 350 ns * 3.2
+		t.Errorf("TRFC = %d cycles, want 1120", tm.TRFC)
+	}
+	if tm.TREFI != 25000 { // 7812.5 ns * 3.2
+		t.Errorf("TREFI = %d cycles, want 25000", tm.TREFI)
+	}
+	if tm.RefreshWindow != 204_800_000 { // 64 ms * 3.2 GHz
+		t.Errorf("RefreshWindow = %d cycles", tm.RefreshWindow)
+	}
+	// Rounding is upward: 14 ns * 3.2 = 44.8 -> 45.
+	if tm.TRCD != 45 {
+		t.Errorf("TRCD = %d cycles, want 45", tm.TRCD)
+	}
+}
+
+func TestBankActivateEnforcesTRC(t *testing.T) {
+	tm := testTiming()
+	b := newBank(1024)
+	r1 := b.Activate(5, 0, &tm)
+	if r1 != tm.TRCD {
+		t.Errorf("first activate col-ready at %d, want %d", r1, tm.TRCD)
+	}
+	// Back-to-back ACT must wait until tRC has elapsed.
+	r2 := b.Activate(6, 1, &tm)
+	if want := tm.TRC + tm.TRCD; r2 != want {
+		t.Errorf("second activate col-ready at %d, want %d", r2, want)
+	}
+	if b.ACTCount(5) != 1 || b.ACTCount(6) != 1 {
+		t.Error("activation counters wrong")
+	}
+	if b.TotalACTs != 2 {
+		t.Errorf("TotalACTs = %d", b.TotalACTs)
+	}
+}
+
+func TestBankAccessClosedPage(t *testing.T) {
+	tm := testTiming()
+	b := newBank(16)
+	done := b.Access(3, false, 100, &tm)
+	if want := 100 + tm.TRCD + tm.TCAS + tm.TBURST; done != want {
+		t.Errorf("read done at %d, want %d", done, want)
+	}
+	if b.OpenRow() != -1 {
+		t.Error("closed-page access left row open")
+	}
+	wdone := b.Access(3, true, done, &tm)
+	if wdone <= done {
+		t.Error("write did not advance time")
+	}
+}
+
+func TestBankAccessOpenPageHit(t *testing.T) {
+	tm := testTiming()
+	b := newBank(16)
+	b.Activate(3, 0, &tm)
+	before := b.ACTCount(3)
+	done := b.AccessOpen(3, false, 200, &tm)
+	if want := 200 + tm.TCAS + tm.TBURST; done != want {
+		t.Errorf("row-hit read done at %d, want %d", done, want)
+	}
+	if b.ACTCount(3) != before {
+		t.Error("row-buffer hit should not add an activation")
+	}
+	// Miss on a different row activates.
+	b.AccessOpen(4, false, done, &tm)
+	if b.ACTCount(4) != 1 {
+		t.Error("row miss should activate")
+	}
+}
+
+func TestBankRefreshBlocks(t *testing.T) {
+	tm := testTiming()
+	b := newBank(16)
+	b.Refresh(1000, &tm)
+	if b.BusyUntil() != 1000+tm.TRFC {
+		t.Errorf("BusyUntil = %d", b.BusyUntil())
+	}
+	// An activate during refresh is delayed past it.
+	r := b.Activate(0, 1001, &tm)
+	if r < 1000+tm.TRFC {
+		t.Errorf("activate during refresh finished at %d", r)
+	}
+	if b.TotalRefresh != 1 {
+		t.Errorf("TotalRefresh = %d", b.TotalRefresh)
+	}
+}
+
+func TestSwapContentsAndPermutation(t *testing.T) {
+	b := newBank(8)
+	b.SwapContents(1, 5)
+	if b.ContentAt(1) != 5 || b.ContentAt(5) != 1 {
+		t.Error("SwapContents did not exchange identities")
+	}
+	if b.LocationOf(5) != 1 || b.LocationOf(1) != 5 {
+		t.Error("location map inconsistent")
+	}
+	if err := b.VerifyPermutation(); err != nil {
+		t.Errorf("VerifyPermutation: %v", err)
+	}
+	if b.IsIdentity() {
+		t.Error("IsIdentity true after swap")
+	}
+	if b.DisplacedRows() != 2 {
+		t.Errorf("DisplacedRows = %d, want 2", b.DisplacedRows())
+	}
+	b.SwapContents(1, 5)
+	if !b.IsIdentity() {
+		t.Error("double swap should restore identity")
+	}
+}
+
+// Property: any sequence of swaps preserves the permutation invariant.
+func TestPropertySwapSequencePermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := stats.NewRNG(seed)
+		b := newBank(64)
+		for i := 0; i < int(n); i++ {
+			b.SwapContents(RowID(rng.Intn(64)), RowID(rng.Intn(64)))
+		}
+		return b.VerifyPermutation() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowAccountingAndVictims(t *testing.T) {
+	tm := testTiming()
+	b := newBank(16)
+	now := Cycles(0)
+	for i := 0; i < 10; i++ {
+		b.Activate(7, now, &tm)
+		now += tm.TRC
+	}
+	count, slot := b.MaxWindowACT()
+	if count != 10 || slot != 7 {
+		t.Errorf("MaxWindowACT = %d@%d, want 10@7", count, slot)
+	}
+	if v := b.VictimSlots(10); len(v) != 1 || v[0] != 7 {
+		t.Errorf("VictimSlots = %v", v)
+	}
+	if v := b.VictimSlots(11); len(v) != 0 {
+		t.Errorf("VictimSlots above count = %v", v)
+	}
+	b.StartNewWindow()
+	if c, _ := b.MaxWindowACT(); c != 0 || b.ACTCount(7) != 0 {
+		t.Error("StartNewWindow did not reset counters")
+	}
+	if b.TotalACTs != 10 {
+		t.Error("cumulative TotalACTs should survive window reset")
+	}
+}
+
+func TestMemoryDecodeEncodeRoundTrip(t *testing.T) {
+	m := NewMemory(config.DefaultGeometry(), testTiming())
+	f := func(addr uint64) bool {
+		addr %= uint64(config.DefaultGeometry().TotalBytes())
+		addr &^= 63 // line aligned
+		loc := m.Decode(addr)
+		return m.Encode(loc) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryDecodeSpreadsBanks(t *testing.T) {
+	m := NewMemory(config.DefaultGeometry(), testTiming())
+	seen := map[int]bool{}
+	for i := uint64(0); i < 64; i++ {
+		loc := m.Decode(i * 64)
+		if loc.BankIdx < 0 || loc.BankIdx >= m.NumBanks() {
+			t.Fatalf("bad bank index %d", loc.BankIdx)
+		}
+		seen[loc.BankIdx] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("64 consecutive lines touched %d banks, want 32", len(seen))
+	}
+}
+
+func TestMemoryRefreshRank(t *testing.T) {
+	m := NewMemory(config.DefaultGeometry(), testTiming())
+	m.RefreshRank(0, 0, 500)
+	tm := m.Timing()
+	for b := 0; b < 16; b++ {
+		if m.Bank(m.BankIndex(0, 0, b)).BusyUntil() != 500+tm.TRFC {
+			t.Errorf("bank %d not refreshed", b)
+		}
+	}
+	// Other channel untouched.
+	if m.Bank(m.BankIndex(1, 0, 0)).BusyUntil() != 0 {
+		t.Error("refresh leaked across channels")
+	}
+}
+
+func TestMemoryAggregates(t *testing.T) {
+	m := NewMemory(config.DefaultGeometry(), testTiming())
+	tm := m.Timing()
+	b := m.Bank(3)
+	b.Activate(100, 0, tm)
+	b.Activate(100, tm.TRC, tm)
+	count, bankIdx, slot := m.MaxWindowACT()
+	if count != 2 || bankIdx != 3 || slot != 100 {
+		t.Errorf("MaxWindowACT = %d@bank%d slot%d", count, bankIdx, slot)
+	}
+	if m.TotalACTs() != 2 {
+		t.Errorf("TotalACTs = %d", m.TotalACTs())
+	}
+	if err := m.VerifyPermutations(); err != nil {
+		t.Errorf("VerifyPermutations: %v", err)
+	}
+	m.StartNewWindow()
+	if c, _, _ := m.MaxWindowACT(); c != 0 {
+		t.Error("StartNewWindow did not reset")
+	}
+}
+
+func TestBankBlock(t *testing.T) {
+	b := newBank(4)
+	b.Block(1000)
+	if b.BusyUntil() != 1000 {
+		t.Errorf("BusyUntil = %d", b.BusyUntil())
+	}
+	b.Block(500) // must not move backwards
+	if b.BusyUntil() != 1000 {
+		t.Error("Block moved busyUntil backwards")
+	}
+}

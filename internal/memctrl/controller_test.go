@@ -1,0 +1,206 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+func testSetup(kind config.MitigationKind, trh int) (*Controller, *dram.Memory, config.System) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 4096
+	switch kind {
+	case config.MitigationRRS:
+		sys.Mitigation = config.DefaultRRS(trh)
+	case config.MitigationSRS:
+		sys.Mitigation = config.DefaultSRS(trh)
+	case config.MitigationScaleSRS:
+		sys.Mitigation = config.DefaultScaleSRS(trh)
+	}
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	mit, err := core.New(mem, sys, stats.NewRNG(1))
+	if err != nil {
+		panic(err)
+	}
+	trk := NewTracker(sys, sys.Geometry)
+	return New(mem, trk, mit, sys.Mitigation.TS(), nil), mem, sys
+}
+
+func TestAccessReturnsLatency(t *testing.T) {
+	c, mem, _ := testSetup(config.MitigationNone, 0)
+	loc := mem.Decode(0)
+	done := c.Access(loc, false, 100)
+	tm := mem.Timing()
+	want := 100 + tm.TRCD + tm.TCAS + tm.TBURST
+	if done != want {
+		t.Errorf("done = %d, want %d", done, want)
+	}
+	if c.Stats().Reads != 1 {
+		t.Error("read not counted")
+	}
+	c.Access(loc, true, done+100)
+	if c.Stats().Writes != 1 {
+		t.Error("write not counted")
+	}
+}
+
+func TestBusSerializesSameChannel(t *testing.T) {
+	c, mem, _ := testSetup(config.MitigationNone, 0)
+	// Two simultaneous accesses to different banks, same channel: the
+	// second data transfer must wait for the bus.
+	locA := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: 1, Col: 0}
+	locB := dram.Location{Channel: 0, Bank: 1, BankIdx: 1, Row: 1, Col: 0}
+	d1 := c.Access(locA, false, 0)
+	d2 := c.Access(locB, false, 0)
+	if d2 < d1+mem.Timing().TBURST {
+		t.Errorf("bus overlap: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestRefreshIssuedEveryTREFI(t *testing.T) {
+	c, mem, _ := testSetup(config.MitigationNone, 0)
+	tm := mem.Timing()
+	for now := Cycles(0); now < 4*tm.TREFI; now++ {
+		c.Tick(now)
+	}
+	if got := c.Stats().Refreshes; got < 3 || got > 5 {
+		t.Errorf("Refreshes = %d in 4 tREFI, want ~4", got)
+	}
+	if mem.Bank(0).TotalRefresh == 0 {
+		t.Error("bank never refreshed")
+	}
+}
+
+func TestMitigationTriggersAtTS(t *testing.T) {
+	c, mem, sys := testSetup(config.MitigationSRS, 4800)
+	ts := sys.Mitigation.TS()
+	loc := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: 42, Col: 0}
+	now := Cycles(0)
+	for i := 0; i < ts-1; i++ {
+		now = c.Access(loc, false, now)
+	}
+	if c.Stats().Mitigations != 0 {
+		t.Fatalf("mitigation fired before T_S (%d ACTs)", ts-1)
+	}
+	c.Access(loc, false, now)
+	if c.Stats().Mitigations != 1 {
+		t.Errorf("Mitigations = %d after T_S ACTs", c.Stats().Mitigations)
+	}
+	// Row now resolves elsewhere.
+	if slot := dram.RowID(42); mem.Bank(0).LocationOf(42) == slot {
+		t.Error("row not swapped after crossing T_S")
+	}
+	// Counter restarts: another TS-1 accesses shouldn't trigger.
+	for i := 0; i < ts-1; i++ {
+		now = c.Access(loc, false, now)
+	}
+	if c.Stats().Mitigations != 1 {
+		t.Error("tracker count not reset after mitigation")
+	}
+}
+
+func TestPinCallbackInvoked(t *testing.T) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 4096
+	sys.Mitigation = config.DefaultScaleSRS(4800)
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	mit, _ := core.New(mem, sys, stats.NewRNG(2))
+	var pinnedRow dram.RowID = -1
+	c := New(mem, NewTracker(sys, sys.Geometry), mit, sys.Mitigation.TS(), func(bank int, row dram.RowID) {
+		pinnedRow = row
+	})
+	loc := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: 9, Col: 0}
+	now := Cycles(0)
+	// Three T_S crossings: third pins.
+	for i := 0; i < 3*sys.Mitigation.TS(); i++ {
+		now = c.Access(loc, false, now)
+	}
+	if pinnedRow != 9 {
+		t.Errorf("pin callback got row %d, want 9", pinnedRow)
+	}
+}
+
+func TestHydraTrackerGeneratesMemOps(t *testing.T) {
+	sys := config.Default()
+	sys.Geometry.Channels = 1
+	sys.Geometry.BanksPerRnk = 2
+	sys.Geometry.RowsPerBank = 4096
+	sys.Mitigation = config.DefaultSRS(4800)
+	sys.Mitigation.Tracker = config.TrackerHydra
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	mit, _ := core.New(mem, sys, stats.NewRNG(3))
+	c := New(mem, NewTracker(sys, sys.Geometry), mit, sys.Mitigation.TS(), nil)
+	now := Cycles(0)
+	// Hammer rows across many groups to push Hydra into per-row mode.
+	for i := 0; i < 3000; i++ {
+		loc := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: dram.RowID(i % 4), Col: 0}
+		now = c.Access(loc, false, now)
+	}
+	if c.Stats().TrackerMemOps == 0 {
+		t.Error("Hydra generated no counter traffic")
+	}
+}
+
+func TestOnWindowEndResetsState(t *testing.T) {
+	c, mem, _ := testSetup(config.MitigationSRS, 4800)
+	loc := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: 5, Col: 0}
+	now := Cycles(0)
+	for i := 0; i < 100; i++ {
+		now = c.Access(loc, false, now)
+	}
+	if cnt, _, _ := mem.MaxWindowACT(); cnt == 0 {
+		t.Fatal("no window accounting")
+	}
+	c.OnWindowEnd(now)
+	if cnt, _, _ := mem.MaxWindowACT(); cnt != 0 {
+		t.Error("window counters not reset")
+	}
+}
+
+func TestNewTrackerKinds(t *testing.T) {
+	sys := config.Default()
+	sys.Mitigation = config.DefaultRRS(4800)
+	if NewTracker(sys, sys.Geometry).Name() != "misra-gries" {
+		t.Error("default tracker should be Misra-Gries")
+	}
+	sys.Mitigation.Tracker = config.TrackerHydra
+	if NewTracker(sys, sys.Geometry).Name() != "hydra" {
+		t.Error("Hydra tracker not constructed")
+	}
+	// Baseline: tracker exists with huge threshold.
+	sys.Mitigation = config.Mitigation{}
+	trk := NewTracker(sys, sys.Geometry)
+	if trk == nil {
+		t.Fatal("baseline tracker nil")
+	}
+}
+
+func TestOpenPagePolicyRowHits(t *testing.T) {
+	c, mem, _ := testSetup(config.MitigationNone, 0)
+	c.SetOpenPage(true)
+	loc := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: 8, Col: 0}
+	now := c.Access(loc, false, 0)
+	acts := mem.Bank(0).TotalACTs
+	// Second access to the same open row: no new activation, lower latency.
+	loc.Col = 1
+	d2 := c.Access(loc, false, now)
+	if mem.Bank(0).TotalACTs != acts {
+		t.Error("row-buffer hit issued an ACT")
+	}
+	tm := mem.Timing()
+	if d2-now > tm.TCAS+tm.TBURST+tm.TRCD {
+		t.Errorf("row hit latency too high: %d", d2-now)
+	}
+	// A different row activates again.
+	c.Access(dram.Location{Row: 9}, false, d2)
+	if mem.Bank(0).TotalACTs != acts+1 {
+		t.Error("row miss should activate")
+	}
+}

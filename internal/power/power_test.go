@@ -1,0 +1,69 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationMatchesTable5(t *testing.T) {
+	m := NewModel()
+	rrs := m.RRS(4800)
+	scale := m.ScaleSRS(4800)
+	paperRRS, paperScale := PaperTable5()
+	// The SRAM model is calibrated to Table V's per-bank sizes; our
+	// first-principles sizes differ slightly, so allow a band.
+	if math.Abs(rrs.SRAMmW-paperRRS.SRAMmW) > 200 {
+		t.Errorf("RRS SRAM = %.0f mW, paper %.0f", rrs.SRAMmW, paperRRS.SRAMmW)
+	}
+	if math.Abs(scale.SRAMmW-paperScale.SRAMmW) > 200 {
+		t.Errorf("Scale SRAM = %.0f mW, paper %.0f", scale.SRAMmW, paperScale.SRAMmW)
+	}
+	// Headline: Scale-SRS ~23% lower on-chip power.
+	saving := 1 - scale.SRAMmW/rrs.SRAMmW
+	if saving < 0.10 || saving > 0.35 {
+		t.Errorf("SRAM saving = %.1f%%, paper: ~23%%", saving*100)
+	}
+}
+
+func TestDRAMOverheadShape(t *testing.T) {
+	m := NewModel()
+	rrs := m.RRS(4800)
+	scale := m.ScaleSRS(4800)
+	if rrs.DRAMOverheadPct <= scale.DRAMOverheadPct {
+		t.Errorf("RRS DRAM overhead (%.2f%%) should exceed Scale-SRS (%.2f%%)",
+			rrs.DRAMOverheadPct, scale.DRAMOverheadPct)
+	}
+	// Table V magnitudes: fractions of a percent.
+	if rrs.DRAMOverheadPct > 2 || rrs.DRAMOverheadPct < 0.1 {
+		t.Errorf("RRS DRAM overhead = %.2f%%, paper: 0.5%%", rrs.DRAMOverheadPct)
+	}
+	if scale.DRAMOverheadPct > 1 || scale.DRAMOverheadPct < 0.05 {
+		t.Errorf("Scale DRAM overhead = %.2f%%, paper: 0.2%%", scale.DRAMOverheadPct)
+	}
+}
+
+func TestOverheadGrowsAtLowerTRH(t *testing.T) {
+	m := NewModel()
+	if m.RRS(1200).SRAMmW <= m.RRS(4800).SRAMmW {
+		t.Error("RRS SRAM power should grow as T_RH drops (bigger RIT)")
+	}
+	if m.RRS(1200).DRAMOverheadPct <= m.RRS(4800).DRAMOverheadPct {
+		t.Error("RRS DRAM overhead should grow as T_RH drops (more swaps)")
+	}
+	// Scale-SRS stays cheaper at every threshold.
+	for _, trh := range []int{4800, 2400, 1200} {
+		if m.ScaleSRS(trh).SRAMmW >= m.RRS(trh).SRAMmW {
+			t.Errorf("Scale-SRS SRAM not cheaper at TRH %d", trh)
+		}
+	}
+}
+
+func TestPaperTable5Values(t *testing.T) {
+	rrs, scale := PaperTable5()
+	if rrs.SRAMmW != 903 || scale.SRAMmW != 703 {
+		t.Error("paper SRAM values wrong")
+	}
+	if rrs.DRAMOverheadPct != 0.5 || scale.DRAMOverheadPct != 0.2 {
+		t.Error("paper DRAM values wrong")
+	}
+}

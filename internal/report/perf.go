@@ -1,0 +1,280 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// PerfOptions selects the workload set and simulation scale for the
+// performance figures.
+type PerfOptions struct {
+	// Workloads restricts the evaluation set (nil = all 78).
+	Workloads []string
+	// Cores per workload (default 8, Table III).
+	Cores int
+	// Sim carries the simulation scale knobs.
+	Sim sim.Options
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o PerfOptions) withDefaults() PerfOptions {
+	if o.Cores <= 0 {
+		o.Cores = 8
+	}
+	return o
+}
+
+// QuickWorkloads is a 12-workload subset spanning all suites, used by
+// the benchmark harness where running all 78 would be prohibitive.
+var QuickWorkloads = []string{
+	"gups", "gcc", "hmmer", "mcf", "povray", // SPEC2K6 + GUPS
+	"xz_17", "lbm_17", // SPEC2K17
+	"pr",              // GAP
+	"comm1",           // COMMERCIAL
+	"canneal",         // PARSEC
+	"mummer",          // BIOBENCH
+	"mix5",            // MIX
+}
+
+func (o PerfOptions) workloadSet() []trace.Workload {
+	all := trace.Workloads(o.Cores)
+	if o.Workloads == nil {
+		return all
+	}
+	byName := map[string]trace.Workload{}
+	for _, w := range all {
+		byName[w.Name] = w
+	}
+	var out []trace.Workload
+	for _, name := range o.Workloads {
+		if w, ok := byName[name]; ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PerfRow is one workload's normalized performance under each evaluated
+// configuration (keyed by config label).
+type PerfRow struct {
+	Workload string
+	Suite    string
+	HasHot   bool
+	Norm     map[string]float64
+}
+
+// runMatrix evaluates each workload under a baseline plus the given
+// mitigation configurations, returning normalized performance rows.
+func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow, error) {
+	opt = opt.withDefaults()
+	var rows []PerfRow
+	for _, w := range opt.workloadSet() {
+		sys := config.Default()
+		sys.Core.Cores = opt.Cores
+		base := sys
+		base.Mitigation = config.Mitigation{}
+		rb, err := sim.Run(w, base, opt.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", w.Name, err)
+		}
+		row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
+			Norm: map[string]float64{}}
+		for label, m := range configs {
+			sys.Mitigation = m
+			rm, err := sim.Run(w, sys, opt.Sim)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", label, w.Name, err)
+			}
+			row.Norm[label] = rm.MeanIPC / rb.MeanIPC
+		}
+		rows = append(rows, row)
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "  %-14s done (baseline IPC %.3f)\n", w.Name, rb.MeanIPC)
+		}
+	}
+	return rows, nil
+}
+
+// suiteMeans aggregates normalized performance per suite (and ALL), in
+// the paper's suite display order.
+func suiteMeans(rows []PerfRow, label string) ([]string, []float64) {
+	bySuite := map[string][]float64{}
+	var all []float64
+	for _, r := range rows {
+		v := r.Norm[label]
+		bySuite[r.Suite] = append(bySuite[r.Suite], v)
+		all = append(all, v)
+	}
+	var names []string
+	var vals []float64
+	for _, s := range trace.SuiteOrder {
+		if xs, ok := bySuite[s]; ok {
+			names = append(names, s)
+			vals = append(vals, stats.GeoMean(xs))
+		}
+	}
+	names = append(names, fmt.Sprintf("ALL-%d", len(all)))
+	vals = append(vals, stats.GeoMean(all))
+	return names, vals
+}
+
+func printSuiteTable(w io.Writer, rows []PerfRow, labels []string) {
+	fmt.Fprintf(w, "%-22s", "suite")
+	for _, l := range labels {
+		fmt.Fprintf(w, "%22s", l)
+	}
+	fmt.Fprintln(w)
+	names, _ := suiteMeans(rows, labels[0])
+	cols := make([][]float64, len(labels))
+	for i, l := range labels {
+		_, cols[i] = suiteMeans(rows, l)
+	}
+	for r, name := range names {
+		fmt.Fprintf(w, "%-22s", name)
+		for i := range labels {
+			fmt.Fprintf(w, "%22.4f", cols[i][r])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig4 reproduces Figure 4: RRS with and without immediate unswaps.
+// Expect the no-unswap variant to lose an extra few percent from its
+// window-end unravel spikes.
+func Fig4(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
+	fmt.Fprintln(w, "Figure 4: RRS with vs. without immediate unswap (normalized IPC)")
+	configs := map[string]config.Mitigation{}
+	var labels []string
+	for _, trh := range []int{1200, 2400, 4800} {
+		u := config.DefaultRRS(trh)
+		labels = append(labels, fmt.Sprintf("unswap@%d", trh))
+		configs[fmt.Sprintf("unswap@%d", trh)] = u
+		n := u
+		n.ImmediateUnswap = false
+		labels = append(labels, fmt.Sprintf("nounswap@%d", trh))
+		configs[fmt.Sprintf("nounswap@%d", trh)] = n
+	}
+	rows, err := runMatrix(opt, configs)
+	if err != nil {
+		return nil, err
+	}
+	printSuiteTable(w, rows, labels)
+	return rows, nil
+}
+
+// Fig14 reproduces Figure 14: per-workload normalized performance of
+// Scale-SRS and RRS at T_RH 1200 with the Misra-Gries tracker. The
+// detailed panel lists workloads with hot rows (>800 ACTs/window); suite
+// and ALL averages follow.
+func Fig14(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
+	fmt.Fprintln(w, "Figure 14: Scale-SRS vs RRS at T_RH 1200 (normalized IPC)")
+	configs := map[string]config.Mitigation{
+		"rrs":       config.DefaultRRS(1200),
+		"scale-srs": config.DefaultScaleSRS(1200),
+	}
+	rows, err := runMatrix(opt, configs)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Workloads with at least one hot row:")
+	fmt.Fprintf(w, "  %-16s %12s %12s\n", "workload", "RRS", "Scale-SRS")
+	hot := append([]PerfRow(nil), rows...)
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Norm["rrs"] < hot[j].Norm["rrs"] })
+	for _, r := range hot {
+		if r.HasHot {
+			fmt.Fprintf(w, "  %-16s %12.4f %12.4f\n", r.Workload, r.Norm["rrs"], r.Norm["scale-srs"])
+		}
+	}
+	printSuiteTable(w, rows, []string{"rrs", "scale-srs"})
+	_, rrsAll := suiteMeans(rows, "rrs")
+	_, scaleAll := suiteMeans(rows, "scale-srs")
+	fmt.Fprintf(w, "average slowdown: RRS %.1f%%, Scale-SRS %.1f%% (paper: 4%% and 0.7%%)\n",
+		(1-rrsAll[len(rrsAll)-1])*100, (1-scaleAll[len(scaleAll)-1])*100)
+	return rows, nil
+}
+
+// Fig15 reproduces Figure 15: sensitivity to T_RH from 4800 down to 512
+// with the Misra-Gries tracker.
+func Fig15(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
+	return trhSweep(w, opt, config.TrackerMisraGries,
+		"Figure 15: T_RH sensitivity (Misra-Gries tracker)")
+}
+
+// Fig16 reproduces Figure 16: the same sweep with the Hydra tracker,
+// whose DRAM-resident counters add traffic at low T_RH.
+func Fig16(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
+	return trhSweep(w, opt, config.TrackerHydra,
+		"Figure 16: T_RH sensitivity (Hydra tracker)")
+}
+
+func trhSweep(w io.Writer, opt PerfOptions, trk config.TrackerKind, title string) ([]PerfRow, error) {
+	fmt.Fprintln(w, title)
+	configs := map[string]config.Mitigation{}
+	var labels []string
+	for _, trh := range []int{512, 1200, 2400, 4800} {
+		r := config.DefaultRRS(trh)
+		r.Tracker = trk
+		labels = append(labels, fmt.Sprintf("rrs@%d", trh))
+		configs[fmt.Sprintf("rrs@%d", trh)] = r
+		s := config.DefaultScaleSRS(trh)
+		s.Tracker = trk
+		labels = append(labels, fmt.Sprintf("scale@%d", trh))
+		configs[fmt.Sprintf("scale@%d", trh)] = s
+	}
+	rows, err := runMatrix(opt, configs)
+	if err != nil {
+		return nil, err
+	}
+	printSuiteTable(w, rows, labels)
+	_, r512 := suiteMeans(rows, "rrs@512")
+	_, s512 := suiteMeans(rows, "scale@512")
+	fmt.Fprintf(w, "at T_RH 512: RRS %.1f%% vs Scale-SRS %.1f%% slowdown\n",
+		(1-r512[len(r512)-1])*100, (1-s512[len(s512)-1])*100)
+	return rows, nil
+}
+
+// Comparators evaluates the §IX-A related-work mechanisms (BlockHammer
+// throttling, AQUA quarantine) against Scale-SRS at the given T_RH,
+// reproducing the qualitative comparison: BlockHammer suffers
+// DoS-style slowdowns on hot workloads, AQUA behaves comparably to
+// swap-based isolation but reserves quarantine capacity.
+func Comparators(w io.Writer, opt PerfOptions, trh int) ([]PerfRow, error) {
+	fmt.Fprintf(w, "§IX-A comparators at T_RH %d (normalized IPC)\n", trh)
+	configs := map[string]config.Mitigation{
+		"scale-srs":   config.DefaultScaleSRS(trh),
+		"blockhammer": config.DefaultBlockHammer(trh),
+		"aqua":        config.DefaultAQUA(trh),
+	}
+	rows, err := runMatrix(opt, configs)
+	if err != nil {
+		return nil, err
+	}
+	printSuiteTable(w, rows, []string{"scale-srs", "aqua", "blockhammer"})
+	return rows, nil
+}
+
+// Fig12 reproduces Figure 12: SRS performs like RRS (same swap rate 6)
+// across T_RH values — SRS fixes security, Scale-SRS fixes scalability.
+func Fig12(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
+	fmt.Fprintln(w, "Figure 12: SRS vs RRS (normalized IPC, swap rate 6)")
+	configs := map[string]config.Mitigation{}
+	var labels []string
+	for _, trh := range []int{1200, 2400, 4800} {
+		labels = append(labels, fmt.Sprintf("rrs@%d", trh), fmt.Sprintf("srs@%d", trh))
+		configs[fmt.Sprintf("rrs@%d", trh)] = config.DefaultRRS(trh)
+		configs[fmt.Sprintf("srs@%d", trh)] = config.DefaultSRS(trh)
+	}
+	rows, err := runMatrix(opt, configs)
+	if err != nil {
+		return nil, err
+	}
+	printSuiteTable(w, rows, labels)
+	return rows, nil
+}

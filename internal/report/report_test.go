@@ -1,0 +1,158 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSecurityReportsRender(t *testing.T) {
+	var b bytes.Buffer
+	series := Fig1a(&b)
+	if len(series) != 4 {
+		t.Errorf("Fig1a series = %d", len(series))
+	}
+	if !strings.Contains(b.String(), "TRH") {
+		t.Error("Fig1a output missing header")
+	}
+
+	b.Reset()
+	Table1(&b)
+	if !strings.Contains(b.String(), "DDR3 (old)") || !strings.Contains(b.String(), "29x") {
+		t.Errorf("Table1 output malformed:\n%s", b.String())
+	}
+
+	b.Reset()
+	s6 := Fig6(&b, 0)
+	if len(s6) != 3 || len(s6[0].X) != 15 {
+		t.Errorf("Fig6 series shape wrong: %d x %d", len(s6), len(s6[0].X))
+	}
+	if !strings.Contains(b.String(), "best: TRH=4800") {
+		t.Error("Fig6 missing best-N line")
+	}
+
+	b.Reset()
+	s7 := Fig7(&b)
+	if len(s7) != 3 {
+		t.Errorf("Fig7 series = %d", len(s7))
+	}
+	// k decreases with N for TRH=4800.
+	first, last := s7[0].Y[0], s7[0].Y[len(s7[0].Y)-1]
+	if first <= last {
+		t.Errorf("Fig7 k should fall with rounds: %g -> %g", first, last)
+	}
+
+	b.Reset()
+	s10 := Fig10(&b)
+	if len(s10) != 6 {
+		t.Errorf("Fig10 series = %d", len(s10))
+	}
+
+	b.Reset()
+	s13 := Fig13(&b)
+	if len(s13) != 4 {
+		t.Errorf("Fig13 series = %d", len(s13))
+	}
+
+	b.Reset()
+	Table4(&b)
+	if !strings.Contains(b.String(), "Scale-SRS extras") {
+		t.Error("Table4 missing extras line")
+	}
+
+	b.Reset()
+	Table5(&b)
+	if !strings.Contains(b.String(), "SRAM power") {
+		t.Error("Table5 missing SRAM line")
+	}
+
+	b.Reset()
+	Discussion(&b)
+	out := b.String()
+	for _, want := range []string{"multi-bank", "open page", "DDR5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Discussion missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6MonteCarloColumn(t *testing.T) {
+	var b bytes.Buffer
+	Fig6(&b, 20)
+	if !strings.Contains(b.String(), "MC@4800") {
+		t.Error("Monte-Carlo column missing")
+	}
+}
+
+func tinyPerfOpts() PerfOptions {
+	return PerfOptions{
+		Workloads: []string{"gcc", "povray"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 150_000, WindowNS: 400_000},
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	var b bytes.Buffer
+	rows, err := Fig14(&b, tinyPerfOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Norm["rrs"] <= 0 || r.Norm["scale-srs"] <= 0 {
+			t.Errorf("row %s missing data: %+v", r.Workload, r.Norm)
+		}
+	}
+	out := b.String()
+	if !strings.Contains(out, "average slowdown") {
+		t.Error("Fig14 missing summary line")
+	}
+	if !strings.Contains(out, "ALL-2") {
+		t.Error("Fig14 missing ALL aggregate")
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	var b bytes.Buffer
+	rows, err := Fig4(&b, PerfOptions{
+		Workloads: []string{"gcc"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 150_000, WindowNS: 400_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Norm) != 6 {
+		t.Fatalf("Fig4 shape wrong: %+v", rows)
+	}
+}
+
+func TestSuiteMeansOrdering(t *testing.T) {
+	rows := []PerfRow{
+		{Workload: "a", Suite: "GAP", Norm: map[string]float64{"x": 0.9}},
+		{Workload: "b", Suite: "GUPS", Norm: map[string]float64{"x": 0.8}},
+	}
+	names, vals := suiteMeans(rows, "x")
+	if names[0] != "GUPS" || names[1] != "GAP" {
+		t.Errorf("suite order wrong: %v", names)
+	}
+	if names[2] != "ALL-2" {
+		t.Errorf("ALL label wrong: %v", names)
+	}
+	if vals[2] <= 0.84 || vals[2] >= 0.85 {
+		t.Errorf("geomean(0.9,0.8) = %g", vals[2])
+	}
+}
+
+func TestQuickWorkloadsResolve(t *testing.T) {
+	opt := PerfOptions{Workloads: QuickWorkloads, Cores: 8}
+	set := opt.workloadSet()
+	if len(set) != len(QuickWorkloads) {
+		t.Errorf("resolved %d of %d quick workloads", len(set), len(QuickWorkloads))
+	}
+}

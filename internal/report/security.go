@@ -1,0 +1,286 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation as formatted text plus structured data series. It is the
+// shared engine behind cmd/rowswap-figures and the benchmark harness in
+// bench_test.go.
+//
+// Security results (Figs. 1a, 6, 7, 10, 13; Tables I, IV, V; §III-C and
+// §VIII analyses) come from internal/attack's analytical models and
+// Monte-Carlo engine; performance results (Figs. 4, 14, 15, 16) come
+// from whole-system simulation via internal/sim.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/attack"
+	"repro/internal/config"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// fmtDays renders a time-to-break with sane units.
+func fmtDays(days float64) string {
+	switch {
+	case math.IsInf(days, 1):
+		return "inf"
+	case days >= 2*365:
+		return fmt.Sprintf("%.1f years", days/365)
+	case days >= 1:
+		return fmt.Sprintf("%.1f days", days)
+	case days*24 >= 1:
+		return fmt.Sprintf("%.1f hours", days*24)
+	default:
+		return fmt.Sprintf("%.0f ms", days*24*3600*1000)
+	}
+}
+
+// Fig1a reproduces Figure 1(a): time-to-break RRS under the untargeted
+// random-guess attack, sweeping swap rate and T_RH.
+func Fig1a(w io.Writer) []Series {
+	fmt.Fprintln(w, "Figure 1(a): Time-to-break RRS, untargeted random-guess attack")
+	fmt.Fprintln(w, "(paper: >10^3 days at swap rate 6, T_RH 4800 - the 'GOAL' band is <1 day)")
+	fmt.Fprintf(w, "%-10s", "TRH\\rate")
+	rates := []int{4, 5, 6, 7}
+	for _, r := range rates {
+		fmt.Fprintf(w, "%16d", r)
+	}
+	fmt.Fprintln(w)
+	var out []Series
+	for _, trh := range []int{1200, 2400, 4800, 9600} {
+		s := Series{Label: fmt.Sprintf("TRH=%d", trh)}
+		fmt.Fprintf(w, "%-10d", trh)
+		for _, rate := range rates {
+			m := attack.NewRandomGuessRRS(trh, rate)
+			d := m.TimeToBreakDays(0)
+			s.X = append(s.X, float64(rate))
+			s.Y = append(s.Y, d)
+			fmt.Fprintf(w, "%16s", fmtDays(d))
+		}
+		fmt.Fprintln(w)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Table1 reproduces Table I: demonstrated Row Hammer thresholds.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table I: Row Hammer thresholds, 2014-2021")
+	fmt.Fprintf(w, "%-16s %10s   %s\n", "Generation", "T_RH", "Source")
+	for _, e := range config.RHThresholdHistory() {
+		fmt.Fprintf(w, "%-16s %10d   %s\n", e.Generation, e.TRH, e.Source)
+	}
+	fmt.Fprintf(w, "Reduction over 8 years: %.0fx (paper: ~29x)\n",
+		config.ThresholdReductionFactor())
+}
+
+// Fig6 reproduces Figure 6: time-to-break RRS with Juggernaut vs. attack
+// rounds, analytical model validated by Monte-Carlo simulation.
+// mcIters=0 skips the Monte-Carlo points.
+func Fig6(w io.Writer, mcIters int) []Series {
+	fmt.Fprintln(w, "Figure 6: Time-to-break RRS with Juggernaut (swap rate 6)")
+	fmt.Fprintf(w, "%-8s", "N")
+	trhs := []int{4800, 2400, 1200}
+	for _, trh := range trhs {
+		fmt.Fprintf(w, "%16s", fmt.Sprintf("TRH=%d", trh))
+	}
+	if mcIters > 0 {
+		fmt.Fprintf(w, "%20s", "MC@4800 (iters)")
+	}
+	fmt.Fprintln(w)
+	rng := stats.NewRNG(0xf16)
+	out := make([]Series, len(trhs))
+	for i, trh := range trhs {
+		out[i].Label = fmt.Sprintf("TRH=%d", trh)
+	}
+	for n := 0; n <= 1400; n += 100 {
+		fmt.Fprintf(w, "%-8d", n)
+		for i, trh := range trhs {
+			m := attack.NewJuggernautRRS(trh, 6)
+			d := m.TimeToBreakDays(n)
+			out[i].X = append(out[i].X, float64(n))
+			out[i].Y = append(out[i].Y, d)
+			fmt.Fprintf(w, "%16s", fmtDays(d))
+		}
+		if mcIters > 0 {
+			m := attack.NewJuggernautRRS(4800, 6)
+			res := attack.MonteCarlo(m, n, mcIters, rng)
+			if res.Skipped {
+				fmt.Fprintf(w, "%20s", "-")
+			} else {
+				fmt.Fprintf(w, "%20s", fmtDays(res.MeanTimeNS/config.Day))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, trh := range trhs {
+		m := attack.NewJuggernautRRS(trh, 6)
+		n, tt := m.BestRounds()
+		fmt.Fprintf(w, "best: TRH=%d N=%d time=%s\n", trh, n, fmtDays(tt/config.Day))
+	}
+	return out
+}
+
+// Fig7 reproduces Figure 7: required correct random guesses k vs. attack
+// rounds.
+func Fig7(w io.Writer) []Series {
+	fmt.Fprintln(w, "Figure 7: Required correct guesses vs. attack rounds (swap rate 6)")
+	trhs := []int{4800, 2400, 1200}
+	fmt.Fprintf(w, "%-8s", "N")
+	for _, trh := range trhs {
+		fmt.Fprintf(w, "%12s", fmt.Sprintf("TRH=%d", trh))
+	}
+	fmt.Fprintln(w)
+	out := make([]Series, len(trhs))
+	for i, trh := range trhs {
+		out[i].Label = fmt.Sprintf("TRH=%d", trh)
+	}
+	for n := 0; n <= 1400; n += 100 {
+		fmt.Fprintf(w, "%-8d", n)
+		for i, trh := range trhs {
+			k := attack.NewJuggernautRRS(trh, 6).RequiredGuesses(n)
+			out[i].X = append(out[i].X, float64(n))
+			out[i].Y = append(out[i].Y, float64(k))
+			fmt.Fprintf(w, "%12d", k)
+		}
+		fmt.Fprintln(w)
+	}
+	return out
+}
+
+// Fig10 reproduces Figure 10: time-to-break SRS vs. RRS under Juggernaut
+// across swap rates 6-10.
+func Fig10(w io.Writer) []Series {
+	fmt.Fprintln(w, "Figure 10: Time-to-break under Juggernaut, SRS vs RRS")
+	fmt.Fprintf(w, "%-22s", "defense/TRH\\rate")
+	for rate := 6; rate <= 10; rate++ {
+		fmt.Fprintf(w, "%16d", rate)
+	}
+	fmt.Fprintln(w)
+	var out []Series
+	for _, def := range []string{"srs", "rrs"} {
+		for _, trh := range []int{4800, 2400, 1200} {
+			s := Series{Label: fmt.Sprintf("%s TRH=%d", def, trh)}
+			fmt.Fprintf(w, "%-22s", s.Label)
+			for rate := 6; rate <= 10; rate++ {
+				var m attack.Model
+				if def == "srs" {
+					m = attack.NewJuggernautSRS(trh, rate)
+				} else {
+					m = attack.NewJuggernautRRS(trh, rate)
+				}
+				_, tt := m.BestRounds()
+				d := tt / config.Day
+				s.X = append(s.X, float64(rate))
+				s.Y = append(s.Y, d)
+				fmt.Fprintf(w, "%16s", fmtDays(d))
+			}
+			fmt.Fprintln(w)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig13 reproduces Figure 13: time for M outlier rows (3 swaps each) to
+// appear simultaneously, vs. swap rate, at T_RH 4800.
+func Fig13(w io.Writer) []Series {
+	fmt.Fprintln(w, "Figure 13: Time-to-appear of outlier rows (k=3 swaps), T_RH 4800")
+	fmt.Fprintf(w, "%-10s", "M\\rate")
+	rates := []int{3, 4, 5, 6}
+	for _, r := range rates {
+		fmt.Fprintf(w, "%16d", r)
+	}
+	fmt.Fprintln(w)
+	var out []Series
+	for m := 1; m <= 4; m++ {
+		s := Series{Label: fmt.Sprintf("M=%d", m)}
+		fmt.Fprintf(w, "%-10d", m)
+		for _, rate := range rates {
+			o := attack.NewOutlierModel(4800, rate)
+			d := o.TimeToAppearDays(m, 3)
+			s.X = append(s.X, float64(rate))
+			s.Y = append(s.Y, d)
+			fmt.Fprintf(w, "%16s", fmtDays(d))
+		}
+		fmt.Fprintln(w)
+		out = append(out, s)
+	}
+	fmt.Fprintln(w, "(paper: 3 outliers once per ~31 days and 4 outliers per ~64 years at rate 3)")
+	return out
+}
+
+// Table4 reproduces Table IV: per-bank storage, model vs. paper.
+func Table4(w io.Writer) {
+	m := storage.NewModel()
+	fmt.Fprintln(w, "Table IV: Storage overhead per bank (KB)")
+	fmt.Fprintf(w, "%-8s %14s %14s %12s %14s %14s %12s\n",
+		"TRH", "RRS(model)", "Scale(model)", "ratio", "RRS(paper)", "Scale(paper)", "ratio")
+	for _, p := range storage.PaperTable4() {
+		r := m.RRS(p.TRH)
+		s := m.ScaleSRS(p.TRH)
+		fmt.Fprintf(w, "%-8d %14.1f %14.1f %12.2f %14.1f %14.1f %12.2f\n",
+			p.TRH, r.TotalKB(), s.TotalKB(), m.Reduction(p.TRH),
+			p.RRSTotalKB, p.ScaleTotalKB, p.RRSTotalKB/p.ScaleTotalKB)
+	}
+	fmt.Fprintf(w, "Scale-SRS extras at 4800: place-back 8KB, epoch reg 19b, pin buffer %.0fB\n",
+		m.ScaleSRS(4800).PinBufferBytes)
+	fmt.Fprintf(w, "DRAM swap counters: %d KB/bank (%.2f%% of capacity; paper: 0.05%%)\n",
+		m.CounterDRAMBytes()/1024, m.CounterDRAMFraction()*100)
+}
+
+// Table5 reproduces Table V: extra power per channel at T_RH 4800.
+func Table5(w io.Writer) {
+	m := power.NewModel()
+	rrs, scale := m.RRS(4800), m.ScaleSRS(4800)
+	prrs, pscale := power.PaperTable5()
+	fmt.Fprintln(w, "Table V: Extra power per channel (T_RH 4800)")
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "", "RRS", "Scale-SRS")
+	fmt.Fprintf(w, "%-28s %11.1f%% %11.1f%%   (paper: %.1f%% / %.1f%%)\n",
+		"DRAM power overhead", rrs.DRAMOverheadPct, scale.DRAMOverheadPct,
+		prrs.DRAMOverheadPct, pscale.DRAMOverheadPct)
+	fmt.Fprintf(w, "%-28s %9.0f mW %9.0f mW   (paper: %.0f / %.0f mW)\n",
+		"SRAM power", rrs.SRAMmW, scale.SRAMmW, prrs.SRAMmW, pscale.SRAMmW)
+	fmt.Fprintf(w, "On-chip power saving: %.0f%% (paper: ~23%%)\n",
+		(1-scale.SRAMmW/rrs.SRAMmW)*100)
+}
+
+// Discussion reproduces the §III-C and §VIII secondary analyses:
+// multi-bank attacks, open-page policy, and DDR5.
+func Discussion(w io.Writer) {
+	fmt.Fprintln(w, "Secondary security analyses")
+
+	single := attack.NewJuggernautRRS(4800, 6)
+	_, st := single.BestRounds()
+	multi := single
+	multi.Banks = 16
+	_, mt := multi.BestRounds()
+	fmt.Fprintf(w, "  §III-C multi-bank: single-bank %s -> 16-bank %s (paper: 4h -> 9.9y)\n",
+		fmtDays(st/config.Day), fmtDays(mt/config.Day))
+
+	open := single
+	open.ACTPeriodNS = 60
+	_, ot := open.BestRounds()
+	fmt.Fprintf(w, "  §VIII-3 open page at 4800/rate 6: %s -> %s (paper: 4h -> 10 days)\n",
+		fmtDays(st/config.Day), fmtDays(ot/config.Day))
+	lowOpen := attack.NewJuggernautRRS(3300, 10)
+	lowOpen.ACTPeriodNS = 60
+	_, lt := lowOpen.BestRounds()
+	fmt.Fprintf(w, "  §VIII-3 open page at 3300/rate 10: %s (paper: <1 day)\n",
+		fmtDays(lt/config.Day))
+
+	d5 := attack.NewJuggernautRRS(3100, 10)
+	d5.Timing = config.DDR5()
+	_, dt := d5.BestRounds()
+	fmt.Fprintf(w, "  §VIII-5 DDR5 at 3100/rate 10: %s (paper: <1 day)\n",
+		fmtDays(dt/config.Day))
+}

@@ -1,0 +1,113 @@
+package stats
+
+import "math"
+
+// LogChoose returns log(C(n, k)) computed via log-gamma, valid for large n
+// (the attack model evaluates C(G, k) with G ~ 70,000).
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// LogBinomialPMF returns log P[X = k] for X ~ Binomial(n, p).
+// It is exact in log space, usable down to probabilities ~1e-300.
+func LogBinomialPMF(n, k int, p float64) float64 {
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p). This is Equation 8
+// of the paper: the probability that a row is selected exactly k times
+// within G random guesses, p = 1/R.
+func BinomialPMF(n, k int, p float64) float64 {
+	return math.Exp(LogBinomialPMF(n, k, p))
+}
+
+// BinomialTail returns P[X >= k] for X ~ Binomial(n, p), summed in log
+// space with stable accumulation. For the tiny p regimes in the attack
+// model the sum converges in a handful of terms.
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	// Sum PMF from k upward; terms decay geometrically once past the mode.
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		term := BinomialPMF(n, i, p)
+		sum += term
+		if term < sum*1e-16 && i > int(float64(n)*p)+1 {
+			break
+		}
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// LogPoissonPMF returns log P[X = k] for X ~ Poisson(lambda).
+func LogPoissonPMF(k int, lambda float64) float64 {
+	if lambda <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return float64(k)*math.Log(lambda) - lambda - lg
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(lambda). This is the
+// distribution used in §V-B (footnote 4) for the expected number of rows
+// with k swaps: P[M rows] = e^{-R_K} R_K^M / M!.
+func PoissonPMF(k int, lambda float64) float64 {
+	return math.Exp(LogPoissonPMF(k, lambda))
+}
+
+// PoissonTail returns P[X >= k] for X ~ Poisson(lambda).
+func PoissonTail(k int, lambda float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += PoissonPMF(i, lambda)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return 1 - sum
+}
+
+// ExpectedTrials returns the expected number of independent trials until an
+// event with probability p first occurs (1/p), or +Inf when p underflows
+// to zero. This converts per-epoch success probability to attack time.
+func ExpectedTrials(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / p
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {10, 3, 120}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("C(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("out-of-range LogChoose should be -Inf")
+	}
+}
+
+func TestLogChoosePascal(t *testing.T) {
+	// Property: C(n,k) = C(n-1,k-1) + C(n-1,k) for moderate n.
+	f := func(n0, k0 uint8) bool {
+		n := int(n0%40) + 2
+		k := int(k0) % n
+		if k == 0 {
+			return true
+		}
+		lhs := math.Exp(LogChoose(n, k))
+		rhs := math.Exp(LogChoose(n-1, k-1)) + math.Exp(LogChoose(n-1, k))
+		return math.Abs(lhs-rhs)/rhs < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{20, 0.3}, {100, 0.01}, {1000, 0.5}} {
+		sum := 0.0
+		for k := 0; k <= c.n; k++ {
+			sum += BinomialPMF(c.n, k, c.p)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("sum of Binomial(%d,%g) PMF = %g", c.n, c.p, sum)
+		}
+	}
+}
+
+func TestBinomialPMFPaperRegime(t *testing.T) {
+	// Equation 8 regime: G ~ 70,000 guesses, p = 1/131072, k = 3.
+	// Mean is ~0.534; P[X=3] should be ~ e^-m m^3/6 (Poisson approx).
+	g, p := 70000, 1.0/131072
+	m := float64(g) * p
+	want := math.Exp(-m) * m * m * m / 6
+	got := BinomialPMF(g, 3, p)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("BinomialPMF = %g, Poisson approx %g", got, want)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	if got := BinomialTail(10, 0, 0.5); got != 1 {
+		t.Errorf("P[X>=0] = %g, want 1", got)
+	}
+	if got := BinomialTail(10, 11, 0.5); got != 0 {
+		t.Errorf("P[X>=11] = %g, want 0", got)
+	}
+	// P[X>=1] = 1 - (1-p)^n.
+	n, p := 100, 0.02
+	want := 1 - math.Pow(1-p, float64(n))
+	if got := BinomialTail(n, 1, p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("P[X>=1] = %g, want %g", got, want)
+	}
+}
+
+func TestBinomialTailMonotone(t *testing.T) {
+	f := func(k0 uint8) bool {
+		n, p := 200, 0.05
+		k := int(k0) % n
+		return BinomialTail(n, k, p) >= BinomialTail(n, k+1, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonPMFAndTail(t *testing.T) {
+	sum := 0.0
+	for k := 0; k < 100; k++ {
+		sum += PoissonPMF(k, 3.5)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Poisson(3.5) PMF sums to %g", sum)
+	}
+	if got := PoissonTail(0, 3.5); got != 1 {
+		t.Errorf("P[X>=0] = %g", got)
+	}
+	// P[X>=1] = 1 - e^-lambda.
+	want := 1 - math.Exp(-3.5)
+	if got := PoissonTail(1, 3.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P[X>=1] = %g, want %g", got, want)
+	}
+	if PoissonPMF(0, 0) != 1 || PoissonPMF(3, 0) != 0 {
+		t.Error("degenerate Poisson wrong")
+	}
+}
+
+func TestExpectedTrials(t *testing.T) {
+	if got := ExpectedTrials(0.25); got != 4 {
+		t.Errorf("ExpectedTrials(0.25) = %g", got)
+	}
+	if !math.IsInf(ExpectedTrials(0), 1) {
+		t.Error("ExpectedTrials(0) should be +Inf")
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 1.0, 100)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be ~2x rank 1 under s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("rank0/rank1 = %g, want ~2", ratio)
+	}
+	// Probabilities must sum to 1 and match empirical counts roughly.
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf probs sum to %g", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(100) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(12)
+	z := NewZipf(r, 0, 10)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("Prob(%d) = %g, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %g", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should be 0")
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Error("Min/Max wrong")
+	}
+	if p := Percentile(xs, 50); math.Abs(p-2.5) > 1e-12 {
+		t.Errorf("Percentile(50) = %g", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("Percentile(0) = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 4 {
+		t.Errorf("Percentile(100) = %g", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+	if s := Stddev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("Stddev of constant = %g", s)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty-slice summaries should be 0")
+	}
+}

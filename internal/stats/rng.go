@@ -1,0 +1,183 @@
+// Package stats provides the deterministic randomness and numerical
+// machinery used by the reproduction: a seedable SplitMix64 /
+// xoshiro256** RNG, log-space binomial and Poisson tail probabilities
+// (the attack models operate on probabilities as small as 1e-20),
+// a Zipf sampler for workload locality, and summary statistics.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via SplitMix64). Every randomized structure in the
+// repository draws from an RNG derived from the experiment seed so all
+// results are bit-reproducible.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns an RNG seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 expansion of the seed into the xoshiro state. A zero
+	// state would be absorbing, and SplitMix64 guarantees non-zero
+	// output for any input sequence.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new RNG deterministically derived from r's current
+// state, advancing r. Use it to hand independent streams to substructures.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, _ := mul64(v, uint64(n))
+	return int(hi)
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask+a0*b1)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p: the number of Bernoulli(p) trials up to and including the
+// first success. For very small p it uses the inverse-CDF method to avoid
+// looping. Returns at least 1. Panics if p <= 0 or p > 1.
+func (r *RNG) Geometric(p float64) float64 {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric probability out of (0,1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return math.Ceil(math.Log(u) / math.Log1p(-p))
+}
+
+// Poisson returns a sample from the Poisson distribution with mean lambda.
+// For small lambda it uses Knuth's product method; for large lambda a
+// normal approximation with continuity correction (adequate for the
+// workload models that use it).
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := r.Normal()*math.Sqrt(lambda) + lambda
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}
+
+// Normal returns a standard normal sample (Box-Muller).
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Binomial returns a sample of the number of successes in n Bernoulli(p)
+// trials. Small n·p uses explicit trials or Poisson approximation; large
+// uses a normal approximation clamped to [0, n].
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	np := float64(n) * p
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	if np < 10 && p < 0.01 {
+		k := r.Poisson(np)
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	sd := math.Sqrt(np * (1 - p))
+	k := int(r.Normal()*sd + np + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "math"
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. The synthetic workload generators use it to model row-
+// activation locality: a large exponent concentrates activations on a few
+// hot rows (gcc-like behaviour), a small exponent spreads them (mcf-like).
+//
+// Sampling uses the inverse-CDF over a precomputed cumulative table, which
+// is exact and fast for the table sizes used by the trace generators.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s >= 0.
+// s == 0 degenerates to the uniform distribution. Panics if n <= 0.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next sampled rank in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

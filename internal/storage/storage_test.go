@@ -1,0 +1,121 @@
+package storage
+
+import "testing"
+
+func TestRITScalesInverselyWithTS(t *testing.T) {
+	m := NewModel()
+	r48 := m.RRS(4800)
+	r12 := m.RRS(1200)
+	// T_S drops 4x, so the RIT grows ~4x.
+	ratio := r12.RITBytes / r48.RITBytes
+	if ratio < 3.8 || ratio > 4.2 {
+		t.Errorf("RIT scaling 4800->1200 = %.2fx, want ~4x", ratio)
+	}
+}
+
+func TestScaleSRSReduction(t *testing.T) {
+	m := NewModel()
+	// Headline claim: ~3.3x lower storage at T_RH 1200. The
+	// first-principles model lands in the 2.5-4x band.
+	red := m.Reduction(1200)
+	if red < 2.5 || red > 4.5 {
+		t.Errorf("reduction at 1200 = %.2fx, paper: 3.3x", red)
+	}
+	// Scale-SRS wins at every threshold despite its extra structures.
+	for _, trh := range []int{4800, 2400, 1200} {
+		if m.Reduction(trh) <= 1 {
+			t.Errorf("Scale-SRS not smaller at TRH %d", trh)
+		}
+	}
+}
+
+func TestScaleSRSExtraStructures(t *testing.T) {
+	b := NewModel().ScaleSRS(4800)
+	if b.PlaceBackBytes != 8*1024 {
+		t.Errorf("place-back buffer = %g bytes, want 8 KB", b.PlaceBackBytes)
+	}
+	if b.EpochRegBits != 19 {
+		t.Errorf("epoch register = %d bits, want 19", b.EpochRegBits)
+	}
+	// §V-C: 66 entries x 35 bits ~= 289 bytes at T_RH 4800.
+	if b.PinBufferBytes < 280 || b.PinBufferBytes > 300 {
+		t.Errorf("pin buffer = %g bytes, paper: 289", b.PinBufferBytes)
+	}
+	// Lower T_RH needs a bigger pin buffer (~420 bytes).
+	lb := NewModel().ScaleSRS(1200)
+	if lb.PinBufferBytes <= b.PinBufferBytes {
+		t.Error("pin buffer should grow at lower T_RH")
+	}
+	if lb.PinBufferBytes < 350 || lb.PinBufferBytes > 440 {
+		t.Errorf("pin buffer at 1200 = %g bytes, paper: 420", lb.PinBufferBytes)
+	}
+}
+
+func TestRRSHasNoScaleStructures(t *testing.T) {
+	b := NewModel().RRS(4800)
+	if b.PlaceBackBytes != 0 || b.EpochRegBits != 0 || b.PinBufferBytes != 0 {
+		t.Errorf("RRS breakdown has Scale-SRS structures: %+v", b)
+	}
+	if b.SwapBufferBytes != 1024 {
+		t.Errorf("swap buffer = %g", b.SwapBufferBytes)
+	}
+}
+
+func TestTotalsAreConsistent(t *testing.T) {
+	b := NewModel().ScaleSRS(2400)
+	want := b.RITBytes + b.SwapBufferBytes + b.PlaceBackBytes +
+		float64(b.EpochRegBits)/8 + b.PinBufferBytes
+	if b.Total() != want {
+		t.Errorf("Total = %g, want %g", b.Total(), want)
+	}
+	if b.TotalKB() != want/1024 {
+		t.Error("TotalKB inconsistent")
+	}
+}
+
+func TestPaperTable4Embedded(t *testing.T) {
+	rows := PaperTable4()
+	if len(rows) != 3 {
+		t.Fatalf("PaperTable4 has %d rows", len(rows))
+	}
+	// Paper's headline ratio at 1200: 251/76.9 = 3.26x.
+	r := rows[2]
+	if r.TRH != 1200 {
+		t.Fatalf("row order wrong: %+v", r)
+	}
+	if ratio := r.RRSTotalKB / r.ScaleTotalKB; ratio < 3.2 || ratio > 3.4 {
+		t.Errorf("paper ratio = %.2f, want ~3.3", ratio)
+	}
+}
+
+func TestCounterDRAMFootprint(t *testing.T) {
+	m := NewModel()
+	// §IV-F: 512 KB per bank, 0.05% of capacity.
+	if got := m.CounterDRAMBytes(); got != 512*1024 {
+		t.Errorf("CounterDRAMBytes = %d, want 512 KB", got)
+	}
+	frac := m.CounterDRAMFraction()
+	if frac < 0.0004 || frac > 0.0006 {
+		t.Errorf("counter fraction = %.5f, paper: 0.05%%", frac)
+	}
+}
+
+func TestCompactRITSavesStorage(t *testing.T) {
+	m := NewModel()
+	for _, trh := range []int{4800, 2400, 1200} {
+		full := m.ScaleSRS(trh)
+		compact := m.ScaleSRSCompact(trh)
+		if compact.Mechanism != "scale-srs-compact" {
+			t.Fatalf("mechanism = %q", compact.Mechanism)
+		}
+		saving := full.RITBytes / compact.RITBytes
+		if saving <= 1.1 || saving > 2.0 {
+			t.Errorf("TRH %d: compact RIT saving = %.2fx, want (1.1, 2.0]", trh, saving)
+		}
+		// Non-RIT structures unchanged.
+		if compact.PlaceBackBytes != full.PlaceBackBytes ||
+			compact.PinBufferBytes != full.PinBufferBytes {
+			t.Error("compact variant changed non-RIT structures")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a USIMM-compatible text trace format so the
+// simulator can also be driven by externally captured traces (the
+// paper's artifact consumes Pin-generated traces in this shape):
+//
+//	<gap> R 0x<addr>
+//	<gap> W 0x<addr>
+//
+// where gap is the number of non-memory instructions preceding the
+// access. A trailing field (e.g. the PC in USIMM traces) is ignored.
+// Lines starting with '#' are comments. This package's extension: an
+// optional "NA" field after the address marks a non-allocating
+// (LLC-bypassing) access.
+
+// WriteRecords encodes records in the text format.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		var err error
+		if r.NoAlloc {
+			_, err = fmt.Fprintf(bw, "%d %s 0x%x NA\n", r.Gap, op, r.Addr)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %s 0x%x\n", r.Gap, op, r.Addr)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords decodes all records from the text format.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Record{}, fmt.Errorf("want '<gap> R|W <addr>', got %q", line)
+	}
+	gap, err := strconv.Atoi(f[0])
+	if err != nil || gap < 0 {
+		return Record{}, fmt.Errorf("bad gap %q", f[0])
+	}
+	var write bool
+	switch f[1] {
+	case "R", "r":
+	case "W", "w":
+		write = true
+	default:
+		return Record{}, fmt.Errorf("bad op %q", f[1])
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(f[2], "0x"), 16, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad address %q", f[2])
+	}
+	rec := Record{Gap: gap, Write: write, Addr: addr &^ 63}
+	if len(f) > 3 && strings.EqualFold(f[3], "NA") {
+		rec.NoAlloc = true
+	}
+	return rec, nil
+}
+
+// replayStream loops over a fixed record slice forever (rate-mode
+// semantics: benchmarks restart until every core retires its budget).
+type replayStream struct {
+	name string
+	recs []Record
+	i    int
+}
+
+// NewReplayStream returns a Stream that cycles through recs. It panics
+// if recs is empty.
+func NewReplayStream(name string, recs []Record) Stream {
+	if len(recs) == 0 {
+		panic("trace: empty replay stream")
+	}
+	return &replayStream{name: name, recs: recs}
+}
+
+func (s *replayStream) Name() string { return s.name }
+
+func (s *replayStream) Next() Record {
+	r := s.recs[s.i]
+	s.i++
+	if s.i == len(s.recs) {
+		s.i = 0
+	}
+	return r
+}
+
+// ReadStream reads an entire trace from r and returns a looping Stream.
+func ReadStream(name string, r io.Reader) (Stream, error) {
+	recs, err := ReadRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: %s contains no records", name)
+	}
+	return NewReplayStream(name, recs), nil
+}
+
+// Capture materializes the first n records of a generator — useful for
+// exporting synthetic workloads to files other tools can consume.
+func Capture(s Stream, n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	g := NewGenerator(p, config.DefaultGeometry(), 9)
+	recs := Capture(g, 500)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip: %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(gaps []uint16, seed uint64) bool {
+		if len(gaps) == 0 {
+			return true
+		}
+		recs := make([]Record, len(gaps))
+		for i, gp := range gaps {
+			recs[i] = Record{
+				Gap:     int(gp),
+				Write:   i%3 == 0,
+				Addr:    (uint64(gp)*64 + seed%1024*64) &^ 63,
+				NoAlloc: i%5 == 0,
+			}
+		}
+		var buf bytes.Buffer
+		if WriteRecords(&buf, recs) != nil {
+			return false
+		}
+		got, err := ReadRecords(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRecordsFormat(t *testing.T) {
+	in := `# comment
+12 R 0x1000
+3 W 0x2040
+0 r 0x80 NA
+
+7 w 0x3000 0xdeadbeef
+`
+	recs, err := ReadRecords(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Gap: 12, Addr: 0x1000},
+		{Gap: 3, Write: true, Addr: 0x2040},
+		{Gap: 0, Addr: 0x80, NoAlloc: true},
+		{Gap: 7, Write: true, Addr: 0x3000},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestReadRecordsErrors(t *testing.T) {
+	bad := []string{
+		"x R 0x10",    // bad gap
+		"-1 R 0x10",   // negative gap
+		"5 X 0x10",    // bad op
+		"5 R zz",      // bad addr
+		"5",           // too few fields
+	}
+	for _, line := range bad {
+		if _, err := ReadRecords(strings.NewReader(line)); err == nil {
+			t.Errorf("ReadRecords accepted %q", line)
+		}
+	}
+}
+
+func TestAddressesLineAligned(t *testing.T) {
+	recs, err := ReadRecords(strings.NewReader("1 R 0x103f\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Addr != 0x1000 {
+		t.Errorf("address not line-aligned: %#x", recs[0].Addr)
+	}
+}
+
+func TestReplayStreamLoops(t *testing.T) {
+	recs := []Record{{Gap: 1, Addr: 64}, {Gap: 2, Addr: 128}}
+	s := NewReplayStream("loop", recs)
+	if s.Name() != "loop" {
+		t.Error("name wrong")
+	}
+	for i := 0; i < 7; i++ {
+		got := s.Next()
+		if got != recs[i%2] {
+			t.Fatalf("iteration %d: %+v", i, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty replay stream should panic")
+		}
+	}()
+	NewReplayStream("empty", nil)
+}
+
+func TestReadStream(t *testing.T) {
+	s, err := ReadStream("f", strings.NewReader("1 R 0x40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Next().Addr != 0x40 {
+		t.Error("stream content wrong")
+	}
+	if _, err := ReadStream("empty", strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

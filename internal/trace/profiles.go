@@ -1,0 +1,193 @@
+package trace
+
+// This file defines the 78-workload evaluation set of the paper
+// (§VI): GUPS, 29 SPEC CPU2006, 22 SPEC CPU2017, 6 GAP, 5 COMMERCIAL,
+// 7 PARSEC, 2 BIOBENCH, and 6 MIX workloads.
+//
+// Profile parameters are synthetic but tuned so the workloads the paper
+// singles out behave accordingly:
+//
+//   - hmmer, bzip2, gcc, zeusmp, astar, sphinx3, xz_17 and GUPS have hot
+//     rows that exceed 800 activations inside a refresh window, making
+//     them swap-heavy under RRS (>10% slowdown at T_RH = 1200; gcc worst
+//     at 26.5%).
+//   - The remaining workloads have moderate or low DRAM activation
+//     concentration and see little overhead from any mitigation.
+
+// Suite display order used in all figures.
+var SuiteOrder = []string{
+	"GUPS", "SPEC2K6", "SPEC2K17", "GAP", "COMMERCIAL", "PARSEC", "BIOBENCH", "MIX",
+}
+
+// profiles is the full single-benchmark table (MIXes are composed below).
+var profiles = []Profile{
+	// GUPS: random updates over a giant table; intense, uniform row use.
+	{Name: "gups", Suite: "GUPS", AvgGap: 6, FootprintRows: 60000, RowZipf: 0, WriteFrac: 0.50, SeqRun: 1, HotRows: 4, HotFrac: 0.06},
+
+	// ---- SPEC CPU2006 (29) ----
+	{Name: "perlbench", Suite: "SPEC2K6", AvgGap: 90, FootprintRows: 700, RowZipf: 0.9, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "bzip2", Suite: "SPEC2K6", AvgGap: 18, FootprintRows: 2500, RowZipf: 1.1, WriteFrac: 0.35, SeqRun: 3, HotRows: 3, HotFrac: 0.13},
+	{Name: "gcc", Suite: "SPEC2K6", AvgGap: 12, FootprintRows: 4000, RowZipf: 1.2, WriteFrac: 0.30, SeqRun: 2, HotRows: 4, HotFrac: 0.17},
+	{Name: "mcf", Suite: "SPEC2K6", AvgGap: 7, FootprintRows: 30000, RowZipf: 0.3, WriteFrac: 0.25, SeqRun: 1},
+	{Name: "milc", Suite: "SPEC2K6", AvgGap: 10, FootprintRows: 20000, RowZipf: 0.2, WriteFrac: 0.30, SeqRun: 6},
+	{Name: "namd", Suite: "SPEC2K6", AvgGap: 120, FootprintRows: 600, RowZipf: 0.8, WriteFrac: 0.25, SeqRun: 4},
+	{Name: "gobmk", Suite: "SPEC2K6", AvgGap: 100, FootprintRows: 500, RowZipf: 0.9, WriteFrac: 0.30, SeqRun: 2},
+	{Name: "dealII", Suite: "SPEC2K6", AvgGap: 60, FootprintRows: 1500, RowZipf: 0.7, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "soplex", Suite: "SPEC2K6", AvgGap: 12, FootprintRows: 12000, RowZipf: 0.5, WriteFrac: 0.25, SeqRun: 3},
+	{Name: "povray", Suite: "SPEC2K6", AvgGap: 150, FootprintRows: 300, RowZipf: 0.9, WriteFrac: 0.25, SeqRun: 2},
+	{Name: "hmmer", Suite: "SPEC2K6", AvgGap: 16, FootprintRows: 1800, RowZipf: 1.3, WriteFrac: 0.40, SeqRun: 5, HotRows: 4, HotFrac: 0.17},
+	{Name: "sjeng", Suite: "SPEC2K6", AvgGap: 110, FootprintRows: 900, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 1},
+	{Name: "libquantum", Suite: "SPEC2K6", AvgGap: 9, FootprintRows: 8000, RowZipf: 0.1, WriteFrac: 0.25, SeqRun: 16},
+	{Name: "h264ref", Suite: "SPEC2K6", AvgGap: 80, FootprintRows: 800, RowZipf: 0.8, WriteFrac: 0.35, SeqRun: 6},
+	{Name: "lbm", Suite: "SPEC2K6", AvgGap: 8, FootprintRows: 25000, RowZipf: 0.1, WriteFrac: 0.45, SeqRun: 12},
+	{Name: "omnetpp", Suite: "SPEC2K6", AvgGap: 11, FootprintRows: 15000, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 1},
+	{Name: "astar", Suite: "SPEC2K6", AvgGap: 15, FootprintRows: 5000, RowZipf: 1.1, WriteFrac: 0.30, SeqRun: 1, HotRows: 3, HotFrac: 0.14},
+	{Name: "sphinx3", Suite: "SPEC2K6", AvgGap: 14, FootprintRows: 3000, RowZipf: 1.2, WriteFrac: 0.20, SeqRun: 4, HotRows: 4, HotFrac: 0.16},
+	{Name: "xalancbmk", Suite: "SPEC2K6", AvgGap: 30, FootprintRows: 4000, RowZipf: 0.8, WriteFrac: 0.30, SeqRun: 2},
+	{Name: "zeusmp", Suite: "SPEC2K6", AvgGap: 13, FootprintRows: 6000, RowZipf: 1.0, WriteFrac: 0.35, SeqRun: 8, HotRows: 3, HotFrac: 0.15},
+	{Name: "cactusADM", Suite: "SPEC2K6", AvgGap: 25, FootprintRows: 9000, RowZipf: 0.3, WriteFrac: 0.40, SeqRun: 8},
+	{Name: "leslie3d", Suite: "SPEC2K6", AvgGap: 14, FootprintRows: 11000, RowZipf: 0.2, WriteFrac: 0.35, SeqRun: 10},
+	{Name: "GemsFDTD", Suite: "SPEC2K6", AvgGap: 10, FootprintRows: 18000, RowZipf: 0.2, WriteFrac: 0.35, SeqRun: 10},
+	{Name: "tonto", Suite: "SPEC2K6", AvgGap: 90, FootprintRows: 700, RowZipf: 0.7, WriteFrac: 0.30, SeqRun: 3},
+	{Name: "wrf", Suite: "SPEC2K6", AvgGap: 35, FootprintRows: 5000, RowZipf: 0.4, WriteFrac: 0.35, SeqRun: 8},
+	{Name: "gromacs", Suite: "SPEC2K6", AvgGap: 70, FootprintRows: 1200, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "calculix", Suite: "SPEC2K6", AvgGap: 100, FootprintRows: 900, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 5},
+	{Name: "bwaves", Suite: "SPEC2K6", AvgGap: 12, FootprintRows: 14000, RowZipf: 0.2, WriteFrac: 0.30, SeqRun: 12},
+	{Name: "gamess", Suite: "SPEC2K6", AvgGap: 160, FootprintRows: 250, RowZipf: 0.8, WriteFrac: 0.25, SeqRun: 3},
+
+	// ---- SPEC CPU2017 (22) ----
+	{Name: "perlbench_17", Suite: "SPEC2K17", AvgGap: 85, FootprintRows: 800, RowZipf: 0.9, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "gcc_17", Suite: "SPEC2K17", AvgGap: 20, FootprintRows: 4500, RowZipf: 1.0, WriteFrac: 0.30, SeqRun: 2, HotRows: 2, HotFrac: 0.09},
+	{Name: "bwaves_17", Suite: "SPEC2K17", AvgGap: 11, FootprintRows: 16000, RowZipf: 0.2, WriteFrac: 0.30, SeqRun: 12},
+	{Name: "mcf_17", Suite: "SPEC2K17", AvgGap: 8, FootprintRows: 28000, RowZipf: 0.3, WriteFrac: 0.25, SeqRun: 1},
+	{Name: "cactuBSSN_17", Suite: "SPEC2K17", AvgGap: 22, FootprintRows: 10000, RowZipf: 0.3, WriteFrac: 0.40, SeqRun: 8},
+	{Name: "namd_17", Suite: "SPEC2K17", AvgGap: 110, FootprintRows: 700, RowZipf: 0.8, WriteFrac: 0.25, SeqRun: 4},
+	{Name: "parest_17", Suite: "SPEC2K17", AvgGap: 55, FootprintRows: 2000, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "povray_17", Suite: "SPEC2K17", AvgGap: 150, FootprintRows: 300, RowZipf: 0.9, WriteFrac: 0.25, SeqRun: 2},
+	{Name: "lbm_17", Suite: "SPEC2K17", AvgGap: 7, FootprintRows: 26000, RowZipf: 0.1, WriteFrac: 0.45, SeqRun: 12},
+	{Name: "omnetpp_17", Suite: "SPEC2K17", AvgGap: 12, FootprintRows: 15000, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 1},
+	{Name: "wrf_17", Suite: "SPEC2K17", AvgGap: 35, FootprintRows: 5500, RowZipf: 0.4, WriteFrac: 0.35, SeqRun: 8},
+	{Name: "xalancbmk_17", Suite: "SPEC2K17", AvgGap: 28, FootprintRows: 4200, RowZipf: 0.8, WriteFrac: 0.30, SeqRun: 2},
+	{Name: "x264_17", Suite: "SPEC2K17", AvgGap: 75, FootprintRows: 1500, RowZipf: 0.7, WriteFrac: 0.35, SeqRun: 8},
+	{Name: "blender_17", Suite: "SPEC2K17", AvgGap: 65, FootprintRows: 1800, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "cam4_17", Suite: "SPEC2K17", AvgGap: 40, FootprintRows: 4800, RowZipf: 0.4, WriteFrac: 0.35, SeqRun: 6},
+	{Name: "deepsjeng_17", Suite: "SPEC2K17", AvgGap: 95, FootprintRows: 1100, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 1},
+	{Name: "imagick_17", Suite: "SPEC2K17", AvgGap: 130, FootprintRows: 500, RowZipf: 0.7, WriteFrac: 0.35, SeqRun: 8},
+	{Name: "leela_17", Suite: "SPEC2K17", AvgGap: 140, FootprintRows: 400, RowZipf: 0.8, WriteFrac: 0.25, SeqRun: 2},
+	{Name: "nab_17", Suite: "SPEC2K17", AvgGap: 70, FootprintRows: 1300, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "exchange2_17", Suite: "SPEC2K17", AvgGap: 400, FootprintRows: 100, RowZipf: 0.9, WriteFrac: 0.25, SeqRun: 2},
+	{Name: "fotonik3d_17", Suite: "SPEC2K17", AvgGap: 13, FootprintRows: 13000, RowZipf: 0.2, WriteFrac: 0.35, SeqRun: 10},
+	{Name: "xz_17", Suite: "SPEC2K17", AvgGap: 17, FootprintRows: 3500, RowZipf: 1.2, WriteFrac: 0.40, SeqRun: 3, HotRows: 4, HotFrac: 0.16},
+
+	// ---- GAP (6) ---- graph kernels: intense, irregular.
+	{Name: "bc", Suite: "GAP", AvgGap: 9, FootprintRows: 22000, RowZipf: 0.5, WriteFrac: 0.25, SeqRun: 1},
+	{Name: "bfs", Suite: "GAP", AvgGap: 10, FootprintRows: 20000, RowZipf: 0.5, WriteFrac: 0.25, SeqRun: 1},
+	{Name: "cc", Suite: "GAP", AvgGap: 9, FootprintRows: 24000, RowZipf: 0.4, WriteFrac: 0.25, SeqRun: 1},
+	{Name: "pr", Suite: "GAP", AvgGap: 8, FootprintRows: 26000, RowZipf: 0.4, WriteFrac: 0.30, SeqRun: 2},
+	{Name: "sssp", Suite: "GAP", AvgGap: 10, FootprintRows: 21000, RowZipf: 0.5, WriteFrac: 0.25, SeqRun: 1},
+	{Name: "tc", Suite: "GAP", AvgGap: 12, FootprintRows: 18000, RowZipf: 0.6, WriteFrac: 0.20, SeqRun: 1},
+
+	// ---- COMMERCIAL (5) ---- USIMM server traces.
+	{Name: "comm1", Suite: "COMMERCIAL", AvgGap: 20, FootprintRows: 9000, RowZipf: 0.7, WriteFrac: 0.35, SeqRun: 2, HotRows: 1, HotFrac: 0.05},
+	{Name: "comm2", Suite: "COMMERCIAL", AvgGap: 24, FootprintRows: 8000, RowZipf: 0.7, WriteFrac: 0.35, SeqRun: 2},
+	{Name: "comm3", Suite: "COMMERCIAL", AvgGap: 30, FootprintRows: 7000, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 2},
+	{Name: "comm4", Suite: "COMMERCIAL", AvgGap: 26, FootprintRows: 7500, RowZipf: 0.7, WriteFrac: 0.35, SeqRun: 2},
+	{Name: "comm5", Suite: "COMMERCIAL", AvgGap: 35, FootprintRows: 6000, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 2},
+
+	// ---- PARSEC (7) ----
+	{Name: "blackscholes", Suite: "PARSEC", AvgGap: 90, FootprintRows: 1000, RowZipf: 0.4, WriteFrac: 0.30, SeqRun: 8},
+	{Name: "bodytrack", Suite: "PARSEC", AvgGap: 75, FootprintRows: 1400, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 4},
+	{Name: "canneal", Suite: "PARSEC", AvgGap: 18, FootprintRows: 16000, RowZipf: 0.4, WriteFrac: 0.30, SeqRun: 1},
+	{Name: "facesim", Suite: "PARSEC", AvgGap: 45, FootprintRows: 3500, RowZipf: 0.5, WriteFrac: 0.35, SeqRun: 6},
+	{Name: "ferret", Suite: "PARSEC", AvgGap: 55, FootprintRows: 2500, RowZipf: 0.6, WriteFrac: 0.30, SeqRun: 3},
+	{Name: "fluidanimate", Suite: "PARSEC", AvgGap: 50, FootprintRows: 3000, RowZipf: 0.5, WriteFrac: 0.40, SeqRun: 6},
+	{Name: "freqmine", Suite: "PARSEC", AvgGap: 60, FootprintRows: 2200, RowZipf: 0.7, WriteFrac: 0.30, SeqRun: 2},
+
+	// ---- BIOBENCH (2) ----
+	{Name: "mummer", Suite: "BIOBENCH", AvgGap: 14, FootprintRows: 12000, RowZipf: 0.5, WriteFrac: 0.20, SeqRun: 2},
+	{Name: "tigr", Suite: "BIOBENCH", AvgGap: 16, FootprintRows: 10000, RowZipf: 0.5, WriteFrac: 0.20, SeqRun: 2},
+}
+
+// mixComposition lists the benchmarks combined into each MIX workload
+// (one per core, cycled to fill all cores).
+var mixComposition = map[string][]string{
+	"mix1": {"gcc", "mcf", "lbm", "povray", "hmmer", "namd", "bzip2", "milc"},
+	"mix2": {"gups", "libquantum", "astar", "gobmk", "sphinx3", "dealII", "omnetpp", "sjeng"},
+	"mix3": {"xz_17", "mcf_17", "leela_17", "lbm_17", "gcc_17", "imagick_17", "bwaves_17", "povray_17"},
+	"mix4": {"bc", "pr", "comm1", "canneal", "zeusmp", "wrf", "x264_17", "blackscholes"},
+	"mix5": {"hmmer", "gcc", "xz_17", "gups", "mummer", "facesim", "cam4_17", "soplex"},
+	"mix6": {"mcf", "bfs", "comm3", "tigr", "leslie3d", "fluidanimate", "parest_17", "tonto"},
+}
+
+// Workload is one multi-programmed experiment: a benchmark (or mix)
+// replicated or distributed over the simulated cores ("rate mode").
+type Workload struct {
+	Name    string
+	Suite   string
+	PerCore []Profile
+}
+
+// ProfileByName returns the named single-benchmark profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// AllProfiles returns the single-benchmark profile table (no mixes).
+func AllProfiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Workloads returns the full 78-workload evaluation set for the given
+// number of cores: each single benchmark in rate mode plus the 6 mixes.
+func Workloads(cores int) []Workload {
+	var out []Workload
+	for _, p := range profiles {
+		w := Workload{Name: p.Name, Suite: p.Suite, PerCore: make([]Profile, cores)}
+		for i := range w.PerCore {
+			w.PerCore[i] = p
+		}
+		out = append(out, w)
+	}
+	for _, name := range []string{"mix1", "mix2", "mix3", "mix4", "mix5", "mix6"} {
+		names := mixComposition[name]
+		w := Workload{Name: name, Suite: "MIX", PerCore: make([]Profile, cores)}
+		for i := range w.PerCore {
+			p, ok := ProfileByName(names[i%len(names)])
+			if !ok {
+				panic("trace: unknown benchmark in mix " + name + ": " + names[i%len(names)])
+			}
+			w.PerCore[i] = p
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// WorkloadByName returns the named workload from the evaluation set.
+func WorkloadByName(name string, cores int) (Workload, bool) {
+	for _, w := range Workloads(cores) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// HasHotRows reports whether any core's profile includes concentrated
+// hot-row activity (the paper's "at least one row with >800 activations"
+// selection for Fig. 14's detailed panel).
+func (w Workload) HasHotRows() bool {
+	for _, p := range w.PerCore {
+		if p.HotRows > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package trace generates the memory-access streams that drive the
+// performance simulator.
+//
+// The paper evaluates 78 workloads (SPEC CPU2006/2017, GAP, PARSEC,
+// BIOBENCH, COMMERCIAL, GUPS, and 6 mixes) using Pin-captured traces
+// filtered through an L1/L2 cache model. Those traces are proprietary, so
+// this package substitutes parametric synthetic generators: each
+// benchmark is described by a Profile capturing the properties that
+// matter to row-swap mitigations — memory intensity, footprint,
+// row-activation locality (Zipf), read/write mix, spatial locality, and
+// the presence of "hot rows" that accumulate hundreds of activations
+// within a refresh window (the behaviour Fig. 14's left panel isolates).
+//
+// Records model post-L2 traffic: Gap counts the non-memory instructions
+// retired between successive L2-miss accesses, exactly as USIMM traces do.
+package trace
+
+import (
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// Record is one entry of a core's access stream.
+type Record struct {
+	// Gap is the number of non-memory instructions the core retires
+	// before issuing this access.
+	Gap int
+	// Write marks stores (dirty fills / writebacks at the LLC level).
+	Write bool
+	// Addr is the physical byte address (line aligned).
+	Addr uint64
+	// NoAlloc marks streaming accesses that bypass the LLC (modelling
+	// the conflict/stream misses that let a row be activated repeatedly
+	// in real traces even though its footprint would fit in cache).
+	NoAlloc bool
+}
+
+// Stream produces an unbounded access stream for one core.
+type Stream interface {
+	// Next returns the next record. Streams are infinite; the simulator
+	// stops after an instruction budget.
+	Next() Record
+	// Name identifies the generating benchmark.
+	Name() string
+}
+
+// Profile is a parametric description of one benchmark's memory
+// behaviour.
+type Profile struct {
+	Name  string
+	Suite string
+
+	// AvgGap is the mean number of non-memory instructions between
+	// post-L2 accesses (lower = more memory intensive).
+	AvgGap int
+
+	// FootprintRows is the number of distinct DRAM rows in the working
+	// set; footprints far larger than the LLC produce DRAM traffic.
+	FootprintRows int
+
+	// RowZipf is the Zipf exponent of row popularity within the
+	// footprint: 0 = uniform (GUPS-like), >1 = highly concentrated.
+	RowZipf float64
+
+	// WriteFrac is the fraction of accesses that are writes.
+	WriteFrac float64
+
+	// SeqRun is the expected number of successive lines read within a
+	// row before jumping (spatial locality; 1 = random).
+	SeqRun int
+
+	// HotRows is the number of rows that receive concentrated,
+	// cache-bypassing activations (zero for most workloads). HotFrac is
+	// the fraction of accesses directed at them. These model the
+	// >800-activation rows the paper's detailed plots isolate.
+	HotRows int
+	HotFrac float64
+}
+
+// MemoryIntensive reports whether the profile produces enough DRAM
+// traffic for row-swap mitigations to matter.
+func (p Profile) MemoryIntensive() bool { return p.AvgGap <= 40 && p.FootprintRows > 0 }
+
+// generator implements Stream for a single Profile.
+type generator struct {
+	prof Profile
+	geo  config.Geometry
+	rng  *stats.RNG
+	zipf *stats.Zipf
+
+	// rowOf maps Zipf rank -> (bank, row) so popular ranks are scattered
+	// deterministically across banks.
+	rowBank []uint8
+	rowID   []int32
+
+	hotBank []uint8
+	hotRow  []int32
+	hotCol  int
+
+	curBank uint8
+	curRow  int32
+	curCol  int
+	runLeft int
+}
+
+// NewGenerator returns a deterministic Stream for prof over the given
+// geometry, seeded independently per (workload, core).
+func NewGenerator(prof Profile, geo config.Geometry, seed uint64) Stream {
+	rng := stats.NewRNG(seed)
+	g := &generator{prof: prof, geo: geo, rng: rng}
+	n := prof.FootprintRows
+	if n <= 0 {
+		n = 1
+	}
+	g.zipf = stats.NewZipf(rng.Split(), prof.RowZipf, n)
+	g.rowBank = make([]uint8, n)
+	g.rowID = make([]int32, n)
+	layout := rng.Split()
+	for i := 0; i < n; i++ {
+		g.rowBank[i] = uint8(layout.Intn(geo.TotalBanks()))
+		g.rowID[i] = int32(layout.Intn(geo.RowsPerBank))
+	}
+	g.hotBank = make([]uint8, prof.HotRows)
+	g.hotRow = make([]int32, prof.HotRows)
+	for i := 0; i < prof.HotRows; i++ {
+		g.hotBank[i] = uint8(layout.Intn(geo.TotalBanks()))
+		g.hotRow[i] = int32(layout.Intn(geo.RowsPerBank))
+	}
+	return g
+}
+
+func (g *generator) Name() string { return g.prof.Name }
+
+func (g *generator) addr(bankIdx uint8, row int32, col int) uint64 {
+	geo := g.geo
+	b := int(bankIdx)
+	ch := b / (geo.RanksPerCh * geo.BanksPerRnk)
+	rem := b % (geo.RanksPerCh * geo.BanksPerRnk)
+	rank := rem / geo.BanksPerRnk
+	bank := rem % geo.BanksPerRnk
+	return dram.EncodeLoc(geo, dram.Location{
+		Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col,
+	})
+}
+
+func (g *generator) Next() Record {
+	p := &g.prof
+	gap := 0
+	if p.AvgGap > 0 {
+		// Geometric-ish gap with the configured mean.
+		gap = int(g.rng.Geometric(1/float64(p.AvgGap+1))) - 1
+	}
+	write := g.rng.Float64() < p.WriteFrac
+
+	// Hot-row stream: round-robin over the hot set, walking columns so
+	// every access is a fresh line (and, under a closed page policy, a
+	// fresh activation).
+	if p.HotRows > 0 && g.rng.Float64() < p.HotFrac {
+		i := g.hotCol % p.HotRows
+		col := (g.hotCol / p.HotRows) % g.geo.LinesPerRow()
+		g.hotCol++
+		return Record{
+			Gap:     gap,
+			Write:   write,
+			Addr:    g.addr(g.hotBank[i], g.hotRow[i], col),
+			NoAlloc: true,
+		}
+	}
+
+	// Regular stream: continue a sequential run within the current row,
+	// or start a new row drawn from the Zipf popularity distribution.
+	if g.runLeft <= 0 || g.curCol >= g.geo.LinesPerRow() {
+		rank := g.zipf.Next()
+		g.curBank = g.rowBank[rank]
+		g.curRow = g.rowID[rank]
+		g.curCol = g.rng.Intn(g.geo.LinesPerRow())
+		run := 1
+		if p.SeqRun > 1 {
+			run = 1 + g.rng.Intn(2*p.SeqRun-1) // mean ~= SeqRun
+		}
+		g.runLeft = run
+	}
+	addr := g.addr(g.curBank, g.curRow, g.curCol)
+	g.curCol++
+	g.runLeft--
+	return Record{Gap: gap, Write: write, Addr: addr}
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+)
+
+func TestWorkloadCountIs78(t *testing.T) {
+	ws := Workloads(8)
+	if len(ws) != 78 {
+		t.Fatalf("Workloads = %d, want 78", len(ws))
+	}
+	bySuite := map[string]int{}
+	for _, w := range ws {
+		bySuite[w.Suite]++
+	}
+	want := map[string]int{
+		"GUPS": 1, "SPEC2K6": 29, "SPEC2K17": 22, "GAP": 6,
+		"COMMERCIAL": 5, "PARSEC": 7, "BIOBENCH": 2, "MIX": 6,
+	}
+	for suite, n := range want {
+		if bySuite[suite] != n {
+			t.Errorf("suite %s has %d workloads, want %d", suite, bySuite[suite], n)
+		}
+	}
+}
+
+func TestWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Workloads(8) {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if len(w.PerCore) != 8 {
+			t.Errorf("%s has %d per-core profiles, want 8", w.Name, len(w.PerCore))
+		}
+	}
+}
+
+func TestPaperHighlightedWorkloadsHaveHotRows(t *testing.T) {
+	// Fig. 14: hmmer, bzip2, gcc, zeusmp, astar, sphinx, xz_17 have >10%
+	// RRS slowdown — they must model hot rows.
+	for _, name := range []string{"hmmer", "bzip2", "gcc", "zeusmp", "astar", "sphinx3", "xz_17", "gups"} {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Errorf("profile %q missing", name)
+			continue
+		}
+		if p.HotRows == 0 || p.HotFrac == 0 {
+			t.Errorf("%s should have hot rows", name)
+		}
+	}
+	// gcc is the worst case in the paper; it should have the most
+	// concentrated hot-row traffic.
+	gcc, _ := ProfileByName("gcc")
+	for _, p := range AllProfiles() {
+		if p.Name == "gcc" {
+			continue
+		}
+		if p.HotFrac > gcc.HotFrac {
+			t.Errorf("%s HotFrac %.2f exceeds gcc's %.2f", p.Name, p.HotFrac, gcc.HotFrac)
+		}
+	}
+}
+
+func TestMixesResolve(t *testing.T) {
+	for _, name := range []string{"mix1", "mix2", "mix3", "mix4", "mix5", "mix6"} {
+		w, ok := WorkloadByName(name, 8)
+		if !ok {
+			t.Fatalf("mix %q missing", name)
+		}
+		distinct := map[string]bool{}
+		for _, p := range w.PerCore {
+			distinct[p.Name] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%s is not a mix: %v", name, distinct)
+		}
+	}
+	if _, ok := WorkloadByName("nonesuch", 8); ok {
+		t.Error("WorkloadByName should fail for unknown name")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	geo := config.DefaultGeometry()
+	a := NewGenerator(p, geo, 7)
+	b := NewGenerator(p, geo, 7)
+	for i := 0; i < 1000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("same-seed generators diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+	c := NewGenerator(p, geo, 8)
+	diff := false
+	a = NewGenerator(p, geo, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorAddressesValid(t *testing.T) {
+	geo := config.DefaultGeometry()
+	total := uint64(geo.TotalBytes())
+	for _, name := range []string{"gups", "gcc", "mcf", "povray"} {
+		p, _ := ProfileByName(name)
+		g := NewGenerator(p, geo, 1)
+		for i := 0; i < 5000; i++ {
+			r := g.Next()
+			if r.Addr >= total {
+				t.Fatalf("%s: address %#x beyond capacity", name, r.Addr)
+			}
+			if r.Addr%64 != 0 {
+				t.Fatalf("%s: address %#x not line aligned", name, r.Addr)
+			}
+			if r.Gap < 0 {
+				t.Fatalf("%s: negative gap %d", name, r.Gap)
+			}
+		}
+	}
+}
+
+func TestHotRowsConcentrateActivations(t *testing.T) {
+	geo := config.DefaultGeometry()
+	p, _ := ProfileByName("gcc")
+	g := NewGenerator(p, geo, 3)
+	counts := map[uint64]int{} // (bank,row) -> accesses
+	n := 50000
+	hot := 0
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		loc := dram.DecodeAddr(geo, r.Addr)
+		key := uint64(loc.BankIdx)<<32 | uint64(loc.Row)
+		counts[key]++
+		if r.NoAlloc {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(n); frac < p.HotFrac*0.8 || frac > p.HotFrac*1.2 {
+		t.Errorf("hot fraction = %.3f, want ~%.2f", frac, p.HotFrac)
+	}
+	// The hottest rows must dominate: top rows should each have
+	// thousands of accesses while the median row has few.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/50 {
+		t.Errorf("hottest row got %d of %d accesses; want strong concentration", max, n)
+	}
+}
+
+func TestUniformProfileSpreadsRows(t *testing.T) {
+	geo := config.DefaultGeometry()
+	p, _ := ProfileByName("mcf")
+	g := NewGenerator(p, geo, 3)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		loc := dram.DecodeAddr(geo, r.Addr)
+		counts[uint64(loc.BankIdx)<<32|uint64(loc.Row)]++
+	}
+	if len(counts) < 5000 {
+		t.Errorf("mcf touched only %d distinct rows", len(counts))
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	geo := config.DefaultGeometry()
+	p, _ := ProfileByName("lbm")
+	g := NewGenerator(p, geo, 5)
+	writes, n := 0, 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(n)
+	if frac < p.WriteFrac-0.03 || frac > p.WriteFrac+0.03 {
+		t.Errorf("write fraction = %.3f, want ~%.2f", frac, p.WriteFrac)
+	}
+}
+
+func TestGapMean(t *testing.T) {
+	geo := config.DefaultGeometry()
+	p, _ := ProfileByName("povray")
+	g := NewGenerator(p, geo, 5)
+	sum, n := 0, 20000
+	for i := 0; i < n; i++ {
+		sum += g.Next().Gap
+	}
+	mean := float64(sum) / float64(n)
+	want := float64(p.AvgGap)
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("gap mean = %.1f, want ~%.0f", mean, want)
+	}
+}
+
+func TestMemoryIntensiveClassifier(t *testing.T) {
+	gups, _ := ProfileByName("gups")
+	if !gups.MemoryIntensive() {
+		t.Error("gups should be memory intensive")
+	}
+	ex, _ := ProfileByName("exchange2_17")
+	if ex.MemoryIntensive() {
+		t.Error("exchange2_17 should not be memory intensive")
+	}
+}
+
+func TestHasHotRows(t *testing.T) {
+	w, _ := WorkloadByName("gcc", 8)
+	if !w.HasHotRows() {
+		t.Error("gcc workload should report hot rows")
+	}
+	w, _ = WorkloadByName("povray", 8)
+	if w.HasHotRows() {
+		t.Error("povray workload should not report hot rows")
+	}
+	w, _ = WorkloadByName("mix5", 8)
+	if !w.HasHotRows() {
+		t.Error("mix5 includes gcc/hmmer and should report hot rows")
+	}
+}

@@ -1,0 +1,129 @@
+package tracker
+
+import "container/heap"
+
+// MisraGries is a per-bank frequent-item tracker with the Space-Saving
+// eviction rule, the practical realization of the Misra-Gries guarantee
+// used by Graphene and RRS. With capacity >= ACT_max / T_S per bank it
+// never misses a row whose true count reaches T_S (counts are
+// overestimates, so detection errs on the secure side).
+type MisraGries struct {
+	banks []ssBank
+	cap   int
+}
+
+// NewMisraGries returns a tracker covering numBanks banks, each with the
+// given entry capacity (ceil(ACT_max / T_S) in the paper's sizing).
+func NewMisraGries(numBanks, capacity int) *MisraGries {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &MisraGries{banks: make([]ssBank, numBanks), cap: capacity}
+	for i := range t.banks {
+		t.banks[i].index = make(map[int32]int)
+	}
+	return t
+}
+
+// Name implements Tracker.
+func (t *MisraGries) Name() string { return "misra-gries" }
+
+// Capacity returns the per-bank entry capacity.
+func (t *MisraGries) Capacity() int { return t.cap }
+
+// RecordACT implements Tracker. Misra-Gries lives entirely in SRAM, so
+// extraMem is always zero.
+func (t *MisraGries) RecordACT(bankIdx int, row int32) (int, int) {
+	return t.banks[bankIdx].record(row, t.cap), 0
+}
+
+// ResetRow implements Tracker.
+func (t *MisraGries) ResetRow(bankIdx int, row int32) {
+	t.banks[bankIdx].remove(row)
+}
+
+// Reset implements Tracker.
+func (t *MisraGries) Reset() {
+	for i := range t.banks {
+		t.banks[i].clear()
+	}
+}
+
+// Count returns the current estimate for a row (0 if untracked).
+func (t *MisraGries) Count(bankIdx int, row int32) int {
+	b := &t.banks[bankIdx]
+	if i, ok := b.index[row]; ok {
+		return b.entries[i].count
+	}
+	return 0
+}
+
+// ssBank is one bank's Space-Saving structure: a min-heap on counts with
+// a row->heap-position index.
+type ssBank struct {
+	entries []ssEntry
+	index   map[int32]int
+}
+
+type ssEntry struct {
+	row   int32
+	count int
+}
+
+func (b *ssBank) record(row int32, capacity int) int {
+	if i, ok := b.index[row]; ok {
+		c := b.entries[i].count + 1
+		b.entries[i].count = c
+		heap.Fix(b, i) // may move the entry; c is captured beforehand
+		return c
+	}
+	if len(b.entries) < capacity {
+		heap.Push(b, ssEntry{row: row, count: 1})
+		return 1
+	}
+	// Space-Saving: replace the minimum entry; the newcomer inherits
+	// min+1 (an overestimate bounded by the evicted count).
+	min := &b.entries[0]
+	delete(b.index, min.row)
+	min.row = row
+	min.count++
+	c := min.count
+	b.index[row] = 0
+	heap.Fix(b, 0)
+	return c
+}
+
+func (b *ssBank) remove(row int32) {
+	if i, ok := b.index[row]; ok {
+		heap.Remove(b, i)
+	}
+}
+
+func (b *ssBank) clear() {
+	b.entries = b.entries[:0]
+	for k := range b.index {
+		delete(b.index, k)
+	}
+}
+
+// heap.Interface implementation.
+
+func (b *ssBank) Len() int            { return len(b.entries) }
+func (b *ssBank) Less(i, j int) bool  { return b.entries[i].count < b.entries[j].count }
+func (b *ssBank) Swap(i, j int) {
+	b.entries[i], b.entries[j] = b.entries[j], b.entries[i]
+	b.index[b.entries[i].row] = i
+	b.index[b.entries[j].row] = j
+}
+func (b *ssBank) Push(x any) {
+	e := x.(ssEntry)
+	b.index[e.row] = len(b.entries)
+	b.entries = append(b.entries, e)
+}
+func (b *ssBank) Pop() any {
+	n := len(b.entries) - 1
+	e := b.entries[n]
+	delete(b.index, e.row)
+	b.entries = b.entries[:n]
+	return e
+}

@@ -1,0 +1,26 @@
+// Package tracker implements the aggressor-row trackers the paper
+// evaluates (§II-D): the Misra-Gries frequent-item tracker used by RRS
+// and Graphene (evaluated in Fig. 14) and the Hydra hybrid tracker
+// (ISCA'22, evaluated in Fig. 16). Trackers count activations per
+// logical row and the mitigation acts when a count crosses the swap
+// threshold T_S.
+//
+// Hydra stores most of its counters in DRAM behind a small on-chip
+// counter cache, so at low Row Hammer thresholds it adds memory traffic;
+// RecordACT therefore also returns the number of DRAM counter accesses
+// the tracker itself generated so the memory controller can model them.
+package tracker
+
+// Tracker counts row activations within a refresh window.
+type Tracker interface {
+	// RecordACT registers one activation of the logical row in the given
+	// bank and returns the row's estimated activation count plus the
+	// number of extra DRAM accesses the tracker performed.
+	RecordACT(bankIdx int, row int32) (count int, extraMem int)
+	// ResetRow zeroes a row's count (called after the row is mitigated).
+	ResetRow(bankIdx int, row int32)
+	// Reset clears all counts at a refresh-window boundary.
+	Reset()
+	// Name identifies the tracker.
+	Name() string
+}

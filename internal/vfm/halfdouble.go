@@ -1,0 +1,45 @@
+package vfm
+
+// HalfDoubleAttack drives a TargetedRefresh-protected bank with the
+// half-double pattern (Google 2021, §II-E of the paper): hammer rows
+// A-1 and A+1 hard enough that the defense's own mitigative refreshes of
+// row A (their shared distance-1 victim) accumulate as activations of A
+// — flipping bits in A's neighbours at distance 2 from the far
+// aggressors, which a blast-radius-1 defense never refreshes... and
+// worse, flipping A±2 rows that the tracker believes are safe.
+//
+// The function returns whether any distance-2 victim flipped and how
+// many mitigative refreshes the attack milked out of the defense.
+type HalfDoubleResult struct {
+	Distance2Flip     bool
+	MitigationRefresh uint64
+	DemandACTs        uint64
+}
+
+// RunHalfDouble executes the attack against a targeted-refresh defense
+// with the given threshold, using `acts` demand activations per far
+// aggressor (both sides), targeting victim rows around `center`.
+func RunHalfDouble(rows, trh, threshold int, center, acts int) HalfDoubleResult {
+	bank := NewRefresher(rows, trh)
+	def := NewTargetedRefresh(bank, threshold)
+	// Far aggressors on both sides of the sandwich: center-1 and
+	// center+1 are hammered; the defense refreshes their neighbours —
+	// center-2, center, center+2 — and every refresh of those rows
+	// pressures center-1/center+1/center±3 in turn. The distance-2
+	// victims of the true aggressors are center∓3 ... we check all rows
+	// at distance >= 2 from both aggressors.
+	for i := 0; i < acts; i++ {
+		def.Activate(center - 1)
+		def.Activate(center + 1)
+	}
+	res := HalfDoubleResult{
+		MitigationRefresh: bank.Refreshes,
+		DemandACTs:        bank.DemandACTs,
+	}
+	for _, victim := range []int{center - 3, center + 3} {
+		if bank.Flipped(victim) {
+			res.Distance2Flip = true
+		}
+	}
+	return res
+}

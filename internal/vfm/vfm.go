@@ -1,0 +1,166 @@
+// Package vfm implements the victim-focused mitigation (VFM) baselines
+// the paper positions itself against (§II-E, §IX-B), together with the
+// half-double attack that defeats them — the historical motivation for
+// aggressor-focused defenses like row swapping.
+//
+// Two representative VFM mechanisms are provided:
+//
+//   - PARA (Kim et al., ISCA 2014): on every activation, refresh the
+//     blast-radius neighbours with a small probability p.
+//   - Targeted refresh (Graphene-style): track aggressors with a
+//     frequent-item tracker and refresh neighbours when a row crosses a
+//     threshold.
+//
+// The half-double model (Google 2021) shows the fundamental defect: the
+// mitigative refreshes of distance-1 neighbours act as activations for
+// Row Hammer purposes at distance 2, so a defense calibrated for blast
+// radius 1 can be used as an amplifier against distance-2 victims.
+package vfm
+
+import (
+	"repro/internal/stats"
+)
+
+// Refresher models a bank of rows whose per-row "hammer pressure" is
+// tracked at arbitrary distance. Demand activations add pressure to
+// neighbours at distance 1; mitigative refreshes add distance-relative
+// pressure themselves (the half-double effect, with a small coupling
+// coefficient).
+type Refresher struct {
+	rows int
+
+	// pressure accumulates Row Hammer exposure per row within the
+	// current refresh window. A row "flips" when pressure >= TRH.
+	pressure []float64
+
+	// RefreshCoupling is the fraction of a full activation that one
+	// mitigative refresh contributes to ITS neighbours (the half-double
+	// coefficient; Google measured meaningful coupling, we default 1.0:
+	// a refresh is a row activation of the refreshed row).
+	RefreshCoupling float64
+
+	TRH int
+
+	// Stats
+	DemandACTs  uint64
+	Refreshes   uint64
+	Flips       uint64
+	flipped     map[int]bool
+}
+
+// NewRefresher returns a pressure-tracking bank model.
+func NewRefresher(rows, trh int) *Refresher {
+	return &Refresher{
+		rows:            rows,
+		pressure:        make([]float64, rows),
+		RefreshCoupling: 1.0,
+		TRH:             trh,
+		flipped:         map[int]bool{},
+	}
+}
+
+func (r *Refresher) addPressure(row int, amount float64) {
+	if row < 0 || row >= r.rows {
+		return
+	}
+	r.pressure[row] += amount
+	if r.pressure[row] >= float64(r.TRH) && !r.flipped[row] {
+		r.flipped[row] = true
+		r.Flips++
+	}
+}
+
+// Activate records a demand activation of row: full pressure on both
+// distance-1 neighbours.
+func (r *Refresher) Activate(row int) {
+	r.DemandACTs++
+	r.addPressure(row-1, 1)
+	r.addPressure(row+1, 1)
+}
+
+// RefreshRow models a mitigative refresh of a victim row: it restores
+// the row's own charge (clearing its pressure) but, critically, acts as
+// an activation of that row — pressuring ITS neighbours at the coupling
+// coefficient. This is the half-double amplification channel.
+func (r *Refresher) RefreshRow(row int) {
+	if row < 0 || row >= r.rows {
+		return
+	}
+	r.Refreshes++
+	r.pressure[row] = 0
+	r.addPressure(row-1, r.RefreshCoupling)
+	r.addPressure(row+1, r.RefreshCoupling)
+}
+
+// Pressure returns a row's accumulated exposure.
+func (r *Refresher) Pressure(row int) float64 {
+	if row < 0 || row >= r.rows {
+		return 0
+	}
+	return r.pressure[row]
+}
+
+// Flipped reports whether a row has crossed T_RH this window.
+func (r *Refresher) Flipped(row int) bool { return r.flipped[row] }
+
+// StartNewWindow clears pressure at the refresh-window boundary.
+func (r *Refresher) StartNewWindow() {
+	for i := range r.pressure {
+		r.pressure[i] = 0
+	}
+	r.flipped = map[int]bool{}
+}
+
+// PARA is the probabilistic VFM: every activation refreshes the
+// neighbours with probability p.
+type PARA struct {
+	bank *Refresher
+	p    float64
+	rng  *stats.RNG
+}
+
+// NewPARA wraps a Refresher with PARA at the given refresh probability.
+func NewPARA(bank *Refresher, p float64, rng *stats.RNG) *PARA {
+	return &PARA{bank: bank, p: p, rng: rng}
+}
+
+// Activate performs a demand activation with PARA's mitigation.
+func (pa *PARA) Activate(row int) {
+	pa.bank.Activate(row)
+	if pa.rng.Float64() < pa.p {
+		pa.bank.RefreshRow(row - 1)
+		pa.bank.RefreshRow(row + 1)
+	}
+}
+
+// TargetedRefresh is the tracker-based VFM: count activations per row
+// and refresh the neighbours when a row crosses threshold.
+type TargetedRefresh struct {
+	bank      *Refresher
+	threshold int
+	counts    map[int]int
+}
+
+// NewTargetedRefresh wraps a Refresher with threshold-triggered
+// neighbour refresh (Graphene/TWiCe-style, idealized tracker).
+func NewTargetedRefresh(bank *Refresher, threshold int) *TargetedRefresh {
+	return &TargetedRefresh{bank: bank, threshold: threshold, counts: map[int]int{}}
+}
+
+// Activate performs a demand activation with targeted-refresh
+// mitigation.
+func (tr *TargetedRefresh) Activate(row int) {
+	tr.bank.Activate(row)
+	tr.counts[row]++
+	if tr.counts[row] >= tr.threshold {
+		tr.counts[row] = 0
+		tr.bank.RefreshRow(row - 1)
+		tr.bank.RefreshRow(row + 1)
+	}
+}
+
+// StartNewWindow resets tracker state with the bank.
+func (tr *TargetedRefresh) StartNewWindow() {
+	tr.bank.StartNewWindow()
+	tr.counts = map[int]int{}
+}

@@ -1,0 +1,146 @@
+package vfm
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestUnprotectedBankFlips(t *testing.T) {
+	b := NewRefresher(100, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Activate(50)
+	}
+	if !b.Flipped(49) || !b.Flipped(51) {
+		t.Error("unprotected neighbours should flip at T_RH activations")
+	}
+	if b.Flipped(48) || b.Flipped(52) {
+		t.Error("distance-2 rows should not flip from plain hammering")
+	}
+	if b.Flips != 2 {
+		t.Errorf("Flips = %d", b.Flips)
+	}
+}
+
+func TestWindowResetClearsPressure(t *testing.T) {
+	b := NewRefresher(10, 100)
+	for i := 0; i < 99; i++ {
+		b.Activate(5)
+	}
+	b.StartNewWindow()
+	if b.Pressure(4) != 0 || b.Pressure(6) != 0 {
+		t.Error("pressure survived window reset")
+	}
+	b.Activate(5)
+	if b.Flipped(4) {
+		t.Error("flip after reset with 1 ACT")
+	}
+}
+
+func TestPARADefendsDirectVictims(t *testing.T) {
+	// With p = 0.05 and T_RH 1000, the expected refresh interval (20
+	// ACTs) is far below the threshold: the distance-1 victims of a
+	// classic hammer never flip. (Distance-2 rows are NOT protected —
+	// that leakage is the half-double defect, tested below.)
+	b := NewRefresher(100, 1000)
+	p := NewPARA(b, 0.05, stats.NewRNG(1))
+	for i := 0; i < 500_000; i++ {
+		p.Activate(50)
+	}
+	if b.Flipped(49) || b.Flipped(51) {
+		t.Error("PARA failed to protect the direct victims")
+	}
+	if b.Refreshes == 0 {
+		t.Error("PARA never refreshed")
+	}
+}
+
+func TestTargetedRefreshDefendsDirectVictims(t *testing.T) {
+	b := NewRefresher(100, 1000)
+	d := NewTargetedRefresh(b, 200)
+	for i := 0; i < 100_000; i++ {
+		d.Activate(50)
+	}
+	if b.Flipped(49) || b.Flipped(51) {
+		t.Error("targeted refresh failed to protect the direct victims")
+	}
+	d.StartNewWindow()
+	if b.Pressure(49) != 0 {
+		t.Error("window reset incomplete")
+	}
+}
+
+// §II-E's core observation, quantified: under the same demand-ACT
+// budget, the defense's own refreshes are what reach distance 2. With
+// the mitigation disabled the distance-2 rows stay cold.
+func TestMitigationIsTheDistance2Channel(t *testing.T) {
+	const acts = 400_000
+	protected := NewRefresher(100, 1000)
+	d := NewTargetedRefresh(protected, 200)
+	for i := 0; i < acts; i++ {
+		d.Activate(50)
+	}
+	bare := NewRefresher(100, 1000)
+	for i := 0; i < acts; i++ {
+		bare.Activate(50)
+	}
+	if protected.Pressure(48) <= bare.Pressure(48) {
+		t.Errorf("mitigation should add distance-2 pressure: %g vs %g",
+			protected.Pressure(48), bare.Pressure(48))
+	}
+	if bare.Pressure(48) != 0 {
+		t.Error("plain hammering must not reach distance 2 in this model")
+	}
+}
+
+func TestOutOfRangeRowsIgnored(t *testing.T) {
+	b := NewRefresher(4, 10)
+	b.Activate(0)  // neighbour -1 out of range
+	b.Activate(3)  // neighbour 4 out of range
+	b.RefreshRow(-1)
+	b.RefreshRow(4)
+	if b.Pressure(-1) != 0 || b.Pressure(99) != 0 {
+		t.Error("out-of-range pressure should read 0")
+	}
+}
+
+// The paper's motivating observation (§II-E): the half-double pattern
+// turns VFM's own mitigation into an amplifier, flipping bits in rows
+// the blast-radius-1 defense believes are out of reach.
+func TestHalfDoubleBreaksTargetedRefresh(t *testing.T) {
+	const trh = 1000
+	res := RunHalfDouble(200, trh, 200 /* aggressive mitigation */, 100, 300_000)
+	if !res.Distance2Flip {
+		t.Error("half-double failed to flip a distance-2 victim")
+	}
+	if res.MitigationRefresh == 0 {
+		t.Error("no mitigative refreshes recorded")
+	}
+}
+
+func TestHalfDoubleNeedsTheMitigation(t *testing.T) {
+	// Control: with a huge threshold the defense never fires, and the
+	// same demand pattern cannot reach distance 2.
+	res := RunHalfDouble(200, 1000, 1<<30, 100, 300_000)
+	if res.Distance2Flip {
+		t.Error("distance-2 flip without mitigative refreshes should be impossible")
+	}
+	if res.MitigationRefresh != 0 {
+		t.Error("defense fired despite huge threshold")
+	}
+}
+
+func TestHalfDoubleCouplingKnob(t *testing.T) {
+	// With zero coupling (idealized refresh that does not disturb
+	// neighbours) half-double is neutralized.
+	bank := NewRefresher(200, 1000)
+	bank.RefreshCoupling = 0
+	def := NewTargetedRefresh(bank, 200)
+	for i := 0; i < 300_000; i++ {
+		def.Activate(99)
+		def.Activate(101)
+	}
+	if bank.Flipped(97) || bank.Flipped(103) {
+		t.Error("distance-2 flip with zero coupling")
+	}
+}
