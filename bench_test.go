@@ -9,8 +9,14 @@
 package repro_test
 
 import (
+	"encoding/json"
+	"flag"
 	"io"
+	"os"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/cache"
@@ -26,12 +32,19 @@ import (
 	"repro/internal/tracker"
 )
 
+// benchWorkers sizes the experiment-matrix worker pool for the
+// simulator-backed benchmarks (0 = GOMAXPROCS, 1 = serial):
+//
+//	go test -bench QuickMatrix -workers 4 .
+var benchWorkers = flag.Int("workers", 0, "matrix worker pool size (0 = GOMAXPROCS, 1 = serial)")
+
 // benchPerfOpts is the reduced configuration for simulator-backed
 // figures: 3 representative workloads, 4 cores, short traces.
 func benchPerfOpts() report.PerfOptions {
 	return report.PerfOptions{
 		Workloads: []string{"gcc", "gups", "povray"},
 		Cores:     4,
+		Workers:   *benchWorkers,
 		Sim:       sim.Options{Instructions: 1_000_000},
 	}
 }
@@ -204,6 +217,121 @@ func BenchmarkComparatorsIXA(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Simulation-kernel benchmarks (perf trajectory) ---
+
+// quickMatrixOpts is the 12-workload quick matrix used to track the
+// simulator's own performance: Fig. 14's two configs over every suite.
+func quickMatrixOpts(workers int, kernel sim.Kernel) report.PerfOptions {
+	return report.PerfOptions{
+		Workloads: report.QuickWorkloads,
+		Cores:     4,
+		Workers:   workers,
+		Sim:       sim.Options{Instructions: 150_000, Kernel: kernel},
+	}
+}
+
+// kernelBench collects the quick-matrix wall-clock measurements that
+// TestMain serializes into BENCH_kernel.json after a -bench run.
+var kernelBench struct {
+	sync.Mutex
+	parallelEventSecs float64
+	serialCycleSecs   float64
+	workers           int
+}
+
+// warmQuickMatrix runs one untimed matrix so the baseline cache is warm
+// before measurement: every timed iteration then simulates exactly the
+// 24 mitigated runs that writeKernelBench's throughput math assumes,
+// regardless of b.N.
+func warmQuickMatrix(b *testing.B, popt report.PerfOptions) {
+	b.Helper()
+	if _, err := report.Fig14(io.Discard, popt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+}
+
+// BenchmarkQuickMatrix is the product path: the 12-workload matrix on
+// the event-scheduled kernel with a full worker pool.
+func BenchmarkQuickMatrix(b *testing.B) {
+	workers := *benchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	popt := quickMatrixOpts(workers, sim.KernelEvent)
+	warmQuickMatrix(b, popt)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig14(io.Discard, popt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	secs := time.Since(start).Seconds() / float64(b.N)
+	kernelBench.Lock()
+	kernelBench.parallelEventSecs = secs
+	kernelBench.workers = workers
+	kernelBench.Unlock()
+	b.ReportMetric(secs, "s/matrix")
+}
+
+// BenchmarkQuickMatrixSerialCycleStepped is the pre-refactor baseline:
+// the same matrix run serially on the legacy cycle-stepped kernel. The
+// ratio to BenchmarkQuickMatrix is the refactor's headline speedup.
+func BenchmarkQuickMatrixSerialCycleStepped(b *testing.B) {
+	popt := quickMatrixOpts(1, sim.KernelCycle)
+	warmQuickMatrix(b, popt)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig14(io.Discard, popt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	secs := time.Since(start).Seconds() / float64(b.N)
+	kernelBench.Lock()
+	kernelBench.serialCycleSecs = secs
+	kernelBench.Unlock()
+	b.ReportMetric(secs, "s/matrix")
+}
+
+// TestMain emits BENCH_kernel.json when both quick-matrix variants ran
+// (go test -bench QuickMatrix .), so future PRs can track the
+// simulator's perf trajectory machine-readably.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeKernelBench()
+	os.Exit(code)
+}
+
+func writeKernelBench() {
+	kernelBench.Lock()
+	defer kernelBench.Unlock()
+	if kernelBench.parallelEventSecs == 0 || kernelBench.serialCycleSecs == 0 {
+		return
+	}
+	// Budgeted instructions per timed matrix: 24 mitigated runs of
+	// 4 cores x 150k (baselines are pre-cached by warmQuickMatrix, so
+	// they are outside the timed region at any b.N).
+	const matrixInstructions = 24 * 4 * 150_000
+	payload := map[string]any{
+		"benchmark":                 "QuickMatrix",
+		"workloads":                 len(report.QuickWorkloads),
+		"cores":                     4,
+		"instructions_per_core":     150_000,
+		"workers":                   kernelBench.workers,
+		"gomaxprocs":                runtime.GOMAXPROCS(0),
+		"serial_cycle_seconds":      kernelBench.serialCycleSecs,
+		"parallel_event_seconds":    kernelBench.parallelEventSecs,
+		"speedup":                   kernelBench.serialCycleSecs / kernelBench.parallelEventSecs,
+		"approx_sim_ips":            matrixInstructions / kernelBench.parallelEventSecs,
+		"approx_sim_ips_pre_reform": matrixInstructions / kernelBench.serialCycleSecs,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return
+	}
+	os.WriteFile("BENCH_kernel.json", append(data, '\n'), 0o644)
 }
 
 // --- Ablations (design decisions called out in DESIGN.md) ---

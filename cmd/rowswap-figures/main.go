@@ -30,6 +30,7 @@ func main() {
 	instructions := flag.Int64("instructions", 0, "per-core instruction budget (default 1.5M)")
 	cores := flag.Int("cores", 8, "simulated cores")
 	mcIters := flag.Int("mc", 200, "Monte-Carlo iterations for Fig. 6 (0 disables)")
+	workers := flag.Int("workers", 0, "simulation worker pool size for performance figures (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "print per-workload progress for performance figures")
 	flag.Parse()
 
@@ -39,8 +40,9 @@ func main() {
 	}
 
 	popt := report.PerfOptions{
-		Cores: *cores,
-		Sim:   sim.Options{Instructions: *instructions},
+		Cores:   *cores,
+		Workers: *workers,
+		Sim:     sim.Options{Instructions: *instructions},
 	}
 	if *quick {
 		popt.Workloads = report.QuickWorkloads

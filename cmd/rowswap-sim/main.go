@@ -29,6 +29,7 @@ func main() {
 	cores := flag.Int("cores", 8, "simulated cores")
 	instructions := flag.Int64("instructions", 0, "per-core instruction budget (default 1.5M)")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	workers := flag.Int("workers", 0, "baseline/mitigated run concurrency (1 = serial; any other value = concurrent)")
 	flag.Parse()
 
 	if *list {
@@ -90,7 +91,11 @@ func main() {
 		printResult(res, 0)
 		return
 	}
-	norm, rb, rm, err := sim.NormalizedPerf(w, sys, opt)
+	normPerf := sim.NormalizedPerf
+	if *workers != 1 {
+		normPerf = sim.NormalizedPerfParallel
+	}
+	norm, rb, rm, err := normPerf(w, sys, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -9,4 +9,15 @@
 // internal/report. Executables are under cmd/, runnable examples under
 // examples/, and bench_test.go in this directory hosts one benchmark per
 // reproduced table and figure.
+//
+// The simulator is event-scheduled: every component advertises the next
+// cycle at which it can change state (cpu.Core.NextWork,
+// memctrl.Controller.NextWork, core.Mitigation.NextWork) and the kernel
+// in internal/sim jumps straight to the earliest pending deadline,
+// bit-identically to the retained cycle-stepped oracle. The experiment
+// matrix in internal/report spreads its independent, deterministic
+// simulation jobs over a worker pool (-workers on the commands and on
+// `go test -bench`) and shares each workload's unprotected baseline
+// across every figure; `go test -bench QuickMatrix .` emits
+// BENCH_kernel.json tracking both optimizations' wall-clock trajectory.
 package repro

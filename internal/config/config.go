@@ -25,16 +25,16 @@ const (
 // Timing captures the DRAM timing parameters relevant to Row Hammer
 // analysis and to the cycle-level DDR4 model (Table III).
 type Timing struct {
-	TRCD float64 // ACT -> column command delay (ns)
-	TRP  float64 // PRE -> ACT delay (ns)
-	TCAS float64 // column command -> first data (ns), a.k.a. CL
-	TRC  float64 // ACT -> ACT to the same bank (ns)
-	TRAS float64 // ACT -> PRE minimum (ns)
-	TRFC float64 // refresh cycle time (ns)
-	TREFI float64 // average refresh interval (ns)
+	TRCD   float64 // ACT -> column command delay (ns)
+	TRP    float64 // PRE -> ACT delay (ns)
+	TCAS   float64 // column command -> first data (ns), a.k.a. CL
+	TRC    float64 // ACT -> ACT to the same bank (ns)
+	TRAS   float64 // ACT -> PRE minimum (ns)
+	TRFC   float64 // refresh cycle time (ns)
+	TREFI  float64 // average refresh interval (ns)
 	TBURST float64 // data burst occupancy of the bus for one 64B line (ns)
-	TRRD  float64 // ACT -> ACT different banks, same rank (ns)
-	TWR   float64 // write recovery (ns)
+	TRRD   float64 // ACT -> ACT different banks, same rank (ns)
+	TWR    float64 // write recovery (ns)
 
 	RefreshWindow float64 // retention / Row Hammer accounting window (ns), typically 64 ms
 }
@@ -50,7 +50,7 @@ func DDR4() Timing {
 		TRAS:          31, // tRC - tRP
 		TRFC:          350,
 		TREFI:         7812.5, // 64 ms / 8192 refresh commands (reported as 7.8 us)
-		TBURST:        2.5, // 4 bus cycles at 1.6 GHz DDR (8 beats)
+		TBURST:        2.5,    // 4 bus cycles at 1.6 GHz DDR (8 beats)
 		TRRD:          5,
 		TWR:           15,
 		RefreshWindow: 64 * Millisecond,

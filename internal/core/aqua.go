@@ -97,6 +97,10 @@ func (a *AQUA) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
 // Tick implements Mitigation.
 func (a *AQUA) Tick(Cycles) {}
 
+// NextWork implements Mitigation: quarantine migrations happen
+// synchronously in OnAggressor/OnWindowEnd, never in Tick.
+func (a *AQUA) NextWork(Cycles) Cycles { return NoWork }
+
 // OnWindowEnd implements Mitigation: de-quarantine everything (AQUA does
 // this lazily across the window; migrations here are charged to the bank
 // sequentially, which is pessimistic but simple).

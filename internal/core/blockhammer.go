@@ -132,6 +132,10 @@ func (b *BlockHammer) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool 
 // Tick implements Mitigation.
 func (b *BlockHammer) Tick(Cycles) {}
 
+// NextWork implements Mitigation: throttling happens synchronously in
+// OnAggressor, never in Tick.
+func (b *BlockHammer) NextWork(Cycles) Cycles { return NoWork }
+
 // OnWindowEnd implements Mitigation: rotate the dual filters.
 func (b *BlockHammer) OnWindowEnd(Cycles) {
 	for i := range b.active {

@@ -31,6 +31,11 @@ import (
 // Cycles mirrors dram.Cycles.
 type Cycles = dram.Cycles
 
+// NoWork is the NextWork sentinel meaning "no lazily scheduled work
+// pending": effectively an infinite deadline, so the event kernel never
+// wakes up for this component.
+const NoWork = Cycles(1<<63 - 1)
+
 // Stats aggregates mitigation activity.
 type Stats struct {
 	Swaps           uint64 // swap operations performed
@@ -60,9 +65,17 @@ type Mitigation interface {
 	OnAggressor(bankIdx int, row dram.RowID, now Cycles) (pin bool)
 
 	// Tick performs lazily scheduled work (place-backs, epoch eviction).
-	// The controller calls it every cycle; implementations return fast
-	// when nothing is due.
+	// The controller calls it at every active cycle; implementations
+	// return fast when nothing is due.
 	Tick(now Cycles)
+
+	// NextWork returns the earliest future cycle at which Tick has
+	// scheduled work, or NoWork when the mitigation is idle. The
+	// event-driven kernel uses it to skip the idle cycles, so Tick must
+	// be a no-op at every cycle before the returned deadline, and new
+	// deadlines may be created only inside Tick or OnWindowEnd (the two
+	// points where the kernel re-reads NextWork) — never in OnAggressor.
+	NextWork(now Cycles) Cycles
 
 	// OnWindowEnd is called at each refresh-window boundary.
 	OnWindowEnd(now Cycles)
@@ -85,6 +98,9 @@ func (Baseline) OnAggressor(int, dram.RowID, Cycles) bool { return false }
 
 // Tick implements Mitigation.
 func (Baseline) Tick(Cycles) {}
+
+// NextWork implements Mitigation (never any scheduled work).
+func (Baseline) NextWork(Cycles) Cycles { return NoWork }
 
 // OnWindowEnd implements Mitigation.
 func (Baseline) OnWindowEnd(Cycles) {}

@@ -175,6 +175,10 @@ func (r *RRS) restoreChain(bankIdx int, a, x dram.RowID, now Cycles) {
 // Tick implements Mitigation (RRS has no lazily paced work).
 func (r *RRS) Tick(Cycles) {}
 
+// NextWork implements Mitigation: RRS does everything synchronously in
+// OnAggressor/OnWindowEnd, so Tick never has scheduled work.
+func (r *RRS) NextWork(Cycles) Cycles { return NoWork }
+
 // OnWindowEnd implements Mitigation. Immediate-unswap RRS just unlocks
 // its tuples (they are evicted lazily on demand). The no-unswap variant
 // must unravel every chain right now — the latency spike that motivates

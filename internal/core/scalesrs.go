@@ -99,6 +99,9 @@ func (s *ScaleSRS) OnAggressor(bankIdx int, row dram.RowID, now Cycles) bool {
 // Tick implements Mitigation.
 func (s *ScaleSRS) Tick(now Cycles) { s.srs.Tick(now) }
 
+// NextWork implements Mitigation (the place-back pacing lives in SRS).
+func (s *ScaleSRS) NextWork(now Cycles) Cycles { return s.srs.NextWork(now) }
+
 // OnWindowEnd implements Mitigation: advance the epoch register (lazily
 // resetting all counters) and start SRS's lazy place-back schedule.
 func (s *ScaleSRS) OnWindowEnd(now Cycles) {

@@ -145,6 +145,18 @@ func (s *SRS) Tick(now Cycles) {
 	s.nextPB = 0 // nothing left this epoch
 }
 
+// NextWork implements Mitigation: the next paced place-back deadline,
+// or NoWork once the epoch's place-back queue has drained.
+func (s *SRS) NextWork(now Cycles) Cycles {
+	if s.nextPB == 0 {
+		return NoWork
+	}
+	if s.nextPB <= now {
+		return now + 1
+	}
+	return s.nextPB
+}
+
 // pbOrder visits banks starting at a rotating offset so place-back work
 // spreads across banks.
 func (s *SRS) pbOrder() []int {

@@ -42,8 +42,8 @@ type Core struct {
 	robCount int // entries in ring
 	robInstr int // instructions occupying the ROB
 
-	gapLeft int          // non-memory instructions awaiting fetch
-	pending trace.Record // memory op awaiting fetch
+	gapLeft  int          // non-memory instructions awaiting fetch
+	pending  trace.Record // memory op awaiting fetch
 	havePend bool
 
 	retired     int64
@@ -99,6 +99,21 @@ func (c *Core) push(e robEntry) {
 func (c *Core) Tick(now Cycles) {
 	c.retire(now)
 	c.fetch(now)
+}
+
+// NextWork returns the next cycle at which Tick would change state, for
+// the event-driven kernel. While the ROB has room the core fetches every
+// cycle; once it fills, nothing can happen until the head entry's
+// completion cycle unblocks in-order retirement, so every Tick in
+// between is a no-op and the kernel may jump straight to that deadline.
+func (c *Core) NextWork(now Cycles) Cycles {
+	if c.robInstr < c.cfg.ROBSize && c.robCount < len(c.rob)-1 {
+		return now + 1
+	}
+	if head := c.rob[c.head].done; head > now+1 {
+		return head
+	}
+	return now + 1
 }
 
 func (c *Core) retire(now Cycles) {

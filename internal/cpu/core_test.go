@@ -100,6 +100,39 @@ func TestMemLevelParallelismOverlapsLatency(t *testing.T) {
 	}
 }
 
+func TestNextWorkMatchesTickActivity(t *testing.T) {
+	// Fill the ROB with huge-latency memory ops; NextWork must then point
+	// at the head's completion, and every Tick before it must be a no-op.
+	cfg := config.DefaultCore()
+	iss := &constIssuer{latency: 5_000}
+	st := &fixedStream{rec: trace.Record{Gap: 0}}
+	c := NewCore(0, cfg, st, iss, 1000)
+	var now Cycles
+	for c.NextWork(now) == now+1 {
+		c.Tick(now)
+		now++
+		if now > 10_000 {
+			t.Fatal("ROB never filled")
+		}
+	}
+	stall := c.NextWork(now)
+	if stall <= now+1 {
+		t.Fatalf("stalled core NextWork = %d at now %d", stall, now)
+	}
+	retired, issued := c.Retired(), iss.issued
+	for t2 := now; t2 < stall; t2++ {
+		c.Tick(t2)
+	}
+	if c.Retired() != retired || iss.issued != issued {
+		t.Errorf("ticks before NextWork deadline changed state: retired %d->%d issued %d->%d",
+			retired, c.Retired(), issued, iss.issued)
+	}
+	c.Tick(stall)
+	if c.Retired() == retired {
+		t.Error("tick at NextWork deadline made no progress")
+	}
+}
+
 func TestBudgetAndFinishCycle(t *testing.T) {
 	cfg := config.DefaultCore()
 	st := &fixedStream{rec: trace.Record{Gap: 50}}

@@ -164,6 +164,46 @@ func TestOnWindowEndResetsState(t *testing.T) {
 	}
 }
 
+func TestNextWorkCoversRefreshDeadlines(t *testing.T) {
+	c, mem, _ := testSetup(config.MitigationNone, 0)
+	tm := mem.Timing()
+	// Event-driven contract: ticking only at the NextWork deadlines must
+	// issue the same refreshes as ticking every cycle.
+	var now Cycles
+	for now < 4*tm.TREFI {
+		c.Tick(now)
+		next := c.NextWork(now)
+		if next <= now {
+			t.Fatalf("NextWork(%d) = %d, not in the future", now, next)
+		}
+		now = next
+	}
+	if got := c.Stats().Refreshes; got < 3 || got > 5 {
+		t.Errorf("Refreshes = %d in 4 tREFI under deadline stepping, want ~4", got)
+	}
+}
+
+func TestNextWorkSeesMitigationPlaceBacks(t *testing.T) {
+	c, _, sys := testSetup(config.MitigationSRS, 4800)
+	ts := sys.Mitigation.TS()
+	loc := dram.Location{Channel: 0, Bank: 0, BankIdx: 0, Row: 42, Col: 0}
+	now := Cycles(0)
+	for i := 0; i < ts; i++ {
+		now = c.Access(loc, false, now)
+	}
+	if c.Stats().Mitigations != 1 {
+		t.Fatal("swap not triggered")
+	}
+	// After the window ends, SRS schedules paced place-backs; the next
+	// deadline must arrive before the next refresh so the event kernel
+	// wakes up for it.
+	c.OnWindowEnd(now)
+	next := c.NextWork(now)
+	if next == core.NoWork || next <= now {
+		t.Fatalf("NextWork after window end = %d", next)
+	}
+}
+
 func TestNewTrackerKinds(t *testing.T) {
 	sys := config.Default()
 	sys.Mitigation = config.DefaultRRS(4800)

@@ -1,0 +1,184 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// baselineKey identifies one unprotected-baseline simulation. sim.Options
+// is all scalars, so the key is comparable and covers every knob that can
+// change the baseline's numbers.
+type baselineKey struct {
+	workload string
+	cores    int
+	opt      sim.Options
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
+}
+
+// baselineCache shares unprotected-baseline results across every matrix
+// in the process: each figure normalizes against the same baseline, so a
+// full figure sweep (Fig 4, 12, 14, 15, 16, comparators) simulates each
+// workload's baseline once instead of once per figure. Entries are
+// deterministic, so caching cannot change any normalized number.
+var baselineCache sync.Map // baselineKey -> *baselineEntry
+
+// resetBaselineCache drops all cached baselines (test hook).
+func resetBaselineCache() {
+	baselineCache = sync.Map{}
+}
+
+// baselineFor returns the unprotected-baseline result for the workload,
+// simulating it at most once per (workload, cores, options) even when
+// many matrix jobs race for it.
+func baselineFor(w trace.Workload, cores int, opt sim.Options) (*sim.Result, error) {
+	e, _ := baselineCache.LoadOrStore(baselineKey{workload: w.Name, cores: cores, opt: opt}, &baselineEntry{})
+	entry := e.(*baselineEntry)
+	entry.once.Do(func() {
+		sys := config.Default()
+		sys.Core.Cores = cores
+		sys.Mitigation = config.Mitigation{}
+		entry.res, entry.err = sim.Run(w, sys, opt)
+	})
+	return entry.res, entry.err
+}
+
+// matrixJob is one simulation of the experiment matrix: a workload under
+// one mitigation config, or (label == "") its unprotected baseline.
+type matrixJob struct {
+	wi    int
+	label string
+	mit   config.Mitigation
+}
+
+// runMatrix evaluates each workload under a baseline plus the given
+// mitigation configurations, returning normalized performance rows in
+// workload order. Every simulation is an independent deterministic job
+// (its RNG is re-seeded from the options inside sim.Run), so the jobs
+// are spread over a pool of opt.Workers goroutines and the rows are
+// identical to a serial run regardless of scheduling.
+func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow, error) {
+	opt = opt.withDefaults()
+	workloads := opt.workloadSet()
+	labels := make([]string, 0, len(configs))
+	for l := range configs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	// Per workload: the baseline job followed by one job per config.
+	stride := len(labels) + 1
+	jobs := make([]matrixJob, 0, len(workloads)*stride)
+	for wi := range workloads {
+		jobs = append(jobs, matrixJob{wi: wi})
+		for _, l := range labels {
+			jobs = append(jobs, matrixJob{wi: wi, label: l, mit: configs[l]})
+		}
+	}
+
+	type cell struct {
+		res *sim.Result
+		err error
+	}
+	results := make([]cell, len(jobs))
+	run := func(j matrixJob) cell {
+		w := workloads[j.wi]
+		if j.label == "" {
+			res, err := baselineFor(w, opt.Cores, opt.Sim)
+			if err != nil {
+				err = fmt.Errorf("baseline %s: %w", w.Name, err)
+			}
+			return cell{res, err}
+		}
+		sys := config.Default()
+		sys.Core.Cores = opt.Cores
+		sys.Mitigation = j.mit
+		res, err := sim.Run(w, sys, opt.Sim)
+		if err != nil {
+			err = fmt.Errorf("%s %s: %w", j.label, w.Name, err)
+		}
+		return cell{res, err}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		cursor  atomic.Int64
+		failed  atomic.Bool
+		progMu  sync.Mutex
+		pending = make([]int, len(workloads))
+		wg      sync.WaitGroup
+	)
+	cursor.Store(-1)
+	for wi := range pending {
+		pending[wi] = stride
+	}
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				results[i] = run(jobs[i])
+				if results[i].err != nil {
+					failed.Store(true)
+					return
+				}
+				if opt.Progress == nil {
+					continue
+				}
+				progMu.Lock()
+				wi := jobs[i].wi
+				pending[wi]--
+				if pending[wi] == 0 {
+					if rb := results[wi*stride].res; rb != nil {
+						fmt.Fprintf(opt.Progress, "  %-14s done (baseline IPC %.3f)\n",
+							workloads[wi].Name, rb.MeanIPC)
+					}
+				}
+				progMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, c := range results {
+			if c.err != nil {
+				return nil, c.err
+			}
+		}
+	}
+
+	rows := make([]PerfRow, len(workloads))
+	for wi, w := range workloads {
+		rb := results[wi*stride].res
+		row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
+			Norm: map[string]float64{}}
+		for li, l := range labels {
+			row.Norm[l] = results[wi*stride+1+li].res.MeanIPC / rb.MeanIPC
+		}
+		rows[wi] = row
+	}
+	return rows, nil
+}

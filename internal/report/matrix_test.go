@@ -1,0 +1,80 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func matrixOpts(workers int) PerfOptions {
+	return PerfOptions{
+		Workloads: []string{"gcc", "povray", "mcf"},
+		Cores:     2,
+		Workers:   workers,
+		Sim:       sim.Options{Instructions: 100_000, WindowNS: 200_000},
+	}
+}
+
+var matrixConfigs = map[string]config.Mitigation{
+	"rrs":       config.DefaultRRS(1200),
+	"scale-srs": config.DefaultScaleSRS(1200),
+}
+
+// TestSerialAndParallelMatrixIdentical is the determinism contract of
+// the parallel experiment engine: the rows must be bit-identical for any
+// worker count, including the single-worker serial schedule.
+func TestSerialAndParallelMatrixIdentical(t *testing.T) {
+	resetBaselineCache()
+	serial, err := runMatrix(matrixOpts(1), matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resetBaselineCache()
+	parallel, err := runMatrix(matrixOpts(8), matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serial and parallel rows diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(parallel) != 3 || parallel[0].Workload != "gcc" || parallel[2].Workload != "mcf" {
+		t.Errorf("row order not deterministic: %+v", parallel)
+	}
+}
+
+// TestBaselineCacheDoesNotChangeNumbers verifies the baseline-sharing
+// optimization: a matrix computed against cached baselines must produce
+// the same normalized rows as one that simulated them fresh.
+func TestBaselineCacheDoesNotChangeNumbers(t *testing.T) {
+	resetBaselineCache()
+	fresh, err := runMatrix(matrixOpts(0), matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := runMatrix(matrixOpts(0), matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Errorf("cached-baseline rows diverged:\nfresh:  %+v\ncached: %+v", fresh, cached)
+	}
+	// The cache must actually be warm now.
+	w := matrixOpts(0).workloadSet()[0]
+	if _, ok := baselineCache.Load(baselineKey{workload: w.Name, cores: 2,
+		opt: matrixOpts(0).Sim}); !ok {
+		t.Error("baseline cache empty after two matrix runs")
+	}
+}
+
+// TestMatrixErrorPropagates checks that an invalid config surfaces as an
+// error (and not a deadlock or partial rows) under the worker pool.
+func TestMatrixErrorPropagates(t *testing.T) {
+	bad := map[string]config.Mitigation{
+		"bad": {Kind: config.MitigationRRS}, // TRH=0 fails validation
+	}
+	if _, err := runMatrix(matrixOpts(4), bad); err == nil {
+		t.Error("invalid config did not error")
+	}
+}

@@ -20,7 +20,12 @@ type PerfOptions struct {
 	Cores int
 	// Sim carries the simulation scale knobs.
 	Sim sim.Options
-	// Progress, if non-nil, receives one line per completed run.
+	// Workers is the size of the goroutine pool the experiment matrix is
+	// spread over (0 = GOMAXPROCS, 1 = serial). Every simulation is an
+	// independent deterministic job, so the resulting rows are identical
+	// for any worker count.
+	Workers int
+	// Progress, if non-nil, receives one line per completed workload.
 	Progress io.Writer
 }
 
@@ -36,11 +41,11 @@ func (o PerfOptions) withDefaults() PerfOptions {
 var QuickWorkloads = []string{
 	"gups", "gcc", "hmmer", "mcf", "povray", // SPEC2K6 + GUPS
 	"xz_17", "lbm_17", // SPEC2K17
-	"pr",              // GAP
-	"comm1",           // COMMERCIAL
-	"canneal",         // PARSEC
-	"mummer",          // BIOBENCH
-	"mix5",            // MIX
+	"pr",      // GAP
+	"comm1",   // COMMERCIAL
+	"canneal", // PARSEC
+	"mummer",  // BIOBENCH
+	"mix5",    // MIX
 }
 
 func (o PerfOptions) workloadSet() []trace.Workload {
@@ -68,38 +73,6 @@ type PerfRow struct {
 	Suite    string
 	HasHot   bool
 	Norm     map[string]float64
-}
-
-// runMatrix evaluates each workload under a baseline plus the given
-// mitigation configurations, returning normalized performance rows.
-func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow, error) {
-	opt = opt.withDefaults()
-	var rows []PerfRow
-	for _, w := range opt.workloadSet() {
-		sys := config.Default()
-		sys.Core.Cores = opt.Cores
-		base := sys
-		base.Mitigation = config.Mitigation{}
-		rb, err := sim.Run(w, base, opt.Sim)
-		if err != nil {
-			return nil, fmt.Errorf("baseline %s: %w", w.Name, err)
-		}
-		row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
-			Norm: map[string]float64{}}
-		for label, m := range configs {
-			sys.Mitigation = m
-			rm, err := sim.Run(w, sys, opt.Sim)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", label, w.Name, err)
-			}
-			row.Norm[label] = rm.MeanIPC / rb.MeanIPC
-		}
-		rows = append(rows, row)
-		if opt.Progress != nil {
-			fmt.Fprintf(opt.Progress, "  %-14s done (baseline IPC %.3f)\n", w.Name, rb.MeanIPC)
-		}
-	}
-	return rows, nil
 }
 
 // suiteMeans aggregates normalized performance per suite (and ALL), in

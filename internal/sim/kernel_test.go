@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// stripHostInstrumentation zeroes the fields that measure host (not
+// simulated) performance so Results can be compared across kernels.
+func stripHostInstrumentation(r *Result) *Result {
+	c := *r
+	c.WallSeconds = 0
+	c.SimIPS = 0
+	c.Kernel = ""
+	return &c
+}
+
+// TestEventKernelMatchesCycleStepped is the differential oracle for the
+// event-scheduled kernel: for every mitigation (and both trackers and
+// both page policies), the same seed must produce a bit-identical
+// Result under the legacy cycle-stepped loop and the event kernel.
+func TestEventKernelMatchesCycleStepped(t *testing.T) {
+	cases := []struct {
+		name string
+		mit  config.Mitigation
+		mod  func(*config.System, *Options)
+	}{
+		{name: "baseline", mit: config.Mitigation{}},
+		{name: "rrs", mit: config.DefaultRRS(1200)},
+		{name: "rrs-nounswap", mit: func() config.Mitigation {
+			m := config.DefaultRRS(1200)
+			m.ImmediateUnswap = false
+			return m
+		}()},
+		{name: "srs", mit: config.DefaultSRS(1200)},
+		{name: "scale-srs", mit: config.DefaultScaleSRS(1200)},
+		{name: "blockhammer", mit: config.DefaultBlockHammer(1200)},
+		{name: "aqua", mit: config.DefaultAQUA(1200)},
+		{name: "hydra", mit: func() config.Mitigation {
+			m := config.DefaultScaleSRS(1200)
+			m.Tracker = config.TrackerHydra
+			return m
+		}()},
+		{name: "open-page", mit: config.DefaultSRS(1200),
+			mod: func(_ *config.System, o *Options) { o.OpenPage = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := config.Default()
+			sys.Core.Cores = 4
+			sys.Mitigation = tc.mit
+			opt := Options{Instructions: 150_000, WindowNS: 200_000}
+			if tc.mod != nil {
+				tc.mod(&sys, &opt)
+			}
+			w := wl(t, "gcc")
+
+			optCycle := opt
+			optCycle.Kernel = KernelCycle
+			rc, err := Run(w, sys, optCycle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optEvent := opt
+			optEvent.Kernel = KernelEvent
+			re, err := Run(w, sys, optEvent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rc.Kernel != "cycle" || re.Kernel != "event" {
+				t.Fatalf("kernel labels wrong: %q / %q", rc.Kernel, re.Kernel)
+			}
+			if !reflect.DeepEqual(stripHostInstrumentation(rc), stripHostInstrumentation(re)) {
+				t.Errorf("kernels diverged:\ncycle: %+v\nevent: %+v", rc, re)
+			}
+		})
+	}
+}
+
+// TestEventKernelMatchesOnMemoryBoundWorkload covers the workloads where
+// the event kernel actually skips large stall gaps (mcf, gups) rather
+// than degenerating to per-cycle stepping.
+func TestEventKernelMatchesOnMemoryBoundWorkload(t *testing.T) {
+	for _, name := range []string{"mcf", "gups", "mix5"} {
+		t.Run(name, func(t *testing.T) {
+			sys := config.Default()
+			sys.Core.Cores = 4
+			sys.Mitigation = config.DefaultScaleSRS(1200)
+			opt := Options{Instructions: 100_000, WindowNS: 200_000}
+			w := wl(t, name)
+
+			optCycle := opt
+			optCycle.Kernel = KernelCycle
+			rc, err := Run(w, sys, optCycle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := Run(w, sys, opt) // event is the default
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripHostInstrumentation(rc), stripHostInstrumentation(re)) {
+				t.Errorf("kernels diverged on %s:\ncycle: %+v\nevent: %+v", name, rc, re)
+			}
+		})
+	}
+}
+
+// TestResultInstrumentation checks the perf-trajectory fields the bench
+// harness records.
+func TestResultInstrumentation(t *testing.T) {
+	sys := config.Default()
+	sys.Core.Cores = 4
+	res, err := Run(wl(t, "povray"), sys, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 4*120_000 {
+		t.Errorf("Instructions = %d, want %d", res.Instructions, 4*120_000)
+	}
+	if res.WallSeconds <= 0 || res.SimIPS <= 0 {
+		t.Errorf("instrumentation missing: wall=%g ips=%g", res.WallSeconds, res.SimIPS)
+	}
+}

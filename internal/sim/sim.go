@@ -13,10 +13,23 @@
 // values. Hot-row profiles are calibrated so rows cross T_S within a
 // compressed window the way the paper's hot workloads cross it within
 // 64 ms, preserving the swap-rate-driven slowdown shape.
+//
+// Time advance: the simulation is event-scheduled. Every component
+// exposes the next cycle at which it can change state — cpu.Core.NextWork
+// (ROB-stall release), memctrl.Controller.NextWork (refresh deadlines and
+// the mitigation's paced place-backs) — and the kernel advances `now`
+// directly to the minimum pending deadline (clamped to the refresh-window
+// boundary) instead of incrementing cycle by cycle. Because components
+// are still ticked at every cycle where any of them has work, and their
+// Tick methods are no-ops before their advertised deadlines, the event
+// kernel is cycle-for-cycle identical to the legacy cycle-stepped loop
+// (KernelCycle, kept for differential testing) while skipping the long
+// memory-stall gaps that dominate memory-bound workloads.
 package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -27,6 +40,27 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// Kernel selects the simulation time-advance strategy.
+type Kernel int
+
+const (
+	// KernelEvent advances time directly to the next component deadline
+	// (the default).
+	KernelEvent Kernel = iota
+	// KernelCycle is the legacy cycle-stepped loop that increments `now`
+	// by one cycle at a time. It produces bit-identical results to
+	// KernelEvent and is retained as the differential-testing oracle.
+	KernelCycle
+)
+
+// String returns the kernel's name.
+func (k Kernel) String() string {
+	if k == KernelCycle {
+		return "cycle"
+	}
+	return "event"
+}
 
 // Cycles mirrors dram.Cycles.
 type Cycles = dram.Cycles
@@ -53,6 +87,8 @@ type Options struct {
 	// cost. Default 1/3, calibrated so the per-workload slowdowns at
 	// T_RH=1200 land in the paper's reported range (Fig. 14).
 	SwapLatencyScale float64
+	// Kernel selects the time-advance strategy (default KernelEvent).
+	Kernel Kernel
 }
 
 func (o Options) withDefaults(sys config.System) Options {
@@ -95,6 +131,18 @@ type Result struct {
 	// MaxWindowACT is the hottest per-slot activation count observed in
 	// any window (Row Hammer exposure of the run).
 	MaxWindowACT uint32
+
+	// Instructions is the total number of budgeted instructions simulated
+	// across all cores.
+	Instructions int64
+	// WallSeconds is the host wall-clock time the run took; SimIPS is
+	// simulated instructions per wall-second (Instructions/WallSeconds).
+	// Both are host-performance instrumentation, not simulation outputs:
+	// they vary run to run and must be ignored by determinism checks.
+	WallSeconds float64
+	SimIPS      float64
+	// Kernel names the time-advance strategy that produced the run.
+	Kernel string
 }
 
 // issuer adapts the LLC + memory controller to the cpu.Issuer interface.
@@ -182,35 +230,21 @@ func Run(w trace.Workload, sys config.System, opt Options) (*Result, error) {
 	}
 
 	window := Cycles(opt.WindowNS * sys.Core.ClockGHz)
-	windowEnd := window
-	var maxACT uint32
+	machine := &machine{cores: cores, ctrl: ctrl, mem: mem, llc: llc, window: window}
 
+	start := time.Now()
 	var now Cycles
-	for {
-		allDone := true
-		for _, c := range cores {
-			c.Tick(now)
-			if !c.Done() {
-				allDone = false
-			}
-		}
-		ctrl.Tick(now)
-		if now >= windowEnd {
-			if a, _, _ := mem.MaxWindowACT(); a > maxACT {
-				maxACT = a
-			}
-			ctrl.OnWindowEnd(now)
-			llc.UnpinAll()
-			windowEnd += window
-		}
-		if allDone {
-			break
-		}
-		now++
-		if now > opt.MaxCycles {
-			return nil, fmt.Errorf("sim: %s did not converge within %d cycles", w.Name, opt.MaxCycles)
-		}
+	var maxACT uint32
+	var err2 error
+	if opt.Kernel == KernelCycle {
+		now, maxACT, err2 = machine.runCycleStepped(opt.MaxCycles)
+	} else {
+		now, maxACT, err2 = machine.runEventDriven(opt.MaxCycles)
 	}
+	if err2 != nil {
+		return nil, fmt.Errorf("sim: %s did not converge within %d cycles", w.Name, opt.MaxCycles)
+	}
+	wall := time.Since(start).Seconds()
 	if a, _, _ := mem.MaxWindowACT(); a > maxACT {
 		maxACT = a
 	}
@@ -226,12 +260,148 @@ func Run(w trace.Workload, sys config.System, opt Options) (*Result, error) {
 		Ctrl:         ctrl.Stats(),
 		Mit:          mit.Stats(),
 		MaxWindowACT: maxACT,
+		Instructions: opt.Instructions * int64(len(cores)),
+		WallSeconds:  wall,
+		Kernel:       opt.Kernel.String(),
+	}
+	if wall > 0 {
+		res.SimIPS = float64(res.Instructions) / wall
 	}
 	for i, c := range cores {
 		res.PerCoreIPC[i] = c.IPC()
 	}
 	res.MeanIPC = stats.Mean(res.PerCoreIPC)
 	return res, nil
+}
+
+// machine bundles the simulated components for the kernel loops.
+type machine struct {
+	cores  []*cpu.Core
+	ctrl   *memctrl.Controller
+	mem    *dram.Memory
+	llc    *cache.LLC
+	window Cycles
+}
+
+// tick advances every component at cycle now (cores in order, then the
+// controller, then refresh-window bookkeeping — the order the legacy
+// loop established) and reports whether all cores reached their budget.
+// windowEnd and maxACT are updated in place.
+func (m *machine) tick(now Cycles, windowEnd *Cycles, maxACT *uint32) (allDone bool) {
+	allDone = true
+	for _, c := range m.cores {
+		c.Tick(now)
+		if !c.Done() {
+			allDone = false
+		}
+	}
+	m.ctrl.Tick(now)
+	m.windowRoll(now, windowEnd, maxACT)
+	return allDone
+}
+
+// windowRoll performs the refresh-window boundary bookkeeping when now
+// has reached windowEnd: sample the hottest slot, reset Row Hammer
+// accounting, drop LLC pins, and advance the boundary. Both kernels
+// share it so the per-window sequence cannot diverge between them. It
+// reports whether a boundary was crossed.
+func (m *machine) windowRoll(now Cycles, windowEnd *Cycles, maxACT *uint32) bool {
+	if now < *windowEnd {
+		return false
+	}
+	if a, _, _ := m.mem.MaxWindowACT(); a > *maxACT {
+		*maxACT = a
+	}
+	m.ctrl.OnWindowEnd(now)
+	m.llc.UnpinAll()
+	*windowEnd += m.window
+	return true
+}
+
+// errNoConverge signals that the run exceeded its cycle budget.
+var errNoConverge = fmt.Errorf("sim: cycle budget exceeded")
+
+// runCycleStepped is the legacy kernel: now advances one cycle at a
+// time and every component is ticked at every cycle. Retained as the
+// differential-testing oracle for runEventDriven.
+func (m *machine) runCycleStepped(maxCycles Cycles) (Cycles, uint32, error) {
+	windowEnd := m.window
+	var maxACT uint32
+	var now Cycles
+	for {
+		if m.tick(now, &windowEnd, &maxACT) {
+			return now, maxACT, nil
+		}
+		now++
+		if now > maxCycles {
+			return now, maxACT, errNoConverge
+		}
+	}
+}
+
+// runEventDriven is the event-scheduled kernel: each component is
+// ticked only at the cycles where it has work — a core's ROB-stall
+// release, the controller's next refresh or paced mitigation operation,
+// the refresh-window boundary — and now advances directly to the
+// earliest pending deadline. Components guarantee their Tick is a no-op
+// before their advertised NextWork deadline and that deadlines move only
+// inside Tick/OnWindowEnd, so skipping the no-op ticks cannot change any
+// state and the kernel stays cycle-for-cycle identical to
+// runCycleStepped (see TestEventKernelMatchesCycleStepped).
+func (m *machine) runEventDriven(maxCycles Cycles) (Cycles, uint32, error) {
+	windowEnd := m.window
+	var maxACT uint32
+	var now Cycles
+
+	// Cached per-component deadlines; zero means due immediately. A
+	// core's deadline is only moved by its own Tick; the controller's is
+	// also refreshed after OnWindowEnd (which reschedules place-backs).
+	coreNext := make([]Cycles, len(m.cores))
+	coreDone := make([]bool, len(m.cores))
+	nDone := 0
+	var ctrlNext Cycles
+
+	for {
+		for i, c := range m.cores {
+			if coreNext[i] > now {
+				continue
+			}
+			c.Tick(now)
+			coreNext[i] = c.NextWork(now)
+			if !coreDone[i] && c.Done() {
+				coreDone[i] = true
+				nDone++
+			}
+		}
+		if ctrlNext <= now {
+			m.ctrl.Tick(now)
+			ctrlNext = m.ctrl.NextWork(now)
+		}
+		if m.windowRoll(now, &windowEnd, &maxACT) {
+			// OnWindowEnd may have scheduled mitigation work (SRS
+			// place-back pacing), so the cached deadline is stale.
+			ctrlNext = m.ctrl.NextWork(now)
+		}
+		if nDone == len(m.cores) {
+			return now, maxACT, nil
+		}
+		next := windowEnd
+		for _, t := range coreNext {
+			if t < next {
+				next = t
+			}
+		}
+		if ctrlNext < next {
+			next = ctrlNext
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+		if now > maxCycles {
+			return now, maxACT, errNoConverge
+		}
+	}
 }
 
 // NormalizedPerf runs the workload under sys and under an unprotected
@@ -248,6 +418,35 @@ func NormalizedPerf(w trace.Workload, sys config.System, opt Options) (float64, 
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	return normalize(w, rb, rm)
+}
+
+// NormalizedPerfParallel is NormalizedPerf with the baseline and
+// mitigated simulations executed concurrently. The two runs share no
+// state (each builds its own memory system and RNG from the options),
+// so the returned values are identical to the serial version.
+func NormalizedPerfParallel(w trace.Workload, sys config.System, opt Options) (float64, *Result, *Result, error) {
+	base := sys
+	base.Mitigation = config.Mitigation{}
+	var rb *Result
+	var errB error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rb, errB = Run(w, base, opt)
+	}()
+	rm, errM := Run(w, sys, opt)
+	<-done
+	if errB != nil {
+		return 0, nil, nil, errB
+	}
+	if errM != nil {
+		return 0, nil, nil, errM
+	}
+	return normalize(w, rb, rm)
+}
+
+func normalize(w trace.Workload, rb, rm *Result) (float64, *Result, *Result, error) {
 	if rb.MeanIPC == 0 {
 		return 0, rb, rm, fmt.Errorf("sim: baseline IPC is zero for %s", w.Name)
 	}

@@ -132,10 +132,10 @@ func (m Model) Reduction(trh int) float64 {
 
 // PaperEntry is a row of the paper's Table IV for comparison.
 type PaperEntry struct {
-	TRH                   int
-	RRSTotalKB            float64
-	ScaleTotalKB          float64
-	RRSRITKB, ScaleRITKB  float64
+	TRH                  int
+	RRSTotalKB           float64
+	ScaleTotalKB         float64
+	RRSRITKB, ScaleRITKB float64
 }
 
 // PaperTable4 returns the values reported in Table IV.

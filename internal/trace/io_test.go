@@ -95,11 +95,11 @@ func TestReadRecordsFormat(t *testing.T) {
 
 func TestReadRecordsErrors(t *testing.T) {
 	bad := []string{
-		"x R 0x10",    // bad gap
-		"-1 R 0x10",   // negative gap
-		"5 X 0x10",    // bad op
-		"5 R zz",      // bad addr
-		"5",           // too few fields
+		"x R 0x10",  // bad gap
+		"-1 R 0x10", // negative gap
+		"5 X 0x10",  // bad op
+		"5 R zz",    // bad addr
+		"5",         // too few fields
 	}
 	for _, line := range bad {
 		if _, err := ReadRecords(strings.NewReader(line)); err == nil {

@@ -21,8 +21,8 @@ type Hydra struct {
 }
 
 type hydraBank struct {
-	gcount  []int  // per-group counts (group mode)
-	perRow  []bool // group switched to per-row tracking
+	gcount  []int         // per-group counts (group mode)
+	perRow  []bool        // group switched to per-row tracking
 	rowMem  map[int32]int // DRAM-resident per-row counters
 	rcc     map[int32]rccEntry
 	rccTick uint64

@@ -108,8 +108,8 @@ func (b *ssBank) clear() {
 
 // heap.Interface implementation.
 
-func (b *ssBank) Len() int            { return len(b.entries) }
-func (b *ssBank) Less(i, j int) bool  { return b.entries[i].count < b.entries[j].count }
+func (b *ssBank) Len() int           { return len(b.entries) }
+func (b *ssBank) Less(i, j int) bool { return b.entries[i].count < b.entries[j].count }
 func (b *ssBank) Swap(i, j int) {
 	b.entries[i], b.entries[j] = b.entries[j], b.entries[i]
 	b.index[b.entries[i].row] = i

@@ -42,10 +42,10 @@ type Refresher struct {
 	TRH int
 
 	// Stats
-	DemandACTs  uint64
-	Refreshes   uint64
-	Flips       uint64
-	flipped     map[int]bool
+	DemandACTs uint64
+	Refreshes  uint64
+	Flips      uint64
+	flipped    map[int]bool
 }
 
 // NewRefresher returns a pressure-tracking bank model.

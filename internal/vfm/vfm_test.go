@@ -95,8 +95,8 @@ func TestMitigationIsTheDistance2Channel(t *testing.T) {
 
 func TestOutOfRangeRowsIgnored(t *testing.T) {
 	b := NewRefresher(4, 10)
-	b.Activate(0)  // neighbour -1 out of range
-	b.Activate(3)  // neighbour 4 out of range
+	b.Activate(0) // neighbour -1 out of range
+	b.Activate(3) // neighbour 4 out of range
 	b.RefreshRow(-1)
 	b.RefreshRow(4)
 	if b.Pressure(-1) != 0 || b.Pressure(99) != 0 {
