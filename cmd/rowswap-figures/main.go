@@ -10,6 +10,11 @@
 //
 // Figure identifiers: 1a, t1 (Table I), 4, 6, 7, 10, 12, 13, 14, 15,
 // 16, t4 (Table IV), t5 (Table V), disc (§III-C/§VIII analyses).
+//
+// Performance figures are served through the persistent simulation
+// cache (internal/simcache): re-generating a figure, or generating a
+// new figure that shares baselines with a previous one, skips every
+// simulation already on disk. Use -no-cache to force re-simulation.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func main() {
 	mcIters := flag.Int("mc", 200, "Monte-Carlo iterations for Fig. 6 (0 disables)")
 	workers := flag.Int("workers", 0, "simulation worker pool size for performance figures (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "print per-workload progress for performance figures")
+	cacheDir := flag.String("cache-dir", simcache.DefaultDir(), "persistent simulation-result cache directory")
+	noCache := flag.Bool("no-cache", false, "disable the persistent result cache")
 	flag.Parse()
 
 	if *fig == "" && !*all {
@@ -43,6 +51,9 @@ func main() {
 		Cores:   *cores,
 		Workers: *workers,
 		Sim:     sim.Options{Instructions: *instructions},
+	}
+	if !*noCache {
+		popt.CacheDir = *cacheDir
 	}
 	if *quick {
 		popt.Workloads = report.QuickWorkloads

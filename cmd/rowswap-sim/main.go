@@ -2,6 +2,12 @@
 // performance simulator under a chosen Row Hammer mitigation and prints
 // IPC, normalized performance, and mitigation activity.
 //
+// Results are served from the persistent simulation cache
+// (internal/simcache) when available, so repeating an invocation — or
+// re-running a mitigated configuration whose baseline was already
+// simulated — costs only a file read. Use -no-cache to force
+// re-simulation or -cache-dir to relocate the cache.
+//
 // Examples:
 //
 //	rowswap-sim -workload gcc -mitigation rrs -trh 1200
@@ -16,6 +22,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 )
 
@@ -30,7 +37,18 @@ func main() {
 	instructions := flag.Int64("instructions", 0, "per-core instruction budget (default 1.5M)")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
 	workers := flag.Int("workers", 0, "baseline/mitigated run concurrency (1 = serial; any other value = concurrent)")
+	cacheDir := flag.String("cache-dir", simcache.DefaultDir(), "persistent simulation-result cache directory")
+	noCache := flag.Bool("no-cache", false, "disable the persistent result cache")
 	flag.Parse()
+
+	var cache *simcache.Cache
+	if !*noCache && *cacheDir != "" {
+		var err error
+		if cache, err = simcache.Open(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: cache disabled: %v\n", err)
+			cache = nil
+		}
+	}
 
 	if *list {
 		for _, w := range trace.Workloads(1) {
@@ -83,19 +101,18 @@ func main() {
 
 	opt := sim.Options{Instructions: *instructions, Seed: *seed}
 	if *mitigation == "baseline" {
-		res, err := sim.Run(w, sys, opt)
+		res, hit, err := simcache.RunCached(cache, w, sys, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if hit {
+			fmt.Println("(result served from cache)")
+		}
 		printResult(res, 0)
 		return
 	}
-	normPerf := sim.NormalizedPerf
-	if *workers != 1 {
-		normPerf = sim.NormalizedPerfParallel
-	}
-	norm, rb, rm, err := normPerf(w, sys, opt)
+	norm, rb, rm, err := simcache.NormalizedPerf(cache, w, sys, opt, *workers != 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -11,13 +11,18 @@
 // reproduced table and figure.
 //
 // The simulator is event-scheduled: every component advertises the next
-// cycle at which it can change state (cpu.Core.NextWork,
+// cycle at which it can interact with shared state (cpu.Core.NextWork,
 // memctrl.Controller.NextWork, core.Mitigation.NextWork) and the kernel
-// in internal/sim jumps straight to the earliest pending deadline,
+// in internal/sim jumps straight to the earliest pending deadline —
+// across memory stalls and batched compute stretches alike —
 // bit-identically to the retained cycle-stepped oracle. The experiment
 // matrix in internal/report spreads its independent, deterministic
 // simulation jobs over a worker pool (-workers on the commands and on
-// `go test -bench`) and shares each workload's unprotected baseline
-// across every figure; `go test -bench QuickMatrix .` emits
-// BENCH_kernel.json tracking both optimizations' wall-clock trajectory.
+// `go test -bench`), shares each workload's unprotected baseline across
+// every figure, and persists every result on disk (internal/simcache,
+// -cache-dir/-no-cache on the commands) so repeated invocations never
+// re-simulate; `go test -bench QuickMatrix .` emits BENCH_kernel.json
+// tracking the wall-clock trajectory of all of it. ARCHITECTURE.md
+// documents the kernel contract, the caches, and how to add a
+// mitigation.
 package repro

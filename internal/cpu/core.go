@@ -46,6 +46,8 @@ type Core struct {
 	pending  trace.Record // memory op awaiting fetch
 	havePend bool
 
+	lastTick Cycles // cycle of the previous Tick (-1 before the first)
+
 	retired     int64
 	budget      int64
 	finishCycle Cycles
@@ -58,12 +60,13 @@ type Core struct {
 // NewCore returns a core with the given instruction budget.
 func NewCore(id int, cfg config.Core, stream trace.Stream, issue Issuer, budget int64) *Core {
 	return &Core{
-		id:     id,
-		cfg:    cfg,
-		stream: stream,
-		issue:  issue,
-		rob:    make([]robEntry, cfg.ROBSize+1),
-		budget: budget,
+		id:       id,
+		cfg:      cfg,
+		stream:   stream,
+		issue:    issue,
+		rob:      make([]robEntry, cfg.ROBSize+1),
+		budget:   budget,
+		lastTick: -1,
 	}
 }
 
@@ -93,27 +96,143 @@ func (c *Core) push(e robEntry) {
 	c.robInstr += e.count
 }
 
-// Tick advances the core by one cycle: retire from the ROB head, then
-// fetch new instructions (issuing memory operations to the memory
-// system).
+// Tick advances the core to cycle now. If cycles were skipped since the
+// previous Tick (the event-driven kernel jumps straight between NextWork
+// deadlines), their effect is replayed first — NextWork only ever
+// advertises a deadline beyond now+1 when every skipped cycle is
+// provably core-local, so the replay is exact. Then the core retires
+// from the ROB head and fetches new instructions (issuing memory
+// operations to the memory system) for cycle now itself.
 func (c *Core) Tick(now Cycles) {
+	if now > c.lastTick+1 {
+		c.replay(c.lastTick+1, now)
+	}
+	c.lastTick = now
 	c.retire(now)
 	c.fetch(now)
 }
 
-// NextWork returns the next cycle at which Tick would change state, for
-// the event-driven kernel. While the ROB has room the core fetches every
-// cycle; once it fills, nothing can happen until the head entry's
-// completion cycle unblocks in-order retirement, so every Tick in
-// between is a no-op and the kernel may jump straight to that deadline.
+// robFull reports whether fetch is blocked on ROB capacity (either
+// instruction occupancy or ring slots).
+func (c *Core) robFull() bool {
+	return c.robInstr >= c.cfg.ROBSize || c.robCount >= len(c.rob)-1
+}
+
+// steadyCompute reports whether the core — in its state after ticking at
+// cycle ref — is in a steady compute stretch: a long run of non-memory
+// instructions is pending, everything resident in the ROB retires on the
+// next tick, and retirement keeps pace with fetch. In this regime every
+// subsequent tick retires exactly what the previous tick fetched and
+// fetches FetchWidth more gap instructions, so the stretch's evolution
+// is a closed-form function of its length (see advanceComputeStretch)
+// and the next memory issue or budget crossing can be predicted.
+func (c *Core) steadyCompute(ref Cycles) bool {
+	w := c.cfg.FetchWidth
+	if w > c.cfg.RetireWidth || c.cfg.ROBSize < 2*w {
+		return false
+	}
+	if !c.havePend || c.gapLeft < 2*w || c.robInstr > c.cfg.RetireWidth {
+		return false
+	}
+	for k := 0; k < c.robCount; k++ {
+		if c.rob[(c.head+k)%len(c.rob)].done > ref+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// stretchDoneTicks returns the number of steady-stretch ticks after
+// which the retired count first reaches the budget: the first tick
+// drains everything resident, each later tick retires FetchWidth.
+func (c *Core) stretchDoneTicks() Cycles {
+	need := c.budget - c.retired
+	j := Cycles(1)
+	if need > int64(c.robInstr) {
+		w := int64(c.cfg.FetchWidth)
+		j += Cycles((need - int64(c.robInstr) + w - 1) / w)
+	}
+	return j
+}
+
+// replay reproduces the combined effect of ticking every cycle in
+// [from, to), using a closed form where the regime allows it. The event
+// kernel only skips a cycle when NextWork proved the core cannot touch
+// shared state there, which limits replay to two regimes: a full ROB
+// stalled on its head entry (every skipped tick is a no-op) and a steady
+// compute stretch.
+func (c *Core) replay(from, to Cycles) {
+	if c.robFull() {
+		// Fetch is blocked and NextWork woke us no later than the head
+		// entry's completion cycle, so retirement was blocked throughout
+		// the skipped range too: nothing to do.
+		return
+	}
+	if c.steadyCompute(from - 1) {
+		c.advanceComputeStretch(from, to-from)
+		return
+	}
+	// Unreachable under the NextWork contract (it returns now+1 in every
+	// other regime), but keeps Tick cycle-exact for any caller that
+	// skips cycles on its own.
+	for cyc := from; cyc < to; cyc++ {
+		c.retire(cyc)
+		c.fetch(cyc)
+	}
+}
+
+// advanceComputeStretch applies k (>=1) steady-compute ticks at cycles
+// from .. from+k-1 in O(1): the first tick retires everything resident
+// and each tick fetches FetchWidth gap instructions whose entry the next
+// tick retires, leaving a single FetchWidth-entry completing at from+k.
+func (c *Core) advanceComputeStretch(from, k Cycles) {
+	w := c.cfg.FetchWidth
+	retireTotal := int64(c.robInstr) + (int64(k)-1)*int64(w)
+	if !c.done && c.retired+retireTotal >= c.budget {
+		c.done = true
+		c.finishCycle = from + c.stretchDoneTicks() - 1
+	}
+	c.retired += retireTotal
+	c.gapLeft -= int(k) * w
+	c.head = (c.head + c.robCount + int(k) - 1) % len(c.rob)
+	c.tail = (c.head + 1) % len(c.rob)
+	c.rob[c.head] = robEntry{count: w, done: from + k}
+	c.robCount = 1
+	c.robInstr = w
+}
+
+// NextWork returns the next cycle at which Tick can interact with shared
+// state (issue a memory operation to the memory system) or change
+// kernel-visible state (retire instructions, cross the budget). The
+// event-driven kernel jumps straight to the returned deadline; Tick then
+// replays the skipped, provably core-local cycles in closed form. Three
+// regimes advertise a deadline beyond now+1:
+//
+//   - ROB full: nothing can happen until the head entry's completion
+//     cycle unblocks in-order retirement.
+//   - Steady compute stretch: the pending memory operation issues on the
+//     tick after the last full-width gap fetch, so the kernel may
+//     fast-forward across the whole stretch.
+//   - Budget crossing inside a stretch: the core must be woken exactly
+//     when Done flips so the kernel observes the same final cycle as the
+//     cycle-stepped oracle.
 func (c *Core) NextWork(now Cycles) Cycles {
-	if c.robInstr < c.cfg.ROBSize && c.robCount < len(c.rob)-1 {
+	if c.robFull() {
+		if head := c.rob[c.head].done; head > now+1 {
+			return head
+		}
 		return now + 1
 	}
-	if head := c.rob[c.head].done; head > now+1 {
-		return head
+	if !c.steadyCompute(now) {
+		return now + 1
 	}
-	return now + 1
+	next := now + Cycles(c.gapLeft/c.cfg.FetchWidth) + 1
+	if !c.done {
+		if doneAt := now + c.stretchDoneTicks(); doneAt < next {
+			next = doneAt
+		}
+	}
+	return next
 }
 
 func (c *Core) retire(now Cycles) {

@@ -133,6 +133,124 @@ func TestNextWorkMatchesTickActivity(t *testing.T) {
 	}
 }
 
+// issueEvent records one Issue call for differential comparison.
+type issueEvent struct {
+	cycle Cycles
+	addr  uint64
+	write bool
+}
+
+// logIssuer completes memory ops after a deterministic rotating latency
+// and logs the exact cycle of every Issue call.
+type logIssuer struct {
+	lats []Cycles
+	n    int
+	log  []issueEvent
+}
+
+func (i *logIssuer) Issue(_ int, rec trace.Record, now Cycles) Cycles {
+	i.log = append(i.log, issueEvent{now, rec.Addr, rec.Write})
+	lat := i.lats[i.n%len(i.lats)]
+	i.n++
+	return now + lat
+}
+
+// TestEventTickedCoreMatchesCycleTicked is the cpu-level differential
+// oracle for compute-stretch batching: a core ticked only at its
+// NextWork deadlines must issue every memory operation at exactly the
+// same cycle, and retire/finish identically, as a core ticked at every
+// cycle. Latencies rotate through short and very long values so the
+// run crosses all NextWork regimes (fetching, steady compute stretch,
+// ROB-full stall).
+func TestEventTickedCoreMatchesCycleTicked(t *testing.T) {
+	lats := []Cycles{3, 120, 1, 800, 40, 40, 2, 15_000}
+	for _, prof := range []string{"gcc", "povray", "gups", "mcf"} {
+		t.Run(prof, func(t *testing.T) {
+			p, ok := trace.ProfileByName(prof)
+			if !ok {
+				t.Fatalf("profile %q missing", prof)
+			}
+			geo := config.DefaultGeometry()
+			cfg := config.DefaultCore()
+			const budget = 30_000
+
+			cycIss := &logIssuer{lats: lats}
+			cyc := NewCore(0, cfg, trace.NewGenerator(p, geo, 7), cycIss, budget)
+			var now Cycles
+			for !cyc.Done() {
+				cyc.Tick(now)
+				now++
+				if now > 50_000_000 {
+					t.Fatal("cycle-ticked core never finished")
+				}
+			}
+
+			evtIss := &logIssuer{lats: lats}
+			evt := NewCore(0, cfg, trace.NewGenerator(p, geo, 7), evtIss, budget)
+			var ticks int64
+			now = 0
+			for !evt.Done() {
+				evt.Tick(now)
+				ticks++
+				now = evt.NextWork(now)
+				if now > 50_000_000 {
+					t.Fatal("event-ticked core never finished")
+				}
+			}
+
+			if len(cycIss.log) != len(evtIss.log) {
+				t.Fatalf("issue counts differ: cycle %d, event %d", len(cycIss.log), len(evtIss.log))
+			}
+			for i := range cycIss.log {
+				if cycIss.log[i] != evtIss.log[i] {
+					t.Fatalf("issue %d differs: cycle %+v, event %+v", i, cycIss.log[i], evtIss.log[i])
+				}
+			}
+			if cyc.Retired() != evt.Retired() || cyc.FinishCycle() != evt.FinishCycle() ||
+				cyc.MemOps != evt.MemOps || cyc.IPC() != evt.IPC() {
+				t.Errorf("final state differs:\ncycle: retired=%d finish=%d memops=%d ipc=%g\nevent: retired=%d finish=%d memops=%d ipc=%g",
+					cyc.Retired(), cyc.FinishCycle(), cyc.MemOps, cyc.IPC(),
+					evt.Retired(), evt.FinishCycle(), evt.MemOps, evt.IPC())
+			}
+			if ticks >= cyc.FinishCycle() {
+				t.Errorf("event ticking did not skip any cycles: %d ticks over %d cycles", ticks, cyc.FinishCycle())
+			}
+		})
+	}
+}
+
+// TestComputeStretchIsBatched pins down the fast-forward win on a
+// compute-only stream: the number of Ticks needed must be far below the
+// number of simulated cycles, and the budget crossing must be observed
+// at its exact cycle even when it falls inside a batched stretch.
+func TestComputeStretchIsBatched(t *testing.T) {
+	cfg := config.DefaultCore()
+	st := &fixedStream{rec: trace.Record{Gap: 10_000}}
+	c := NewCore(0, cfg, st, &constIssuer{latency: 1}, 100_000)
+	var now Cycles
+	var ticks int64
+	for !c.Done() {
+		c.Tick(now)
+		ticks++
+		now = c.NextWork(now)
+		if now > 10_000_000 {
+			t.Fatal("never finished")
+		}
+	}
+	// Reference: per-cycle ticking of an identical core.
+	ref := NewCore(0, cfg, &fixedStream{rec: trace.Record{Gap: 10_000}}, &constIssuer{latency: 1}, 100_000)
+	for n := Cycles(0); !ref.Done(); n++ {
+		ref.Tick(n)
+	}
+	if c.FinishCycle() != ref.FinishCycle() || c.Retired() != ref.Retired() {
+		t.Errorf("batched run diverged: finish %d vs %d, retired %d vs %d",
+			c.FinishCycle(), ref.FinishCycle(), c.Retired(), ref.Retired())
+	}
+	if ticks*4 > c.FinishCycle() {
+		t.Errorf("compute stretch barely batched: %d ticks for %d cycles", ticks, c.FinishCycle())
+	}
+}
+
 func TestBudgetAndFinishCycle(t *testing.T) {
 	cfg := config.DefaultCore()
 	st := &fixedStream{rec: trace.Record{Gap: 50}}

@@ -1,9 +1,10 @@
-// Package dram models a DDR4 memory device at command granularity:
-// channels, ranks, and banks with per-bank state machines that enforce
-// the timing constraints relevant to Row Hammer analysis (tRC, tRCD,
-// tCAS, tRP, tRFC), per-physical-row activation accounting within each
-// refresh window, and a row-content identity map used to verify the
-// correctness of swap-based mitigations.
+// Package dram models the DDR4 memory device of Table III at command
+// granularity — the substrate under the §VI performance evaluation
+// (Figs. 4, 14, 15, 16): channels, ranks, and banks with per-bank state
+// machines that enforce the timing constraints relevant to Row Hammer
+// analysis (tRC, tRCD, tCAS, tRP, tRFC), per-physical-row activation
+// accounting within each refresh window, and a row-content identity map
+// used to verify the correctness of swap-based mitigations.
 //
 // The simulator operates in integer CPU cycles (3.2 GHz by default), so
 // all nanosecond timing parameters are converted once via FromConfig.
@@ -11,6 +12,8 @@ package dram
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/config"
 )
@@ -80,10 +83,18 @@ type Bank struct {
 	busyUntil Cycles // refresh or migration blocking
 
 	// acts counts activations per physical slot in the current refresh
-	// window — the quantity Row Hammer safety is defined over.
-	acts []uint32
+	// window — the quantity Row Hammer safety is defined over. It is
+	// allocated lazily on the bank's first activation (from a package
+	// pool, see takeCounters) because most banks of a short simulation
+	// are never touched. touched lists the slots with a non-zero count
+	// this window, so window rollover zeroes only those entries instead
+	// of sweeping all 128K rows of every bank.
+	acts    []uint32
+	touched []RowID
 	// content[slot] is the logical row whose data currently occupies the
-	// physical slot; location[logical] is the inverse permutation.
+	// physical slot; location[logical] is the inverse permutation. Both
+	// are nil while the mapping is the identity — only banks that a swap
+	// mitigation actually touches pay for materializing them.
 	content  []RowID
 	location []RowID
 
@@ -96,18 +107,49 @@ type Bank struct {
 }
 
 func newBank(rows int) *Bank {
-	b := &Bank{
-		rows:     rows,
-		openRow:  -1,
-		acts:     make([]uint32, rows),
-		content:  make([]RowID, rows),
-		location: make([]RowID, rows),
+	return &Bank{rows: rows, openRow: -1}
+}
+
+// countersPool recycles per-bank activation-counter arrays across Memory
+// instances: zeroing 64 banks x 128K rows per run was ~20% of a short
+// simulation's wall clock. Pooled slices are always fully zero across
+// their capacity (recycle zeroes the touched entries before returning a
+// slice), so a reused array needs no re-initialization.
+var countersPool sync.Pool
+
+func takeCounters(rows int) []uint32 {
+	if v, ok := countersPool.Get().(*[]uint32); ok && cap(*v) >= rows {
+		return (*v)[:rows]
 	}
-	for i := 0; i < rows; i++ {
+	return make([]uint32, rows)
+}
+
+// recycle zeroes the counters this window touched and returns the array
+// to the package pool. The bank must not be used afterwards.
+func (b *Bank) recycle() {
+	if b.acts == nil {
+		return
+	}
+	for _, s := range b.touched {
+		b.acts[s] = 0
+	}
+	a := b.acts[:cap(b.acts)]
+	b.acts, b.touched = nil, nil
+	countersPool.Put(&a)
+}
+
+// materialize allocates the content/location permutation maps, which are
+// implicitly the identity until the first swap.
+func (b *Bank) materialize() {
+	if b.content != nil {
+		return
+	}
+	b.content = make([]RowID, b.rows)
+	b.location = make([]RowID, b.rows)
+	for i := 0; i < b.rows; i++ {
 		b.content[i] = RowID(i)
 		b.location[i] = RowID(i)
 	}
-	return b
 }
 
 // Rows returns the number of rows in the bank.
@@ -118,17 +160,32 @@ func (b *Bank) OpenRow() RowID { return b.openRow }
 
 // ACTCount returns the activation count of a physical slot in the
 // current refresh window.
-func (b *Bank) ACTCount(slot RowID) uint32 { return b.acts[slot] }
+func (b *Bank) ACTCount(slot RowID) uint32 {
+	if b.acts == nil {
+		return 0
+	}
+	return b.acts[slot]
+}
 
 // MaxWindowACT returns the highest per-slot activation count seen in the
 // current refresh window and the slot that incurred it.
 func (b *Bank) MaxWindowACT() (uint32, RowID) { return b.maxWindowACT, b.hottestSlot }
 
 // ContentAt returns the logical row stored in a physical slot.
-func (b *Bank) ContentAt(slot RowID) RowID { return b.content[slot] }
+func (b *Bank) ContentAt(slot RowID) RowID {
+	if b.content == nil {
+		return slot
+	}
+	return b.content[slot]
+}
 
 // LocationOf returns the physical slot storing a logical row's data.
-func (b *Bank) LocationOf(logical RowID) RowID { return b.location[logical] }
+func (b *Bank) LocationOf(logical RowID) RowID {
+	if b.location == nil {
+		return logical
+	}
+	return b.location[logical]
+}
 
 // Activate opens the physical slot, enforcing tRC and any busy period.
 // It returns the cycle at which column commands may issue (ACT start +
@@ -149,7 +206,13 @@ func (b *Bank) Activate(slot RowID, now Cycles, t *Timing) Cycles {
 
 func (b *Bank) recordACT(slot RowID) {
 	b.TotalACTs++
+	if b.acts == nil {
+		b.acts = takeCounters(b.rows)
+	}
 	b.acts[slot]++
+	if b.acts[slot] == 1 {
+		b.touched = append(b.touched, slot)
+	}
 	if b.acts[slot] > b.maxWindowACT {
 		b.maxWindowACT = b.acts[slot]
 		b.hottestSlot = slot
@@ -228,6 +291,7 @@ func (b *Bank) NextACT() Cycles { return b.nextACT }
 // mitigation layer issues the explicit Activate sequence so that latent
 // activations are modelled faithfully.
 func (b *Bank) SwapContents(slotA, slotB RowID) {
+	b.materialize()
 	la, lb := b.content[slotA], b.content[slotB]
 	b.content[slotA], b.content[slotB] = lb, la
 	b.location[la], b.location[lb] = slotB, slotA
@@ -236,6 +300,9 @@ func (b *Bank) SwapContents(slotA, slotB RowID) {
 // VerifyPermutation checks that content and location are mutually inverse
 // permutations — the data-integrity invariant of any swap mitigation.
 func (b *Bank) VerifyPermutation() error {
+	if b.content == nil {
+		return nil // implicit identity
+	}
 	seen := make([]bool, b.rows)
 	for slot, logical := range b.content {
 		if logical < 0 || int(logical) >= b.rows {
@@ -256,6 +323,9 @@ func (b *Bank) VerifyPermutation() error {
 // IsIdentity reports whether every logical row currently resides in its
 // home slot (i.e. all swaps have been unwound).
 func (b *Bank) IsIdentity() bool {
+	if b.content == nil {
+		return true
+	}
 	for slot, logical := range b.content {
 		if RowID(slot) != logical {
 			return false
@@ -276,24 +346,26 @@ func (b *Bank) DisplacedRows() int {
 }
 
 // StartNewWindow zeroes the per-slot activation counters at a refresh-
-// window boundary.
+// window boundary. Only the slots activated this window are swept.
 func (b *Bank) StartNewWindow() {
-	for i := range b.acts {
-		b.acts[i] = 0
+	for _, s := range b.touched {
+		b.acts[s] = 0
 	}
+	b.touched = b.touched[:0]
 	b.maxWindowACT = 0
 	b.hottestSlot = 0
 }
 
-// VictimSlots returns the physical slots whose activation count reached
-// trh in the current window — the slots whose neighbours would have
-// suffered Row Hammer bit flips.
+// VictimSlots returns, in ascending slot order, the physical slots whose
+// activation count reached trh in the current window — the slots whose
+// neighbours would have suffered Row Hammer bit flips.
 func (b *Bank) VictimSlots(trh uint32) []RowID {
 	var out []RowID
-	for slot, n := range b.acts {
-		if n >= trh {
-			out = append(out, RowID(slot))
+	for _, slot := range b.touched {
+		if b.acts[slot] >= trh {
+			out = append(out, slot)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -246,3 +246,80 @@ func TestBankBlock(t *testing.T) {
 		t.Error("Block moved busyUntil backwards")
 	}
 }
+
+func TestLazyIdentityMaps(t *testing.T) {
+	b := newBank(64)
+	if b.content != nil || b.location != nil {
+		t.Fatal("permutation maps materialized before any swap")
+	}
+	if b.ContentAt(5) != 5 || b.LocationOf(9) != 9 {
+		t.Error("implicit identity broken")
+	}
+	if !b.IsIdentity() || b.DisplacedRows() != 0 {
+		t.Error("fresh bank not identity")
+	}
+	if err := b.VerifyPermutation(); err != nil {
+		t.Errorf("VerifyPermutation on implicit identity: %v", err)
+	}
+	b.SwapContents(2, 7)
+	if b.content == nil {
+		t.Fatal("SwapContents did not materialize the maps")
+	}
+	if b.ContentAt(2) != 7 || b.LocationOf(7) != 2 {
+		t.Error("swap lost on materialized maps")
+	}
+	if b.IsIdentity() || b.DisplacedRows() != 2 {
+		t.Error("displacement not reflected")
+	}
+}
+
+func TestLazyCountersAndTouchedWindowReset(t *testing.T) {
+	b := newBank(32)
+	if b.acts != nil {
+		t.Fatal("counters allocated before any ACT")
+	}
+	if b.ACTCount(3) != 0 {
+		t.Error("ACTCount on unallocated counters")
+	}
+	tm := testTiming()
+	b.Access(3, false, 0, &tm)
+	b.Access(3, false, 1000, &tm)
+	b.Access(9, false, 2000, &tm)
+	if b.ACTCount(3) != 2 || b.ACTCount(9) != 1 {
+		t.Errorf("counts = %d/%d, want 2/1", b.ACTCount(3), b.ACTCount(9))
+	}
+	if len(b.touched) != 2 {
+		t.Errorf("touched = %v, want the 2 activated slots", b.touched)
+	}
+	b.StartNewWindow()
+	if b.ACTCount(3) != 0 || b.ACTCount(9) != 0 || len(b.touched) != 0 {
+		t.Error("window reset missed touched slots")
+	}
+	// The array stays allocated across windows; counting resumes cleanly.
+	b.Access(9, false, 3000, &tm)
+	if b.ACTCount(9) != 1 {
+		t.Errorf("post-reset count = %d, want 1", b.ACTCount(9))
+	}
+}
+
+func TestRecycledCountersAreClean(t *testing.T) {
+	// Dirty a bank across two windows, recycle it, and verify that a
+	// pooled array handed to a new bank reads all zero.
+	b := newBank(128)
+	tm := testTiming()
+	for i := 0; i < 50; i++ {
+		b.Access(RowID(i%7), false, Cycles(i)*tm.TRC, &tm)
+	}
+	b.StartNewWindow()
+	b.Access(99, false, 0, &tm)
+	b.recycle()
+	if b.acts != nil || b.touched != nil {
+		t.Fatal("recycle left arrays attached")
+	}
+	got := takeCounters(128)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("pooled counter array dirty at slot %d: %d", i, v)
+		}
+	}
+}

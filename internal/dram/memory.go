@@ -137,6 +137,17 @@ func (m *Memory) VerifyPermutations() error {
 	return nil
 }
 
+// Recycle releases every bank's pooled scratch arrays (the per-window
+// activation counters) back to the package pool so the next Memory pays
+// no allocation or zeroing cost for them. The Memory and its banks must
+// not be used afterwards; sim.Run calls this once a run's statistics
+// have been extracted.
+func (m *Memory) Recycle() {
+	for _, b := range m.banks {
+		b.recycle()
+	}
+}
+
 // TotalACTs returns the cumulative number of activate commands issued.
 func (m *Memory) TotalACTs() uint64 {
 	var n uint64

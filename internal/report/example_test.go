@@ -1,0 +1,58 @@
+package report_test
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// ExampleFig4 regenerates Figure 4 (RRS with vs. without immediate
+// unswaps) on a reduced scale: one workload, 2 cores, a short trace.
+// The full 78-workload figure is produced by cmd/rowswap-figures.
+func ExampleFig4() {
+	opt := report.PerfOptions{
+		Workloads: []string{"gcc"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 30_000},
+	}
+	rows, err := report.Fig4(io.Discard, opt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("rows:", len(rows))
+	fmt.Println("workload:", rows[0].Workload)
+	fmt.Println("configs per row:", len(rows[0].Norm))
+	// Output:
+	// rows: 1
+	// workload: gcc
+	// configs per row: 6
+}
+
+// ExampleFig14_cached shows the persistent cache wired through
+// PerfOptions: pointing CacheDir at a directory makes every simulation
+// of the figure matrix reusable by later invocations (and by the other
+// figures, which share the same baselines).
+func ExampleFig14_cached() {
+	opt := report.PerfOptions{
+		Workloads: []string{"gcc"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 30_000},
+		CacheDir:  "/tmp/rowswap-example-cache",
+	}
+	rows, err := report.Fig14(io.Discard, opt) // cold: simulates and stores
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	again, err := report.Fig14(io.Discard, opt) // warm: served from disk
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("identical:", rows[0].Norm["scale-srs"] == again[0].Norm["scale-srs"])
+	// Output:
+	// identical: true
+}

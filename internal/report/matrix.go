@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 )
 
@@ -34,22 +35,26 @@ type baselineEntry struct {
 // deterministic, so caching cannot change any normalized number.
 var baselineCache sync.Map // baselineKey -> *baselineEntry
 
-// resetBaselineCache drops all cached baselines (test hook).
-func resetBaselineCache() {
+// ResetBaselineCache drops every process-wide cached baseline. It
+// exists for tests and benchmarks that need to model a fresh process —
+// e.g. to prove the persistent cache alone can serve a matrix, or to
+// measure a repeated CLI invocation — and has no place in normal use.
+func ResetBaselineCache() {
 	baselineCache = sync.Map{}
 }
 
 // baselineFor returns the unprotected-baseline result for the workload,
 // simulating it at most once per (workload, cores, options) even when
-// many matrix jobs race for it.
-func baselineFor(w trace.Workload, cores int, opt sim.Options) (*sim.Result, error) {
+// many matrix jobs race for it. The persistent cache, when enabled,
+// additionally carries baselines across process invocations.
+func baselineFor(w trace.Workload, cores int, opt sim.Options, cache *simcache.Cache) (*sim.Result, error) {
 	e, _ := baselineCache.LoadOrStore(baselineKey{workload: w.Name, cores: cores, opt: opt}, &baselineEntry{})
 	entry := e.(*baselineEntry)
 	entry.once.Do(func() {
 		sys := config.Default()
 		sys.Core.Cores = cores
 		sys.Mitigation = config.Mitigation{}
-		entry.res, entry.err = sim.Run(w, sys, opt)
+		entry.res, _, entry.err = simcache.RunCached(cache, w, sys, opt)
 	})
 	return entry.res, entry.err
 }
@@ -71,6 +76,19 @@ type matrixJob struct {
 func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow, error) {
 	opt = opt.withDefaults()
 	workloads := opt.workloadSet()
+
+	// The persistent cache is optional: if the directory cannot be
+	// created the matrix simply runs uncached.
+	var cache *simcache.Cache
+	if opt.CacheDir != "" {
+		var err error
+		if cache, err = simcache.Open(opt.CacheDir); err != nil {
+			cache = nil
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "  cache disabled: %v\n", err)
+			}
+		}
+	}
 	labels := make([]string, 0, len(configs))
 	for l := range configs {
 		labels = append(labels, l)
@@ -95,7 +113,7 @@ func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow
 	run := func(j matrixJob) cell {
 		w := workloads[j.wi]
 		if j.label == "" {
-			res, err := baselineFor(w, opt.Cores, opt.Sim)
+			res, err := baselineFor(w, opt.Cores, opt.Sim, cache)
 			if err != nil {
 				err = fmt.Errorf("baseline %s: %w", w.Name, err)
 			}
@@ -104,7 +122,7 @@ func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow
 		sys := config.Default()
 		sys.Core.Cores = opt.Cores
 		sys.Mitigation = j.mit
-		res, err := sim.Run(w, sys, opt.Sim)
+		res, _, err := simcache.RunCached(cache, w, sys, opt.Sim)
 		if err != nil {
 			err = fmt.Errorf("%s %s: %w", j.label, w.Name, err)
 		}

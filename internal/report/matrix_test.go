@@ -26,12 +26,12 @@ var matrixConfigs = map[string]config.Mitigation{
 // the parallel experiment engine: the rows must be bit-identical for any
 // worker count, including the single-worker serial schedule.
 func TestSerialAndParallelMatrixIdentical(t *testing.T) {
-	resetBaselineCache()
+	ResetBaselineCache()
 	serial, err := runMatrix(matrixOpts(1), matrixConfigs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resetBaselineCache()
+	ResetBaselineCache()
 	parallel, err := runMatrix(matrixOpts(8), matrixConfigs)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func TestSerialAndParallelMatrixIdentical(t *testing.T) {
 // optimization: a matrix computed against cached baselines must produce
 // the same normalized rows as one that simulated them fresh.
 func TestBaselineCacheDoesNotChangeNumbers(t *testing.T) {
-	resetBaselineCache()
+	ResetBaselineCache()
 	fresh, err := runMatrix(matrixOpts(0), matrixConfigs)
 	if err != nil {
 		t.Fatal(err)
@@ -76,5 +76,58 @@ func TestMatrixErrorPropagates(t *testing.T) {
 	}
 	if _, err := runMatrix(matrixOpts(4), bad); err == nil {
 		t.Error("invalid config did not error")
+	}
+}
+
+// TestMatrixWithPersistentCacheIdentical proves the persistent cache is
+// invisible to the matrix's numbers: uncached rows, cold-cache rows, and
+// warm-cache rows must be bit-identical, and the warm pass must actually
+// be served from disk (the process-wide baseline cache is reset between
+// passes, so only simcache can avoid re-simulation).
+func TestMatrixWithPersistentCacheIdentical(t *testing.T) {
+	opts := matrixOpts(2)
+	opts.Workloads = []string{"gcc", "mcf"}
+	opts.Sim.Instructions = 40_000
+
+	ResetBaselineCache()
+	plain, err := runMatrix(opts, matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.CacheDir = t.TempDir()
+	ResetBaselineCache()
+	cold, err := runMatrix(opts, matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetBaselineCache()
+	warm, err := runMatrix(opts, matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Errorf("cold-cache rows differ from uncached rows:\n%v\nvs\n%v", cold, plain)
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Errorf("warm-cache rows differ from uncached rows:\n%v\nvs\n%v", warm, plain)
+	}
+}
+
+// TestMatrixCacheDirFailureFallsBack ensures an unusable cache directory
+// degrades to uncached simulation instead of failing the figure.
+func TestMatrixCacheDirFailureFallsBack(t *testing.T) {
+	opts := matrixOpts(1)
+	opts.Workloads = []string{"gcc"}
+	opts.Sim.Instructions = 30_000
+	opts.CacheDir = string([]byte{0}) // invalid path on every platform
+
+	ResetBaselineCache()
+	rows, err := runMatrix(opts, matrixConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
 	}
 }

@@ -25,6 +25,13 @@ type PerfOptions struct {
 	// independent deterministic job, so the resulting rows are identical
 	// for any worker count.
 	Workers int
+	// CacheDir, when non-empty, enables the persistent result cache
+	// (internal/simcache) rooted at that directory: every simulation of
+	// the matrix — baselines and mitigated runs alike — is served from
+	// disk when an entry for the same workload, configuration, options,
+	// and binary exists. Results are deterministic, so caching cannot
+	// change any normalized number.
+	CacheDir string
 	// Progress, if non-nil, receives one line per completed workload.
 	Progress io.Writer
 }

@@ -80,10 +80,11 @@ func TestEventKernelMatchesCycleStepped(t *testing.T) {
 }
 
 // TestEventKernelMatchesOnMemoryBoundWorkload covers the workloads where
-// the event kernel actually skips large stall gaps (mcf, gups) rather
-// than degenerating to per-cycle stepping.
+// the event kernel actually skips time: large ROB-stall gaps on the
+// memory-bound side (mcf, gups, mix5) and long batched fetch/retire
+// stretches on the compute-bound side (povray, hmmer).
 func TestEventKernelMatchesOnMemoryBoundWorkload(t *testing.T) {
-	for _, name := range []string{"mcf", "gups", "mix5"} {
+	for _, name := range []string{"mcf", "gups", "mix5", "povray", "hmmer"} {
 		t.Run(name, func(t *testing.T) {
 			sys := config.Default()
 			sys.Core.Cores = 4

@@ -15,16 +15,20 @@
 // 64 ms, preserving the swap-rate-driven slowdown shape.
 //
 // Time advance: the simulation is event-scheduled. Every component
-// exposes the next cycle at which it can change state — cpu.Core.NextWork
-// (ROB-stall release), memctrl.Controller.NextWork (refresh deadlines and
-// the mitigation's paced place-backs) — and the kernel advances `now`
-// directly to the minimum pending deadline (clamped to the refresh-window
-// boundary) instead of incrementing cycle by cycle. Because components
-// are still ticked at every cycle where any of them has work, and their
-// Tick methods are no-ops before their advertised deadlines, the event
-// kernel is cycle-for-cycle identical to the legacy cycle-stepped loop
-// (KernelCycle, kept for differential testing) while skipping the long
-// memory-stall gaps that dominate memory-bound workloads.
+// exposes the next cycle at which it can interact with shared state —
+// cpu.Core.NextWork (ROB-stall release, the next memory issue at the end
+// of a batched compute stretch, budget crossing), memctrl.Controller.
+// NextWork (refresh deadlines and the mitigation's paced place-backs) —
+// and the kernel advances `now` directly to the minimum pending deadline
+// (clamped to the refresh-window boundary) instead of incrementing cycle
+// by cycle. The controller's Tick is a no-op before its advertised
+// deadline; a core's skipped cycles are provably core-local (no memory
+// issue, no retirement the kernel can observe) and cpu.Core.Tick replays
+// them in closed form on wake-up. Either way the event kernel is
+// cycle-for-cycle identical to the legacy cycle-stepped loop
+// (KernelCycle, kept for differential testing) while skipping both the
+// long memory-stall gaps of memory-bound workloads and the multi-cycle
+// fetch/retire runs of compute-bound ones.
 package sim
 
 import (
@@ -112,6 +116,12 @@ func (o Options) withDefaults(sys config.System) Options {
 	}
 	return o
 }
+
+// Normalized returns the options with every default resolved against
+// sys, exactly as Run will see them. Persistent-cache keys must be
+// computed from normalized options so a zero value and its explicit
+// default share one cache entry.
+func (o Options) Normalized(sys config.System) Options { return o.withDefaults(sys) }
 
 // Result reports the outcome of one run.
 type Result struct {
@@ -271,6 +281,9 @@ func Run(w trace.Workload, sys config.System, opt Options) (*Result, error) {
 		res.PerCoreIPC[i] = c.IPC()
 	}
 	res.MeanIPC = stats.Mean(res.PerCoreIPC)
+	// All statistics have been copied out: return the pooled per-bank
+	// arrays so the next Run skips their allocation and zeroing.
+	mem.Recycle()
 	return res, nil
 }
 
@@ -340,14 +353,16 @@ func (m *machine) runCycleStepped(maxCycles Cycles) (Cycles, uint32, error) {
 }
 
 // runEventDriven is the event-scheduled kernel: each component is
-// ticked only at the cycles where it has work — a core's ROB-stall
-// release, the controller's next refresh or paced mitigation operation,
-// the refresh-window boundary — and now advances directly to the
-// earliest pending deadline. Components guarantee their Tick is a no-op
-// before their advertised NextWork deadline and that deadlines move only
-// inside Tick/OnWindowEnd, so skipping the no-op ticks cannot change any
-// state and the kernel stays cycle-for-cycle identical to
-// runCycleStepped (see TestEventKernelMatchesCycleStepped).
+// ticked only at the cycles where it has externally visible work — a
+// core's ROB-stall release or next memory issue, the controller's next
+// refresh or paced mitigation operation, the refresh-window boundary —
+// and now advances directly to the earliest pending deadline. The
+// controller guarantees its Tick is a no-op before its advertised
+// NextWork deadline; a core guarantees the skipped cycles are
+// core-local and replays them in closed form when ticked (see
+// cpu.Core.NextWork). Deadlines move only inside Tick/OnWindowEnd, so
+// the kernel stays cycle-for-cycle identical to runCycleStepped (see
+// TestEventKernelMatchesCycleStepped).
 func (m *machine) runEventDriven(maxCycles Cycles) (Cycles, uint32, error) {
 	windowEnd := m.window
 	var maxACT uint32
@@ -406,7 +421,8 @@ func (m *machine) runEventDriven(maxCycles Cycles) (Cycles, uint32, error) {
 
 // NormalizedPerf runs the workload under sys and under an unprotected
 // baseline with identical options, returning mitigated IPC / baseline
-// IPC (1.0 = no slowdown; the paper's y-axis).
+// IPC (1.0 = no slowdown; the paper's y-axis). For a concurrent and/or
+// cached variant, see simcache.NormalizedPerf.
 func NormalizedPerf(w trace.Workload, sys config.System, opt Options) (float64, *Result, *Result, error) {
 	base := sys
 	base.Mitigation = config.Mitigation{}
@@ -417,31 +433,6 @@ func NormalizedPerf(w trace.Workload, sys config.System, opt Options) (float64, 
 	rm, err := Run(w, sys, opt)
 	if err != nil {
 		return 0, nil, nil, err
-	}
-	return normalize(w, rb, rm)
-}
-
-// NormalizedPerfParallel is NormalizedPerf with the baseline and
-// mitigated simulations executed concurrently. The two runs share no
-// state (each builds its own memory system and RNG from the options),
-// so the returned values are identical to the serial version.
-func NormalizedPerfParallel(w trace.Workload, sys config.System, opt Options) (float64, *Result, *Result, error) {
-	base := sys
-	base.Mitigation = config.Mitigation{}
-	var rb *Result
-	var errB error
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		rb, errB = Run(w, base, opt)
-	}()
-	rm, errM := Run(w, sys, opt)
-	<-done
-	if errB != nil {
-		return 0, nil, nil, errB
-	}
-	if errM != nil {
-		return 0, nil, nil, errM
 	}
 	return normalize(w, rb, rm)
 }

@@ -1,0 +1,53 @@
+package simcache_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+	"repro/internal/trace"
+)
+
+// ExampleRunCached demonstrates the persistent result cache: the first
+// run simulates and stores, the second is served from disk and is
+// bit-identical (modulo host-performance instrumentation).
+func ExampleRunCached() {
+	dir, err := os.MkdirTemp("", "simcache-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	cache, err := simcache.Open(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	sys := config.Default()
+	sys.Core.Cores = 2
+	sys.Mitigation = config.DefaultSRS(1200)
+	w, _ := trace.WorkloadByName("mcf", sys.Core.Cores)
+	opt := sim.Options{Instructions: 30_000}
+
+	cold, hit1, err := simcache.RunCached(cache, w, sys, opt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	warm, hit2, err := simcache.RunCached(cache, w, sys, opt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("first run hit:", hit1)
+	fmt.Println("second run hit:", hit2)
+	fmt.Println("identical IPC:", cold.MeanIPC == warm.MeanIPC)
+	// Output:
+	// first run hit: false
+	// second run hit: true
+	// identical IPC: true
+}

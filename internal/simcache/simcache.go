@@ -1,0 +1,218 @@
+// Package simcache persists simulation results on disk so repeated
+// CLI, CI, and benchmark invocations never redo work the simulator has
+// already done. The paper's evaluation (§VI) normalizes every mitigated
+// run against an unprotected baseline of the same workload, so a full
+// figure sweep re-simulates each baseline many times across process
+// invocations; with a persistent cache those baselines — and any
+// repeated (workload, configuration) cell of the experiment matrix —
+// are simulated exactly once per code version.
+//
+// Entries are content-addressed JSON files under a cache directory.
+// The key is a stable SHA-256 over the workload description, the full
+// system configuration, the normalized simulation options, and a
+// fingerprint of the running binary, so results produced by a different
+// build (or a semantically different simulator, see SchemaVersion) can
+// never be served. Each entry carries a checksum of its payload;
+// corrupted or stale entries are detected on read, deleted, and
+// reported as misses so the caller transparently re-simulates, and
+// entries orphaned by old binaries are age-pruned on Open.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// SchemaVersion invalidates entries written by semantically different
+// versions of the simulator or of this package's envelope format. Bump
+// it when sim.Result's meaning changes in a way the binary fingerprint
+// cannot capture (it normally can: any rebuild changes the fingerprint).
+const SchemaVersion = 1
+
+// codeVersion fingerprints the running binary: two different builds of
+// the simulator must never share cache entries, because any code change
+// may change simulation results. Hashing the executable covers both the
+// repository's own code and its toolchain. The fallback string only
+// weakens invalidation to SchemaVersion when the binary is unreadable.
+var codeVersion = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown-binary"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown-binary"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown-binary"
+	}
+	return hex.EncodeToString(h.Sum(nil))
+})
+
+// Key derives a stable cache key from the given parts: a SHA-256 over
+// their canonical JSON encoding together with SchemaVersion and the
+// binary fingerprint. Parts must JSON-encode deterministically (structs
+// of scalars and slices do; Go maps are encoded with sorted keys).
+func Key(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	enc.Encode(SchemaVersion)
+	enc.Encode(codeVersion())
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			// Unencodable keys must never alias an encodable one.
+			io.WriteString(h, "\x00unencodable\x00"+err.Error())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DefaultDir returns the conventional per-user cache directory for this
+// repository's tools, or "" when the OS provides no user cache location
+// (which disables caching).
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "rowswap-sim")
+}
+
+// Cache is a directory of persisted results. A nil *Cache is valid and
+// behaves as an always-miss, never-store cache, so call sites need no
+// "caching disabled" branches.
+type Cache struct {
+	dir string
+}
+
+// pruneAge bounds the cache's growth: every rebuild of the simulator
+// changes the binary fingerprint and orphans all prior entries (they
+// can never be read again), so Open sweeps entries that have not been
+// touched for this long. Re-simulating an expired entry is always
+// cheap relative to carrying stale files forever.
+const pruneAge = 14 * 24 * time.Hour
+
+// Open returns a cache rooted at dir, creating the directory if
+// needed, and best-effort prunes entries orphaned by old binaries
+// (see pruneAge).
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cache{dir: dir}
+	c.prune(time.Now().Add(-pruneAge))
+	return c, nil
+}
+
+// prune removes entry and temp files last modified before cutoff.
+// Failures are ignored: pruning is hygiene, not correctness.
+func (c *Cache) prune(cutoff time.Time) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".json" && filepath.Ext(name) != ".tmp" {
+			continue
+		}
+		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
+}
+
+// Dir returns the cache's root directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// envelope wraps a payload with the integrity metadata Get verifies.
+type envelope struct {
+	Schema  int             `json:"schema"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func payloadSum(p []byte) string {
+	s := sha256.Sum256(p)
+	return hex.EncodeToString(s[:])
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry for key into v. It returns (false, nil) on a
+// miss — including a corrupted, truncated, or stale entry, which is
+// deleted so the slot is clean for the re-simulated result.
+func (c *Cache) Get(key string, v any) (bool, error) {
+	if c == nil {
+		return false, nil
+	}
+	data, err := os.ReadFile(c.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var e envelope
+	if json.Unmarshal(data, &e) != nil ||
+		e.Schema != SchemaVersion || e.Key != key || e.Sum != payloadSum(e.Payload) ||
+		json.Unmarshal(e.Payload, v) != nil {
+		os.Remove(c.path(key))
+		return false, nil
+	}
+	return true, nil
+}
+
+// Put stores v under key. The write is atomic (temp file + rename), so
+// concurrent matrix workers and interrupted processes can never leave a
+// torn entry that Get would have to guess about.
+func (c *Cache) Put(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(envelope{
+		Schema:  SchemaVersion,
+		Key:     key,
+		Sum:     payloadSum(payload),
+		Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,8 +1,10 @@
 // Package stats provides the deterministic randomness and numerical
 // machinery used by the reproduction: a seedable SplitMix64 /
 // xoshiro256** RNG, log-space binomial and Poisson tail probabilities
-// (the attack models operate on probabilities as small as 1e-20),
-// a Zipf sampler for workload locality, and summary statistics.
+// (the §III attack models behind Figs. 6-10 operate on probabilities as
+// small as 1e-20), a Zipf sampler for workload row locality (Fig. 14's
+// synthetic traces), and the summary statistics (geometric means) the
+// §VI performance figures aggregate with.
 package stats
 
 import "math"

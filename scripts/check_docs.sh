@@ -1,0 +1,39 @@
+#!/bin/sh
+# Documentation gate, enforced by CI (see .github/workflows/ci.yml):
+#   - every internal/ package carries a package comment ("// Package X ...")
+#     stating what it models and which paper section/figure it reproduces;
+#   - ARCHITECTURE.md exists at the repo root;
+#   - every cmd/ tool and the examples/ tree have a README.
+# Run from the repository root: ./scripts/check_docs.sh
+set -u
+fail=0
+
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qs "^// Package $pkg " "$dir"*.go; then
+        echo "docs gate: package comment missing for $dir (want '// Package $pkg ...')" >&2
+        fail=1
+    fi
+done
+
+if [ ! -f ARCHITECTURE.md ]; then
+    echo "docs gate: ARCHITECTURE.md missing" >&2
+    fail=1
+fi
+
+for dir in cmd/*/; do
+    if [ ! -f "$dir"README.md ]; then
+        echo "docs gate: README.md missing for $dir" >&2
+        fail=1
+    fi
+done
+
+if [ ! -f examples/README.md ]; then
+    echo "docs gate: examples/README.md missing" >&2
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs gate: OK"
+fi
+exit "$fail"
