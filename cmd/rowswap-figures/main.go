@@ -15,6 +15,11 @@
 // cache (internal/simcache): re-generating a figure, or generating a
 // new figure that shares baselines with a previous one, skips every
 // simulation already on disk. Use -no-cache to force re-simulation.
+//
+// A figure computed by a distributed sweep (cmd/rowswap-sweep) can be
+// re-rendered from its merged results file without any simulation:
+//
+//	rowswap-figures -manifest results.json
 package main
 
 import (
@@ -26,10 +31,12 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simcache"
+	"repro/internal/sweep"
 )
 
 func main() {
 	fig := flag.String("fig", "", "figure/table to regenerate (1a,t1,4,6,7,10,12,13,14,15,16,t4,t5,disc)")
+	manifest := flag.String("manifest", "", "render a figure from a rowswap-sweep merge results file instead of simulating")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	quick := flag.Bool("quick", false, "use the 12-workload subset for performance figures")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (overrides -quick)")
@@ -42,6 +49,18 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the persistent result cache")
 	flag.Parse()
 
+	if *manifest != "" {
+		res, err := sweep.LoadResults(*manifest)
+		if err == nil {
+			fmt.Printf("==== %s (from sweep results) ====\n", res.Fig)
+			err = res.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "manifest %s: %v\n", *manifest, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" && !*all {
 		flag.Usage()
 		os.Exit(2)

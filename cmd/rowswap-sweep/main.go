@@ -1,0 +1,176 @@
+// Command rowswap-sweep distributes a performance figure's experiment
+// matrix across worker processes (or machines) and merges the results
+// back into the figure, bit-identical to a single-process run.
+//
+// The sweep has three stages, coordinated purely through files:
+//
+//	rowswap-sweep plan      -fig 14 -shards 2 -out manifest.json
+//	rowswap-sweep run-shard -manifest manifest.json -shard 0 -cache-dir w0   # worker 0
+//	rowswap-sweep run-shard -manifest manifest.json -shard 1 -cache-dir w1   # worker 1
+//	rowswap-sweep merge     -manifest manifest.json -dirs w0,w1 -merged-dir merged -out results.json
+//
+// plan expands the matrix into a deterministic, content-addressed job
+// manifest; run-shard is the worker entry point (stateless and
+// idempotent: re-running redoes only missing cells); merge unions the
+// worker cache directories, audits completeness, folds the merged
+// entries into a packed shard index, renders the figure, and writes a
+// results file that rowswap-figures -manifest can re-render without
+// simulating. All stages must run the same build of this binary — the
+// manifest records the binary fingerprint and every stage verifies it.
+//
+// See README.md for a two-worker walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  rowswap-sweep plan      -fig ID [-shards N] [-strategy round-robin|cost] [-quick] [-workloads a,b] [-cores N] [-instructions N] [-window NS] -out manifest.json
+  rowswap-sweep run-shard -manifest manifest.json -shard I -cache-dir DIR [-workers N] [-progress]
+  rowswap-sweep merge     -manifest manifest.json -dirs DIR0,DIR1,... -merged-dir DIR [-out results.json] [-no-pack] [-progress]
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "plan":
+		err = runPlan(os.Args[2:])
+	case "run-shard":
+		err = runShard(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowswap-sweep %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	fig := fs.String("fig", "", "performance figure to sweep (4, 12, 14, 15, 16, cmp)")
+	shards := fs.Int("shards", 2, "number of worker shards")
+	strategy := fs.String("strategy", sweep.StrategyRoundRobin, "job assignment: round-robin or cost")
+	quick := fs.Bool("quick", false, "use the 12-workload subset")
+	workloads := fs.String("workloads", "", "comma-separated workload subset (overrides -quick; default all 78)")
+	cores := fs.Int("cores", 8, "simulated cores per workload")
+	instructions := fs.Int64("instructions", 0, "per-core instruction budget (default 1.5M)")
+	window := fs.Float64("window", 0, "refresh-window length in ns (default 400000)")
+	out := fs.String("out", "manifest.json", "manifest output path")
+	fs.Parse(args)
+
+	if *fig == "" {
+		return fmt.Errorf("missing -fig")
+	}
+	opt := report.PerfOptions{
+		Cores: *cores,
+		Sim:   sim.Options{Instructions: *instructions, WindowNS: *window},
+	}
+	if *quick {
+		opt.Workloads = report.QuickWorkloads
+	}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	m, err := sweep.Plan(*fig, opt, *shards, *strategy)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("planned figure %s: %d jobs over %d shards (%s) -> %s\n",
+		m.Fig, len(m.Jobs), m.Shards, m.Strategy, *out)
+	return nil
+}
+
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("run-shard", flag.ExitOnError)
+	manifest := fs.String("manifest", "", "manifest written by plan")
+	shard := fs.Int("shard", -1, "shard index to execute")
+	cacheDir := fs.String("cache-dir", "", "result cache directory this worker writes")
+	workers := fs.Int("workers", 0, "simulation goroutines (0 = all CPUs)")
+	progress := fs.Bool("progress", false, "print per-job progress")
+	fs.Parse(args)
+
+	if *manifest == "" || *cacheDir == "" || *shard < 0 {
+		return fmt.Errorf("missing -manifest, -shard, or -cache-dir")
+	}
+	m, err := sweep.LoadManifest(*manifest)
+	if err != nil {
+		return err
+	}
+	var prog *os.File
+	if *progress {
+		prog = os.Stderr
+	}
+	stats, err := m.RunShard(*shard, *cacheDir, *workers, progIfSet(prog))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d: %d jobs done (%d served from cache) -> %s\n",
+		*shard, stats.Jobs, stats.Hits, *cacheDir)
+	return nil
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	manifest := fs.String("manifest", "", "manifest written by plan")
+	dirs := fs.String("dirs", "", "comma-separated worker cache directories")
+	mergedDir := fs.String("merged-dir", "", "directory the merged cache is built in")
+	out := fs.String("out", "", "results file for rowswap-figures -manifest (optional)")
+	noPack := fs.Bool("no-pack", false, "keep merged entries as loose files instead of a packed shard index")
+	progress := fs.Bool("progress", false, "print per-directory import progress")
+	fs.Parse(args)
+
+	if *manifest == "" || *dirs == "" || *mergedDir == "" {
+		return fmt.Errorf("missing -manifest, -dirs, or -merged-dir")
+	}
+	m, err := sweep.LoadManifest(*manifest)
+	if err != nil {
+		return err
+	}
+	var prog *os.File
+	if *progress {
+		prog = os.Stderr
+	}
+	rows, err := m.Merge(*mergedDir, strings.Split(*dirs, ","), !*noPack, progIfSet(prog))
+	if err != nil {
+		return err
+	}
+	res := m.NewResults(rows)
+	if *out != "" {
+		if err := res.Save(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "merged rows written to %s\n", *out)
+	}
+	return res.Render(os.Stdout)
+}
+
+// progIfSet converts a possibly-nil *os.File into the io.Writer the
+// sweep API expects (a typed-nil *os.File inside a non-nil interface
+// would defeat its progress == nil checks).
+func progIfSet(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
+}

@@ -1,0 +1,158 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// This file is the differential fixture for the fill-toward-full ROB
+// regime: the head entry is a long-latency memory operation blocking
+// in-order retirement while gap instructions keep streaming into the
+// remaining ROB space, cycle after cycle, until fetch hits the
+// capacity wall. The core currently steps this regime one cycle at a
+// time (NextWork returns now+1 while fetch can still make progress);
+// the ROADMAP's open item is to batch it in closed form like the
+// steady-compute stretch. These tests are the safety net that batching
+// must land against: they compare the event-ticked core against the
+// per-cycle oracle on exactly this regime and pin down its observable
+// schedule, so any future NextWork/replay change that miscounts a fill
+// cycle fails here instead of skewing figure sweeps.
+
+// fillStream alternates one long-latency memory op with a burst of gap
+// instructions sized near the ROB capacity, maximizing the cycles spent
+// filling behind a blocked head.
+type fillStream struct {
+	gap int
+	i   int
+}
+
+func (s *fillStream) Next() trace.Record {
+	s.i++
+	return trace.Record{Gap: s.gap, Addr: uint64(s.i) * 64}
+}
+func (s *fillStream) Name() string { return "fill" }
+
+// fillRegimeCycles counts, on a per-cycle-ticked core, the cycles in
+// which fetch could still progress while the ROB head was blocked on an
+// incomplete entry — the fill-toward-full regime proper — until the
+// core finishes. It returns the count alongside the finished core.
+func fillRegimeCycles(c *Core, limit Cycles) (Cycles, Cycles) {
+	var filling Cycles
+	var now Cycles
+	for !c.Done() {
+		if c.robCount > 0 && c.rob[c.head].done > now && !c.robFull() {
+			filling++
+		}
+		c.Tick(now)
+		now++
+		if now > limit {
+			panic("cycle oracle never finished")
+		}
+	}
+	return filling, now
+}
+
+// TestFillTowardFullMatchesCycleOracle drives the core through
+// alternating long memory stalls and near-ROB-sized gap bursts, with
+// the event-ticked run following NextWork deadlines. Every memory
+// operation must issue at exactly the same cycle as in the per-cycle
+// oracle, and the final retire/finish state must be identical. The
+// (gap, latency) grid covers heads that unblock before, at, and long
+// after the fill completes, plus a budget that crosses mid-fill.
+func TestFillTowardFullMatchesCycleOracle(t *testing.T) {
+	cfg := config.DefaultCore()
+	cases := []struct {
+		name    string
+		gap     int
+		latency Cycles
+		budget  int64
+	}{
+		{"head-unblocks-after-fill", 170, 2_000, 20_000},
+		{"head-unblocks-mid-fill", 170, 30, 20_000},
+		{"gap-overflows-rob", 500, 1_500, 20_000},
+		{"many-memops-in-rob", 40, 3_000, 20_000},
+		{"budget-crosses-mid-fill", 170, 2_000, 1_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cycIss := &logIssuer{lats: []Cycles{tc.latency}}
+			cyc := NewCore(0, cfg, &fillStream{gap: tc.gap}, cycIss, tc.budget)
+			filling, _ := fillRegimeCycles(cyc, 50_000_000)
+			if filling == 0 {
+				t.Fatalf("fixture never entered the fill-toward-full regime")
+			}
+
+			evtIss := &logIssuer{lats: []Cycles{tc.latency}}
+			evt := NewCore(0, cfg, &fillStream{gap: tc.gap}, evtIss, tc.budget)
+			var now Cycles
+			var ticks int64
+			for !evt.Done() {
+				evt.Tick(now)
+				ticks++
+				next := evt.NextWork(now)
+				if next <= now {
+					t.Fatalf("NextWork(%d) = %d went backwards", now, next)
+				}
+				now = next
+				if now > 50_000_000 {
+					t.Fatal("event-ticked core never finished")
+				}
+			}
+
+			if len(cycIss.log) != len(evtIss.log) {
+				t.Fatalf("issue counts differ: cycle %d, event %d", len(cycIss.log), len(evtIss.log))
+			}
+			for i := range cycIss.log {
+				if cycIss.log[i] != evtIss.log[i] {
+					t.Fatalf("issue %d differs: cycle %+v, event %+v", i, cycIss.log[i], evtIss.log[i])
+				}
+			}
+			if cyc.Retired() != evt.Retired() || cyc.FinishCycle() != evt.FinishCycle() ||
+				cyc.MemOps != evt.MemOps {
+				t.Errorf("final state differs:\ncycle: retired=%d finish=%d memops=%d\nevent: retired=%d finish=%d memops=%d",
+					cyc.Retired(), cyc.FinishCycle(), cyc.MemOps,
+					evt.Retired(), evt.FinishCycle(), evt.MemOps)
+			}
+		})
+	}
+}
+
+// TestFillRegimeScheduleIsPinned freezes the cycle-exact schedule of
+// one small fill scenario as literal numbers, so a future closed-form
+// batching of the fill regime is checked not only against the oracle
+// implementation but against today's recorded behaviour. ROB 8, width
+// 2: a 100-cycle memory op at the head, then a 20-instruction gap
+// burst fills the remaining 7 slots at 2/cycle while the head blocks.
+func TestFillRegimeScheduleIsPinned(t *testing.T) {
+	cfg := config.Core{Cores: 1, ClockGHz: 3.2, ROBSize: 8, FetchWidth: 2, RetireWidth: 2}
+	iss := &logIssuer{lats: []Cycles{100}}
+	c := NewCore(0, cfg, &fillStream{gap: 20}, iss, 60)
+	var now Cycles
+	for !c.Done() {
+		c.Tick(now)
+		now = c.NextWork(now)
+		if now > 10_000 {
+			t.Fatal("never finished")
+		}
+	}
+	// Issue cycles of the first three memory ops, recorded from the
+	// per-cycle oracle when this fixture was written: the leading
+	// 20-instruction gap burst fetches at 2/cycle (10 cycles), so the
+	// first memory op issues at cycle 10; each later one waits out its
+	// predecessor's 100-cycle latency plus the drain/refill of the next
+	// gap burst through the 8-entry ROB (106 cycles apart).
+	want := []Cycles{10, 116, 222}
+	if len(iss.log) < len(want) {
+		t.Fatalf("only %d issues recorded", len(iss.log))
+	}
+	for i, w := range want {
+		if iss.log[i].cycle != w {
+			t.Errorf("memory op %d issued at cycle %d, want %d", i, iss.log[i].cycle, w)
+		}
+	}
+	if c.FinishCycle() != 225 {
+		t.Errorf("budget of 60 reached at cycle %d, want 225", c.FinishCycle())
+	}
+}

@@ -1,0 +1,178 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/config"
+)
+
+// PerfFigure describes one of the paper's performance figures as data:
+// the experiment matrix it needs (Configs, evaluated against the
+// unprotected baseline) and how its rows are rendered. Splitting the
+// what (Configs) from the how (Render) lets the sweep coordinator
+// (internal/sweep, cmd/rowswap-sweep) plan and distribute a figure's
+// matrix across worker processes and render the merged rows later,
+// byte-identically to an in-process run.
+type PerfFigure struct {
+	// ID is the figure identifier used by the CLIs ("4", "12", "14",
+	// "15", "16", "cmp").
+	ID string
+	// Configs is the mitigation matrix the figure evaluates.
+	Configs map[string]config.Mitigation
+	// Labels is the column display order (a permutation of Configs'
+	// keys).
+	Labels []string
+	// Render prints the figure from its computed rows.
+	Render func(w io.Writer, rows []PerfRow)
+}
+
+// fig4Spec: RRS with and without immediate unswaps (Figure 4).
+func fig4Spec() PerfFigure {
+	configs := map[string]config.Mitigation{}
+	var labels []string
+	for _, trh := range []int{1200, 2400, 4800} {
+		u := config.DefaultRRS(trh)
+		labels = append(labels, fmt.Sprintf("unswap@%d", trh))
+		configs[fmt.Sprintf("unswap@%d", trh)] = u
+		n := u
+		n.ImmediateUnswap = false
+		labels = append(labels, fmt.Sprintf("nounswap@%d", trh))
+		configs[fmt.Sprintf("nounswap@%d", trh)] = n
+	}
+	return PerfFigure{
+		ID: "4", Configs: configs, Labels: labels,
+		Render: func(w io.Writer, rows []PerfRow) {
+			fmt.Fprintln(w, "Figure 4: RRS with vs. without immediate unswap (normalized IPC)")
+			printSuiteTable(w, rows, labels)
+		},
+	}
+}
+
+// fig12Spec: SRS vs RRS at swap rate 6 (Figure 12).
+func fig12Spec() PerfFigure {
+	configs := map[string]config.Mitigation{}
+	var labels []string
+	for _, trh := range []int{1200, 2400, 4800} {
+		labels = append(labels, fmt.Sprintf("rrs@%d", trh), fmt.Sprintf("srs@%d", trh))
+		configs[fmt.Sprintf("rrs@%d", trh)] = config.DefaultRRS(trh)
+		configs[fmt.Sprintf("srs@%d", trh)] = config.DefaultSRS(trh)
+	}
+	return PerfFigure{
+		ID: "12", Configs: configs, Labels: labels,
+		Render: func(w io.Writer, rows []PerfRow) {
+			fmt.Fprintln(w, "Figure 12: SRS vs RRS (normalized IPC, swap rate 6)")
+			printSuiteTable(w, rows, labels)
+		},
+	}
+}
+
+// fig14Spec: Scale-SRS vs RRS at T_RH 1200 (Figure 14), with the
+// detailed hot-row panel.
+func fig14Spec() PerfFigure {
+	return PerfFigure{
+		ID: "14",
+		Configs: map[string]config.Mitigation{
+			"rrs":       config.DefaultRRS(1200),
+			"scale-srs": config.DefaultScaleSRS(1200),
+		},
+		Labels: []string{"rrs", "scale-srs"},
+		Render: func(w io.Writer, rows []PerfRow) {
+			fmt.Fprintln(w, "Figure 14: Scale-SRS vs RRS at T_RH 1200 (normalized IPC)")
+			fmt.Fprintln(w, "Workloads with at least one hot row:")
+			fmt.Fprintf(w, "  %-16s %12s %12s\n", "workload", "RRS", "Scale-SRS")
+			hot := append([]PerfRow(nil), rows...)
+			sort.Slice(hot, func(i, j int) bool { return hot[i].Norm["rrs"] < hot[j].Norm["rrs"] })
+			for _, r := range hot {
+				if r.HasHot {
+					fmt.Fprintf(w, "  %-16s %12.4f %12.4f\n", r.Workload, r.Norm["rrs"], r.Norm["scale-srs"])
+				}
+			}
+			printSuiteTable(w, rows, []string{"rrs", "scale-srs"})
+			_, rrsAll := suiteMeans(rows, "rrs")
+			_, scaleAll := suiteMeans(rows, "scale-srs")
+			fmt.Fprintf(w, "average slowdown: RRS %.1f%%, Scale-SRS %.1f%% (paper: 4%% and 0.7%%)\n",
+				(1-rrsAll[len(rrsAll)-1])*100, (1-scaleAll[len(scaleAll)-1])*100)
+		},
+	}
+}
+
+// trhSweepSpec builds the Figure 15/16 T_RH sensitivity sweeps.
+func trhSweepSpec(id string, trk config.TrackerKind, title string) PerfFigure {
+	configs := map[string]config.Mitigation{}
+	var labels []string
+	for _, trh := range []int{512, 1200, 2400, 4800} {
+		r := config.DefaultRRS(trh)
+		r.Tracker = trk
+		labels = append(labels, fmt.Sprintf("rrs@%d", trh))
+		configs[fmt.Sprintf("rrs@%d", trh)] = r
+		s := config.DefaultScaleSRS(trh)
+		s.Tracker = trk
+		labels = append(labels, fmt.Sprintf("scale@%d", trh))
+		configs[fmt.Sprintf("scale@%d", trh)] = s
+	}
+	return PerfFigure{
+		ID: id, Configs: configs, Labels: labels,
+		Render: func(w io.Writer, rows []PerfRow) {
+			fmt.Fprintln(w, title)
+			printSuiteTable(w, rows, labels)
+			_, r512 := suiteMeans(rows, "rrs@512")
+			_, s512 := suiteMeans(rows, "scale@512")
+			fmt.Fprintf(w, "at T_RH 512: RRS %.1f%% vs Scale-SRS %.1f%% slowdown\n",
+				(1-r512[len(r512)-1])*100, (1-s512[len(s512)-1])*100)
+		},
+	}
+}
+
+// comparatorSpec: the §IX-A related-work comparison at the given T_RH.
+func comparatorSpec(trh int) PerfFigure {
+	return PerfFigure{
+		ID: "cmp",
+		Configs: map[string]config.Mitigation{
+			"scale-srs":   config.DefaultScaleSRS(trh),
+			"blockhammer": config.DefaultBlockHammer(trh),
+			"aqua":        config.DefaultAQUA(trh),
+		},
+		Labels: []string{"scale-srs", "aqua", "blockhammer"},
+		Render: func(w io.Writer, rows []PerfRow) {
+			fmt.Fprintf(w, "§IX-A comparators at T_RH %d (normalized IPC)\n", trh)
+			printSuiteTable(w, rows, []string{"scale-srs", "aqua", "blockhammer"})
+		},
+	}
+}
+
+// PerfFigureByID returns the performance figure with the given
+// identifier: "4", "12", "14", "15", "16", or "cmp" (the §IX-A
+// comparators at T_RH 1200). Non-performance figures (closed-form
+// analytical plots) are not included: only these have an experiment
+// matrix a sweep can distribute.
+func PerfFigureByID(id string) (PerfFigure, bool) {
+	switch id {
+	case "4":
+		return fig4Spec(), true
+	case "12":
+		return fig12Spec(), true
+	case "14":
+		return fig14Spec(), true
+	case "15":
+		return trhSweepSpec("15", config.TrackerMisraGries,
+			"Figure 15: T_RH sensitivity (Misra-Gries tracker)"), true
+	case "16":
+		return trhSweepSpec("16", config.TrackerHydra,
+			"Figure 16: T_RH sensitivity (Hydra tracker)"), true
+	case "cmp":
+		return comparatorSpec(1200), true
+	}
+	return PerfFigure{}, false
+}
+
+// runFigure executes a figure's matrix in-process and renders it.
+func runFigure(w io.Writer, opt PerfOptions, f PerfFigure) ([]PerfRow, error) {
+	rows, err := runMatrix(opt, f.Configs)
+	if err != nil {
+		return nil, err
+	}
+	f.Render(w, rows)
+	return rows, nil
+}

@@ -3,7 +3,6 @@ package report
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -59,23 +58,19 @@ func baselineFor(w trace.Workload, cores int, opt sim.Options, cache *simcache.C
 	return entry.res, entry.err
 }
 
-// matrixJob is one simulation of the experiment matrix: a workload under
-// one mitigation config, or (label == "") its unprotected baseline.
-type matrixJob struct {
-	wi    int
-	label string
-	mit   config.Mitigation
-}
-
 // runMatrix evaluates each workload under a baseline plus the given
 // mitigation configurations, returning normalized performance rows in
-// workload order. Every simulation is an independent deterministic job
-// (its RNG is re-seeded from the options inside sim.Run), so the jobs
-// are spread over a pool of opt.Workers goroutines and the rows are
-// identical to a serial run regardless of scheduling.
+// workload order. The matrix is expanded by PerfOptions.Plan (shared
+// with the sweep coordinator, which distributes the same cells across
+// worker processes) and executed here in-process. Every simulation is
+// an independent deterministic job (its RNG is re-seeded from the
+// options inside sim.Run), so the jobs are spread over a pool of
+// opt.Workers goroutines and the rows are identical to a serial run
+// regardless of scheduling.
 func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow, error) {
 	opt = opt.withDefaults()
-	workloads := opt.workloadSet()
+	plan := opt.Plan(configs)
+	workloads := plan.Workloads
 
 	// The persistent cache is optional: if the directory cannot be
 	// created the matrix simply runs uncached.
@@ -89,42 +84,26 @@ func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow
 			}
 		}
 	}
-	labels := make([]string, 0, len(configs))
-	for l := range configs {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels)
 
-	// Per workload: the baseline job followed by one job per config.
-	stride := len(labels) + 1
-	jobs := make([]matrixJob, 0, len(workloads)*stride)
-	for wi := range workloads {
-		jobs = append(jobs, matrixJob{wi: wi})
-		for _, l := range labels {
-			jobs = append(jobs, matrixJob{wi: wi, label: l, mit: configs[l]})
-		}
-	}
+	stride := plan.stride()
+	jobs := plan.Cells
 
 	type cell struct {
 		res *sim.Result
 		err error
 	}
 	results := make([]cell, len(jobs))
-	run := func(j matrixJob) cell {
-		w := workloads[j.wi]
-		if j.label == "" {
-			res, err := baselineFor(w, opt.Cores, opt.Sim, cache)
+	run := func(j MatrixCell) cell {
+		if j.Label == "" {
+			res, err := baselineFor(j.Workload, opt.Cores, plan.Sim, cache)
 			if err != nil {
-				err = fmt.Errorf("baseline %s: %w", w.Name, err)
+				err = fmt.Errorf("baseline %s: %w", j.Workload.Name, err)
 			}
 			return cell{res, err}
 		}
-		sys := config.Default()
-		sys.Core.Cores = opt.Cores
-		sys.Mitigation = j.mit
-		res, _, err := simcache.RunCached(cache, w, sys, opt.Sim)
+		res, _, err := simcache.RunCached(cache, j.Workload, j.System, plan.Sim)
 		if err != nil {
-			err = fmt.Errorf("%s %s: %w", j.label, w.Name, err)
+			err = fmt.Errorf("%s %s: %w", j.Label, j.Workload.Name, err)
 		}
 		return cell{res, err}
 	}
@@ -166,7 +145,7 @@ func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow
 					continue
 				}
 				progMu.Lock()
-				wi := jobs[i].wi
+				wi := jobs[i].WorkloadIndex
 				pending[wi]--
 				if pending[wi] == 0 {
 					if rb := results[wi*stride].res; rb != nil {
@@ -188,15 +167,9 @@ func runMatrix(opt PerfOptions, configs map[string]config.Mitigation) ([]PerfRow
 		}
 	}
 
-	rows := make([]PerfRow, len(workloads))
-	for wi, w := range workloads {
-		rb := results[wi*stride].res
-		row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
-			Norm: map[string]float64{}}
-		for li, l := range labels {
-			row.Norm[l] = results[wi*stride+1+li].res.MeanIPC / rb.MeanIPC
-		}
-		rows[wi] = row
+	flat := make([]*sim.Result, len(results))
+	for i := range results {
+		flat[i] = results[i].res
 	}
-	return rows, nil
+	return plan.Rows(flat)
 }

@@ -60,10 +60,12 @@ func TestBaselineCacheDoesNotChangeNumbers(t *testing.T) {
 	if !reflect.DeepEqual(fresh, cached) {
 		t.Errorf("cached-baseline rows diverged:\nfresh:  %+v\ncached: %+v", fresh, cached)
 	}
-	// The cache must actually be warm now.
-	w := matrixOpts(0).workloadSet()[0]
-	if _, ok := baselineCache.Load(baselineKey{workload: w.Name, cores: 2,
-		opt: matrixOpts(0).Sim}); !ok {
+	// The cache must actually be warm now. runMatrix keys baselines on
+	// normalized options (so explicit defaults share the zero value's
+	// entry), hence the Plan-derived lookup key.
+	plan := matrixOpts(0).Plan(matrixConfigs)
+	if _, ok := baselineCache.Load(baselineKey{workload: plan.Workloads[0].Name, cores: 2,
+		opt: plan.Sim}); !ok {
 		t.Error("baseline cache empty after two matrix runs")
 	}
 }

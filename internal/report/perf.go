@@ -3,9 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
-	"sort"
 
-	"repro/internal/config"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -129,24 +127,7 @@ func printSuiteTable(w io.Writer, rows []PerfRow, labels []string) {
 // Expect the no-unswap variant to lose an extra few percent from its
 // window-end unravel spikes.
 func Fig4(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
-	fmt.Fprintln(w, "Figure 4: RRS with vs. without immediate unswap (normalized IPC)")
-	configs := map[string]config.Mitigation{}
-	var labels []string
-	for _, trh := range []int{1200, 2400, 4800} {
-		u := config.DefaultRRS(trh)
-		labels = append(labels, fmt.Sprintf("unswap@%d", trh))
-		configs[fmt.Sprintf("unswap@%d", trh)] = u
-		n := u
-		n.ImmediateUnswap = false
-		labels = append(labels, fmt.Sprintf("nounswap@%d", trh))
-		configs[fmt.Sprintf("nounswap@%d", trh)] = n
-	}
-	rows, err := runMatrix(opt, configs)
-	if err != nil {
-		return nil, err
-	}
-	printSuiteTable(w, rows, labels)
-	return rows, nil
+	return runFigure(w, opt, fig4Spec())
 }
 
 // Fig14 reproduces Figure 14: per-workload normalized performance of
@@ -154,70 +135,21 @@ func Fig4(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
 // detailed panel lists workloads with hot rows (>800 ACTs/window); suite
 // and ALL averages follow.
 func Fig14(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
-	fmt.Fprintln(w, "Figure 14: Scale-SRS vs RRS at T_RH 1200 (normalized IPC)")
-	configs := map[string]config.Mitigation{
-		"rrs":       config.DefaultRRS(1200),
-		"scale-srs": config.DefaultScaleSRS(1200),
-	}
-	rows, err := runMatrix(opt, configs)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintln(w, "Workloads with at least one hot row:")
-	fmt.Fprintf(w, "  %-16s %12s %12s\n", "workload", "RRS", "Scale-SRS")
-	hot := append([]PerfRow(nil), rows...)
-	sort.Slice(hot, func(i, j int) bool { return hot[i].Norm["rrs"] < hot[j].Norm["rrs"] })
-	for _, r := range hot {
-		if r.HasHot {
-			fmt.Fprintf(w, "  %-16s %12.4f %12.4f\n", r.Workload, r.Norm["rrs"], r.Norm["scale-srs"])
-		}
-	}
-	printSuiteTable(w, rows, []string{"rrs", "scale-srs"})
-	_, rrsAll := suiteMeans(rows, "rrs")
-	_, scaleAll := suiteMeans(rows, "scale-srs")
-	fmt.Fprintf(w, "average slowdown: RRS %.1f%%, Scale-SRS %.1f%% (paper: 4%% and 0.7%%)\n",
-		(1-rrsAll[len(rrsAll)-1])*100, (1-scaleAll[len(scaleAll)-1])*100)
-	return rows, nil
+	return runFigure(w, opt, fig14Spec())
 }
 
 // Fig15 reproduces Figure 15: sensitivity to T_RH from 4800 down to 512
 // with the Misra-Gries tracker.
 func Fig15(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
-	return trhSweep(w, opt, config.TrackerMisraGries,
-		"Figure 15: T_RH sensitivity (Misra-Gries tracker)")
+	f, _ := PerfFigureByID("15")
+	return runFigure(w, opt, f)
 }
 
 // Fig16 reproduces Figure 16: the same sweep with the Hydra tracker,
 // whose DRAM-resident counters add traffic at low T_RH.
 func Fig16(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
-	return trhSweep(w, opt, config.TrackerHydra,
-		"Figure 16: T_RH sensitivity (Hydra tracker)")
-}
-
-func trhSweep(w io.Writer, opt PerfOptions, trk config.TrackerKind, title string) ([]PerfRow, error) {
-	fmt.Fprintln(w, title)
-	configs := map[string]config.Mitigation{}
-	var labels []string
-	for _, trh := range []int{512, 1200, 2400, 4800} {
-		r := config.DefaultRRS(trh)
-		r.Tracker = trk
-		labels = append(labels, fmt.Sprintf("rrs@%d", trh))
-		configs[fmt.Sprintf("rrs@%d", trh)] = r
-		s := config.DefaultScaleSRS(trh)
-		s.Tracker = trk
-		labels = append(labels, fmt.Sprintf("scale@%d", trh))
-		configs[fmt.Sprintf("scale@%d", trh)] = s
-	}
-	rows, err := runMatrix(opt, configs)
-	if err != nil {
-		return nil, err
-	}
-	printSuiteTable(w, rows, labels)
-	_, r512 := suiteMeans(rows, "rrs@512")
-	_, s512 := suiteMeans(rows, "scale@512")
-	fmt.Fprintf(w, "at T_RH 512: RRS %.1f%% vs Scale-SRS %.1f%% slowdown\n",
-		(1-r512[len(r512)-1])*100, (1-s512[len(s512)-1])*100)
-	return rows, nil
+	f, _ := PerfFigureByID("16")
+	return runFigure(w, opt, f)
 }
 
 // Comparators evaluates the §IX-A related-work mechanisms (BlockHammer
@@ -226,35 +158,11 @@ func trhSweep(w io.Writer, opt PerfOptions, trk config.TrackerKind, title string
 // DoS-style slowdowns on hot workloads, AQUA behaves comparably to
 // swap-based isolation but reserves quarantine capacity.
 func Comparators(w io.Writer, opt PerfOptions, trh int) ([]PerfRow, error) {
-	fmt.Fprintf(w, "§IX-A comparators at T_RH %d (normalized IPC)\n", trh)
-	configs := map[string]config.Mitigation{
-		"scale-srs":   config.DefaultScaleSRS(trh),
-		"blockhammer": config.DefaultBlockHammer(trh),
-		"aqua":        config.DefaultAQUA(trh),
-	}
-	rows, err := runMatrix(opt, configs)
-	if err != nil {
-		return nil, err
-	}
-	printSuiteTable(w, rows, []string{"scale-srs", "aqua", "blockhammer"})
-	return rows, nil
+	return runFigure(w, opt, comparatorSpec(trh))
 }
 
 // Fig12 reproduces Figure 12: SRS performs like RRS (same swap rate 6)
 // across T_RH values — SRS fixes security, Scale-SRS fixes scalability.
 func Fig12(w io.Writer, opt PerfOptions) ([]PerfRow, error) {
-	fmt.Fprintln(w, "Figure 12: SRS vs RRS (normalized IPC, swap rate 6)")
-	configs := map[string]config.Mitigation{}
-	var labels []string
-	for _, trh := range []int{1200, 2400, 4800} {
-		labels = append(labels, fmt.Sprintf("rrs@%d", trh), fmt.Sprintf("srs@%d", trh))
-		configs[fmt.Sprintf("rrs@%d", trh)] = config.DefaultRRS(trh)
-		configs[fmt.Sprintf("srs@%d", trh)] = config.DefaultSRS(trh)
-	}
-	rows, err := runMatrix(opt, configs)
-	if err != nil {
-		return nil, err
-	}
-	printSuiteTable(w, rows, labels)
-	return rows, nil
+	return runFigure(w, opt, fig12Spec())
 }

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MatrixCell is one simulation of the experiment matrix: a workload
+// under one mitigation configuration, or (Label == "") its unprotected
+// baseline. The cell carries the exact System the simulation must run
+// under, so planning a matrix and executing it can happen in different
+// processes (see internal/sweep) without re-deriving any configuration.
+type MatrixCell struct {
+	// WorkloadIndex is the cell's row in the matrix (index into
+	// MatrixPlan.Workloads).
+	WorkloadIndex int
+	Workload      trace.Workload
+	// Label names the mitigation configuration ("" = unprotected
+	// baseline).
+	Label  string
+	System config.System
+}
+
+// MatrixPlan is a fully expanded experiment matrix: every simulation
+// the matrix needs, in the deterministic order Rows consumes them.
+// Cells are grouped per workload — the baseline first, then one cell
+// per label in Labels order — so Cells[wi*(len(Labels)+1)] is workload
+// wi's baseline.
+//
+// A plan is pure data derived deterministically from (PerfOptions,
+// configs): planning twice, in different processes or on different
+// machines, yields the same cells in the same order. That property is
+// what lets the sweep coordinator (internal/sweep) hand shards of a
+// plan to worker processes and merge their content-addressed results
+// back into rows.
+type MatrixPlan struct {
+	Workloads []trace.Workload
+	// Labels is the sorted set of configuration labels.
+	Labels []string
+	// Sim is the simulation options every cell runs with, normalized
+	// (all defaults resolved) so independently planned processes agree
+	// on cache keys.
+	Sim   sim.Options
+	Cells []MatrixCell
+}
+
+// cellSystem builds the System a matrix cell simulates: the Table III
+// default machine with the requested core count and mitigation.
+func cellSystem(cores int, mit config.Mitigation) config.System {
+	sys := config.Default()
+	sys.Core.Cores = cores
+	sys.Mitigation = mit
+	return sys
+}
+
+// Plan expands the experiment matrix for the given mitigation
+// configurations without running anything. runMatrix executes the
+// same plan in-process; the sweep coordinator shards it across worker
+// processes.
+func (o PerfOptions) Plan(configs map[string]config.Mitigation) MatrixPlan {
+	o = o.withDefaults()
+	workloads := o.workloadSet()
+	labels := make([]string, 0, len(configs))
+	for l := range configs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	stride := len(labels) + 1
+	cells := make([]MatrixCell, 0, len(workloads)*stride)
+	for wi, w := range workloads {
+		cells = append(cells, MatrixCell{
+			WorkloadIndex: wi, Workload: w,
+			System: cellSystem(o.Cores, config.Mitigation{}),
+		})
+		for _, l := range labels {
+			cells = append(cells, MatrixCell{
+				WorkloadIndex: wi, Workload: w, Label: l,
+				System: cellSystem(o.Cores, configs[l]),
+			})
+		}
+	}
+	return MatrixPlan{
+		Workloads: workloads,
+		Labels:    labels,
+		Sim:       o.Sim.Normalized(cellSystem(o.Cores, config.Mitigation{})),
+		Cells:     cells,
+	}
+}
+
+// stride is the number of cells per workload: the baseline plus one
+// per label.
+func (p MatrixPlan) stride() int { return len(p.Labels) + 1 }
+
+// Rows assembles the normalized performance rows from per-cell results
+// indexed exactly like p.Cells. The arithmetic (one float64 division
+// per cell against the workload's baseline MeanIPC) is shared with
+// runMatrix, so rows built from results that crossed a process
+// boundary are bit-identical to an in-process run.
+func (p MatrixPlan) Rows(results []*sim.Result) ([]PerfRow, error) {
+	if len(results) != len(p.Cells) {
+		return nil, fmt.Errorf("report: %d results for %d matrix cells", len(results), len(p.Cells))
+	}
+	for i, r := range results {
+		if r == nil {
+			c := p.Cells[i]
+			label := c.Label
+			if label == "" {
+				label = "baseline"
+			}
+			return nil, fmt.Errorf("report: missing result for cell %d (%s %s)", i, label, c.Workload.Name)
+		}
+	}
+	stride := p.stride()
+	rows := make([]PerfRow, len(p.Workloads))
+	for wi, w := range p.Workloads {
+		rb := results[wi*stride]
+		row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
+			Norm: map[string]float64{}}
+		for li, l := range p.Labels {
+			row.Norm[l] = results[wi*stride+1+li].MeanIPC / rb.MeanIPC
+		}
+		rows[wi] = row
+	}
+	return rows, nil
+}

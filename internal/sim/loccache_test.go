@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+// stripHostPerf zeroes the host-instrumentation fields that legitimately
+// differ between two runs of the same simulation.
+func stripHostPerf(r *Result) *Result {
+	c := *r
+	c.WallSeconds = 0
+	c.SimIPS = 0
+	return &c
+}
+
+// TestRecordLocCacheMatchesDecodeAddr is the differential oracle for
+// the trace generator's cached DRAM decomposition (trace.Record.Loc):
+// a run that trusts the generator-carried locations must produce a
+// sim.Result bit-identical to one that re-decodes every address with
+// dram.DecodeAddr. Workloads span the paths that consume locations —
+// LLC-allocated reads/writes, writebacks, and the NoAlloc hot-row
+// stream that bypasses the cache — under both the unprotected baseline
+// and a swapping mitigation.
+func TestRecordLocCacheMatchesDecodeAddr(t *testing.T) {
+	if forceDecodeAddr {
+		t.Fatal("forceDecodeAddr left set by another test")
+	}
+	opt := Options{Instructions: 40_000, WindowNS: 200_000}
+	for _, name := range []string{"gcc", "mcf", "gups", "hmmer"} {
+		w, ok := trace.WorkloadByName(name, 2)
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		for _, mit := range []struct {
+			label string
+			cfg   config.Mitigation
+		}{
+			{"baseline", config.Mitigation{}},
+			{"scale-srs", config.DefaultScaleSRS(1200)},
+		} {
+			sys := config.Default()
+			sys.Core.Cores = 2
+			sys.Mitigation = mit.cfg
+
+			cached, err := Run(w, sys, opt)
+			if err != nil {
+				t.Fatalf("%s %s (cached loc): %v", name, mit.label, err)
+			}
+			forceDecodeAddr = true
+			decoded, err := Run(w, sys, opt)
+			forceDecodeAddr = false
+			if err != nil {
+				t.Fatalf("%s %s (decoded): %v", name, mit.label, err)
+			}
+			if !reflect.DeepEqual(stripHostPerf(cached), stripHostPerf(decoded)) {
+				t.Errorf("%s %s: cached-location run differs from decoded run:\ncached:  %+v\ndecoded: %+v",
+					name, mit.label, cached, decoded)
+			}
+		}
+	}
+}
+
+// TestGeneratorRecordsCarryExactLocations checks the generator's side
+// of the contract directly: every record's cached Loc must equal the
+// decode of its address.
+func TestGeneratorRecordsCarryExactLocations(t *testing.T) {
+	geo := config.DefaultGeometry()
+	for _, name := range []string{"gcc", "gups", "povray"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			t.Fatalf("profile %q missing", name)
+		}
+		st := trace.NewGenerator(p, geo, 99)
+		for i := 0; i < 20_000; i++ {
+			rec := st.Next()
+			if !rec.HasLoc {
+				t.Fatalf("%s: record %d has no cached location", name, i)
+			}
+			if want := dram.DecodeAddr(geo, rec.Addr); rec.Loc != want {
+				t.Fatalf("%s: record %d Loc %+v, decode gives %+v", name, i, rec.Loc, want)
+			}
+		}
+	}
+}

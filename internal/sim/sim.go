@@ -168,9 +168,21 @@ func rowKeyOf(loc dram.Location) uint64 {
 	return uint64(loc.BankIdx)<<32 | uint64(uint32(loc.Row))
 }
 
+// forceDecodeAddr disables the record-carried location cache so the
+// differential test can prove the decoded and cached paths produce
+// identical results. Never set outside tests.
+var forceDecodeAddr = false
+
 // Issue implements cpu.Issuer.
 func (is *issuer) Issue(_ int, rec trace.Record, now Cycles) Cycles {
-	loc := dram.DecodeAddr(is.geo, rec.Addr)
+	// The synthetic generator pre-decodes every address it composes
+	// (trace.Record.Loc); records from external text traces fall back
+	// to dram.DecodeAddr here. The two are interchangeable because
+	// EncodeLoc/DecodeAddr are exact inverses.
+	loc := rec.Loc
+	if !rec.HasLoc || forceDecodeAddr {
+		loc = dram.DecodeAddr(is.geo, rec.Addr)
+	}
 	key := rowKeyOf(loc)
 
 	if rec.NoAlloc && !is.llc.IsPinned(key) {

@@ -1,0 +1,77 @@
+package simcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadEntry fuzzes the envelope-decoding path behind Get with
+// arbitrary on-disk entry bytes. The cache's contract for hostile or
+// damaged entries is absolute: never panic, never return an error for
+// malformed content, and always surface the entry as a miss whose file
+// has been deleted so the slot is clean for the re-simulated result.
+// The only input allowed to survive is a bit-exact valid envelope for
+// the probed key.
+func FuzzReadEntry(f *testing.F) {
+	seedDir := f.TempDir()
+	seedCache, err := Open(seedDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	key := Key("fuzz-entry")
+	if err := seedCache.Put(key, map[string]any{"ipc": 1.25, "cycles": 123456}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(seedDir, key+".json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid)                                                                             // intact entry: the one legal hit
+	f.Add(valid[:len(valid)/2])                                                              // truncated mid-envelope
+	f.Add(valid[:0])                                                                         // empty file
+	f.Add([]byte("not json at all"))                                                         // garbage
+	f.Add([]byte(`{"schema":999}`))                                                          // wrong schema, no payload
+	f.Add([]byte(`{"payload":null}`))                                                        // missing checksum
+	f.Add([]byte(`[1,2,3]`))                                                                 // JSON of the wrong shape
+	f.Add([]byte("{\"schema\":1,\"key\":\"" + key + "\",\"sha256\":\"00\",\"payload\":{}}")) // bad sum
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01 // single bit flip inside the envelope
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		c, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, key+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		hit, err := c.Get(key, &v)
+		if err != nil {
+			t.Fatalf("Get returned an error for on-disk bytes %q: %v", data, err)
+		}
+		if hit {
+			// A hit is only legal if the fuzzer reproduced a valid
+			// envelope; verify rather than trust it.
+			payload, ok := decodeEnvelope(data, key)
+			if !ok {
+				t.Fatalf("invalid entry served as a hit: %q", data)
+			}
+			var check map[string]any
+			if json.Unmarshal(payload, &check) != nil {
+				t.Fatalf("hit with undecodable payload: %q", data)
+			}
+			return
+		}
+		// Miss: the bad entry must have been deleted.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("bad entry not deleted after miss (stat err %v) for bytes %q", err, data)
+		}
+	})
+}

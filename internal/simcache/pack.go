@@ -1,0 +1,291 @@
+package simcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the cache's sharded-sweep interchange surface:
+// ImportDir unions another cache directory (a worker's shard output)
+// into this one, and PackLoose folds loose per-result files into a
+// single packed index file. A full 78-workload sweep writes thousands
+// of small JSON entries; packing them means a later process pays one
+// sequential file scan at Open instead of a directory walk plus one
+// open per entry (the ROADMAP's "packed index" item).
+//
+// Pack format: one envelope per line, exactly the bytes a loose entry
+// file holds (same schema, key, and checksum fields), so the integrity
+// gates of decodeEnvelope apply unchanged. A corrupted packed entry is
+// dropped from the in-memory index and reported as a miss; unlike a
+// loose file it cannot be deleted individually, so it stays inert in
+// the pack until age-pruning removes the file.
+
+// packRef locates one entry inside a pack file.
+type packRef struct {
+	path string
+	off  int64
+	n    int
+}
+
+// scanPacks indexes every *.pack file in the cache directory. Later
+// files (lexicographically) win key collisions, matching the order
+// PackLoose creates them. Unreadable files or undecodable lines are
+// skipped: the index is a read-side accelerator, and every entry is
+// re-validated by decodeEnvelope at Get time anyway.
+func (c *Cache) scanPacks() {
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.pack"))
+	if err != nil {
+		return
+	}
+	sort.Strings(names)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, path := range names {
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		var off int64
+		for sc.Scan() {
+			line := sc.Bytes()
+			n := int64(len(line)) + 1 // +1 for the newline
+			var e envelope
+			if json.Unmarshal(line, &e) == nil && e.Key != "" {
+				c.packed[e.Key] = packRef{path: path, off: off, n: len(line)}
+			}
+			off += n
+		}
+		f.Close()
+	}
+}
+
+// getPacked serves key from the packed index, fully re-validating the
+// entry bytes. A corrupted or stale packed entry is dropped from the
+// index and reported as a miss so the caller re-simulates into a loose
+// file (which Get prefers over the pack from then on).
+func (c *Cache) getPacked(key string, v any) bool {
+	c.mu.RLock()
+	ref, ok := c.packed[key]
+	c.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	drop := func() {
+		c.mu.Lock()
+		delete(c.packed, key)
+		c.mu.Unlock()
+	}
+	f, err := os.Open(ref.path)
+	if err != nil {
+		drop()
+		return false
+	}
+	defer f.Close()
+	data := make([]byte, ref.n)
+	if _, err := f.ReadAt(data, ref.off); err != nil {
+		drop()
+		return false
+	}
+	payload, ok := decodeEnvelope(data, key)
+	if !ok || json.Unmarshal(payload, v) != nil {
+		drop()
+		return false
+	}
+	return true
+}
+
+// looseKeys returns the keys of all loose entry files, sorted.
+func (c *Cache) looseKeys() []string {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, e := range entries {
+		if name := e.Name(); filepath.Ext(name) == ".json" {
+			keys = append(keys, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Keys returns every key the cache can currently serve — loose files
+// and packed entries — sorted. Sweep merging uses it to audit that a
+// merged directory covers a manifest.
+func (c *Cache) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, k := range c.looseKeys() {
+		seen[k] = true
+	}
+	c.mu.RLock()
+	for k := range c.packed {
+		seen[k] = true
+	}
+	c.mu.RUnlock()
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Has reports whether the cache holds a valid entry for key.
+func (c *Cache) Has(key string) bool {
+	var raw json.RawMessage
+	hit, _ := c.Get(key, &raw)
+	return hit
+}
+
+// ImportDir unions the entries of another cache directory (typically a
+// sweep worker's shard output) into this cache as loose files,
+// returning how many entries were imported. Every entry — loose or
+// packed — is validated before import; invalid ones are skipped, not
+// copied, so a torn shard can never poison the merged cache. Entries
+// keep their envelope bytes verbatim, which keeps their checksums and
+// therefore their bit-identity across the process boundary.
+func (c *Cache) ImportDir(src string) (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return 0, err
+	}
+	imported := 0
+	for _, e := range entries {
+		name := e.Name()
+		full := filepath.Join(src, name)
+		switch filepath.Ext(name) {
+		case ".json":
+			key := strings.TrimSuffix(name, ".json")
+			data, err := os.ReadFile(full)
+			if err != nil {
+				continue
+			}
+			if _, ok := decodeEnvelope(data, key); !ok {
+				continue
+			}
+			if err := c.writeEntry(key, bytes.TrimSpace(data)); err != nil {
+				return imported, err
+			}
+			imported++
+		case ".pack":
+			n, err := c.importPack(full)
+			imported += n
+			if err != nil {
+				return imported, err
+			}
+		}
+	}
+	return imported, nil
+}
+
+// importPack copies every valid entry of a pack file into this cache
+// as loose files.
+func (c *Cache) importPack(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	imported := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e envelope
+		if json.Unmarshal(line, &e) != nil {
+			continue
+		}
+		if _, ok := decodeEnvelope(line, e.Key); !ok {
+			continue
+		}
+		entry := make([]byte, len(line))
+		copy(entry, line)
+		if err := c.writeEntry(e.Key, entry); err != nil {
+			return imported, err
+		}
+		imported++
+	}
+	return imported, sc.Err()
+}
+
+// PackLoose folds every valid loose entry into a single new packed
+// index file (atomically: temp file + rename), removes the packed
+// loose files, and indexes the new pack. Invalid loose entries are
+// deleted rather than packed. The file is named <name>.pack, or
+// <name>-2.pack and so on when earlier packs of the same name exist —
+// existing packs are never overwritten, so repeated merges into one
+// directory (figures sharing baselines, incremental re-merges) only
+// ever add entries; duplicate keys across packs are harmless because
+// entries are content-addressed, so colliding packed entries hold
+// identical bytes and scanPacks may resolve them in any order. It
+// returns the number of entries packed. Packing is
+// coordinator-side maintenance (rowswap-sweep merge); it must not run
+// concurrently with writers of the same directory.
+func (c *Cache) PackLoose(name string) (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	keys := c.looseKeys()
+	var packed []string
+	tmp, err := os.CreateTemp(c.dir, "pack-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	for _, key := range keys {
+		data, err := os.ReadFile(c.path(key))
+		if err != nil {
+			continue
+		}
+		if _, ok := decodeEnvelope(data, key); !ok {
+			os.Remove(c.path(key))
+			continue
+		}
+		bw.Write(bytes.TrimSpace(data))
+		bw.WriteByte('\n')
+		packed = append(packed, key)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if len(packed) == 0 {
+		return 0, nil
+	}
+	dst := filepath.Join(c.dir, name+".pack")
+	for n := 2; ; n++ {
+		if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(c.dir, fmt.Sprintf("%s-%d.pack", name, n))
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return 0, err
+	}
+	for _, key := range packed {
+		os.Remove(c.path(key))
+	}
+	c.scanPacks()
+	return len(packed), nil
+}

@@ -1,0 +1,300 @@
+package simcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fill stores n distinct payloads and returns their keys in Put order.
+func fill(t *testing.T, c *Cache, tag string, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = Key(tag, i)
+		if err := c.Put(keys[i], map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestPackLooseServesSameEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, c, "pack", 8)
+	n, err := c.PackLoose("shard-index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("packed %d entries, want 8", n)
+	}
+	// The loose files must be gone, replaced by one pack file.
+	loose, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(loose) != 0 {
+		t.Errorf("%d loose files survive packing", len(loose))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-index.pack")); err != nil {
+		t.Fatalf("pack file missing: %v", err)
+	}
+	// Both the packing cache and a fresh Open must serve every entry.
+	for name, cache := range map[string]*Cache{"same": c} {
+		for i, key := range keys {
+			var v map[string]int
+			if hit, err := cache.Get(key, &v); err != nil || !hit {
+				t.Fatalf("%s cache: Get(%d) = (%v, %v), want hit", name, i, hit, err)
+			}
+			if v["i"] != i {
+				t.Errorf("%s cache: entry %d holds %v", name, i, v)
+			}
+		}
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range keys {
+		var v map[string]int
+		if hit, _ := reopened.Get(key, &v); !hit || v["i"] != i {
+			t.Fatalf("reopened cache: entry %d not served from pack (hit=%v v=%v)", i, hit, v)
+		}
+	}
+	if got := reopened.Keys(); len(got) != 8 {
+		t.Errorf("Keys() after repack = %d entries, want 8", len(got))
+	}
+}
+
+// TestRepeatedPackingNeverDiscardsEntries is the regression test for
+// repeated merges into one cache directory: a second PackLoose with the
+// same name must not overwrite the first pack — every entry from both
+// rounds stays servable, across a fresh Open too.
+func TestRepeatedPackingNeverDiscardsEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fill(t, c, "round1", 3)
+	if n, err := c.PackLoose("shard-index"); err != nil || n != 3 {
+		t.Fatalf("first pack = (%d, %v)", n, err)
+	}
+	second := fill(t, c, "round2", 4)
+	if n, err := c.PackLoose("shard-index"); err != nil || n != 4 {
+		t.Fatalf("second pack = (%d, %v)", n, err)
+	}
+	packs, _ := filepath.Glob(filepath.Join(dir, "*.pack"))
+	if len(packs) != 2 {
+		t.Fatalf("%d pack files after two rounds, want 2 (no overwrite)", len(packs))
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cache := range []*Cache{c, reopened} {
+		for i, key := range append(append([]string(nil), first...), second...) {
+			var v map[string]int
+			if hit, _ := cache.Get(key, &v); !hit {
+				t.Fatalf("entry %d lost after repeated packing", i)
+			}
+		}
+	}
+}
+
+func TestLooseEntryShadowsPackedEntry(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("shadow")
+	if err := c.Put(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PackLoose("p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, 2); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if hit, _ := c.Get(key, &v); !hit || v != 2 {
+		t.Errorf("Get = (%v, %d), want the fresher loose value 2", hit, v)
+	}
+}
+
+func TestCorruptPackedEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, c, "corrupt-pack", 3)
+	if _, err := c.PackLoose("p"); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the pack's middle entry payload.
+	path := filepath.Join(dir, "p.pack")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, key := range keys {
+		var v map[string]int
+		if hit, err := fresh.Get(key, &v); err != nil {
+			t.Fatal(err)
+		} else if hit {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("%d of 3 entries served from the corrupted pack, want exactly 2", hits)
+	}
+}
+
+func TestImportDirUnionsLooseAndPacked(t *testing.T) {
+	srcA := t.TempDir() // loose entries
+	srcB := t.TempDir() // packed entries
+	a, err := Open(srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysA := fill(t, a, "import-a", 3)
+	keysB := fill(t, b, "import-b", 4)
+	if _, err := b.PackLoose("shard"); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := merged.ImportDir(srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := merged.ImportDir(srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != 3 || nb != 4 {
+		t.Fatalf("imported (%d, %d) entries, want (3, 4)", na, nb)
+	}
+	for i, key := range append(append([]string(nil), keysA...), keysB...) {
+		if !merged.Has(key) {
+			t.Errorf("merged cache misses entry %d", i)
+		}
+	}
+	if got, want := merged.Keys(), 7; len(got) != want {
+		t.Errorf("merged Keys() = %d, want %d", len(got), want)
+	}
+}
+
+func TestImportDirSkipsInvalidEntries(t *testing.T) {
+	src := t.TempDir()
+	s, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Key("good")
+	if err := s.Put(good, 42); err != nil {
+		t.Fatal(err)
+	}
+	// A torn write and a checksum-corrupted entry must not be imported.
+	if err := os.WriteFile(filepath.Join(src, Key("torn")+".json"), []byte(`{"schema":1,"key":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := Key("bad")
+	if err := s.Put(bad, 43); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload itself (43 -> 63) so only the checksum can
+	// reject the entry.
+	path := filepath.Join(src, bad+".json")
+	data, _ := os.ReadFile(path)
+	i := bytes.LastIndexByte(data, '4')
+	data[i] = '6'
+	os.WriteFile(path, data, 0o644)
+
+	merged, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := merged.ImportDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("imported %d entries, want only the valid one", n)
+	}
+	var v int
+	if hit, _ := merged.Get(good, &v); !hit || v != 42 {
+		t.Errorf("valid entry lost in import: hit=%v v=%d", hit, v)
+	}
+	if merged.Has(bad) {
+		t.Error("corrupted entry imported")
+	}
+}
+
+func TestImportedEntryBytesAreVerbatim(t *testing.T) {
+	src := t.TempDir()
+	s, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("verbatim")
+	if err := s.Put(key, map[string]float64{"ipc": 1.2345678901234567}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(src, key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.ImportDir(src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("import changed entry bytes:\nsrc: %s\ndst: %s", want, got)
+	}
+}
+
+func TestNilCachePackAndImportAreNoOps(t *testing.T) {
+	var c *Cache
+	if n, err := c.ImportDir(t.TempDir()); n != 0 || err != nil {
+		t.Errorf("nil ImportDir = (%d, %v)", n, err)
+	}
+	if n, err := c.PackLoose("x"); n != 0 || err != nil {
+		t.Errorf("nil PackLoose = (%d, %v)", n, err)
+	}
+	if c.Has(Key("x")) {
+		t.Error("nil cache claims an entry")
+	}
+	if c.Keys() != nil {
+		t.Error("nil cache lists keys")
+	}
+}

@@ -59,6 +59,13 @@ var codeVersion = sync.OnceValue(func() string {
 	return hex.EncodeToString(h.Sum(nil))
 })
 
+// CodeVersion returns the fingerprint of the running binary that Key
+// folds into every cache key. Distributed sweeps (internal/sweep)
+// record it in their job manifests so a worker built from different
+// code can be rejected up front instead of silently producing keys
+// nobody else can read.
+func CodeVersion() string { return codeVersion() }
+
 // Key derives a stable cache key from the given parts: a SHA-256 over
 // their canonical JSON encoding together with SchemaVersion and the
 // binary fingerprint. Parts must JSON-encode deterministically (structs
@@ -91,8 +98,20 @@ func DefaultDir() string {
 // Cache is a directory of persisted results. A nil *Cache is valid and
 // behaves as an always-miss, never-store cache, so call sites need no
 // "caching disabled" branches.
+//
+// Entries live in two forms: one loose JSON file per result (written
+// by Put) and packed index files (*.pack, written by PackLoose) that
+// hold many entries in a single file so a sweep of thousands of cells
+// stops costing a directory scan per process start. Get serves from
+// either; loose entries win when a key exists in both.
 type Cache struct {
 	dir string
+
+	// mu guards packed. Gets from the matrix worker pool run
+	// concurrently; pack mutations (Open, PackLoose, a corrupt packed
+	// entry being dropped) are rare.
+	mu     sync.RWMutex
+	packed map[string]packRef
 }
 
 // pruneAge bounds the cache's growth: every rebuild of the simulator
@@ -103,19 +122,20 @@ type Cache struct {
 const pruneAge = 14 * 24 * time.Hour
 
 // Open returns a cache rooted at dir, creating the directory if
-// needed, and best-effort prunes entries orphaned by old binaries
-// (see pruneAge).
+// needed, best-effort prunes entries orphaned by old binaries (see
+// pruneAge), and indexes any packed entry files.
 func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	c := &Cache{dir: dir}
+	c := &Cache{dir: dir, packed: map[string]packRef{}}
 	c.prune(time.Now().Add(-pruneAge))
+	c.scanPacks()
 	return c, nil
 }
 
-// prune removes entry and temp files last modified before cutoff.
-// Failures are ignored: pruning is hygiene, not correctness.
+// prune removes entry, pack, and temp files last modified before
+// cutoff. Failures are ignored: pruning is hygiene, not correctness.
 func (c *Cache) prune(cutoff time.Time) {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -123,7 +143,9 @@ func (c *Cache) prune(cutoff time.Time) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if filepath.Ext(name) != ".json" && filepath.Ext(name) != ".tmp" {
+		switch filepath.Ext(name) {
+		case ".json", ".tmp", ".pack":
+		default:
 			continue
 		}
 		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
@@ -157,50 +179,64 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+// decodeEnvelope validates the serialized entry data against key and
+// returns its payload. It is the single decoding path for loose files,
+// packed entries, and imported shards, so every read — whatever the
+// storage form — enforces the same schema, key, and checksum gates.
+// Malformed input of any shape (truncated, non-JSON, flipped bits,
+// wrong key, stale schema) is reported as !ok, never a panic
+// (FuzzReadEntry pins this down).
+func decodeEnvelope(data []byte, key string) (json.RawMessage, bool) {
+	var e envelope
+	if json.Unmarshal(data, &e) != nil ||
+		e.Schema != SchemaVersion || e.Key != key || e.Sum != payloadSum(e.Payload) {
+		return nil, false
+	}
+	return e.Payload, true
+}
+
 // Get loads the entry for key into v. It returns (false, nil) on a
 // miss — including a corrupted, truncated, or stale entry, which is
-// deleted so the slot is clean for the re-simulated result.
+// deleted so the slot is clean for the re-simulated result. Keys not
+// found as loose files are looked up in the packed index.
 func (c *Cache) Get(key string, v any) (bool, error) {
 	if c == nil {
 		return false, nil
 	}
 	data, err := os.ReadFile(c.path(key))
 	if errors.Is(err, fs.ErrNotExist) {
-		return false, nil
+		return c.getPacked(key, v), nil
 	}
 	if err != nil {
 		return false, err
 	}
-	var e envelope
-	if json.Unmarshal(data, &e) != nil ||
-		e.Schema != SchemaVersion || e.Key != key || e.Sum != payloadSum(e.Payload) ||
-		json.Unmarshal(e.Payload, v) != nil {
+	payload, ok := decodeEnvelope(data, key)
+	if !ok || json.Unmarshal(payload, v) != nil {
 		os.Remove(c.path(key))
-		return false, nil
+		return c.getPacked(key, v), nil
 	}
 	return true, nil
 }
 
-// Put stores v under key. The write is atomic (temp file + rename), so
-// concurrent matrix workers and interrupted processes can never leave a
-// torn entry that Get would have to guess about.
-func (c *Cache) Put(key string, v any) error {
-	if c == nil {
-		return nil
-	}
+// encodeEnvelope serializes v into a one-line entry for key.
+func encodeEnvelope(key string, v any) ([]byte, error) {
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	data, err := json.Marshal(envelope{
+	return json.Marshal(envelope{
 		Schema:  SchemaVersion,
 		Key:     key,
 		Sum:     payloadSum(payload),
 		Payload: payload,
 	})
-	if err != nil {
-		return err
-	}
+}
+
+// writeEntry atomically persists already-encoded envelope bytes as the
+// loose file for key (temp file + rename), so concurrent matrix
+// workers and interrupted processes can never leave a torn entry that
+// Get would have to guess about.
+func (c *Cache) writeEntry(key string, data []byte) error {
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
 		return err
@@ -215,4 +251,16 @@ func (c *Cache) Put(key string, v any) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// Put stores v under key as a loose entry file.
+func (c *Cache) Put(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	data, err := encodeEnvelope(key, v)
+	if err != nil {
+		return err
+	}
+	return c.writeEntry(key, data)
 }

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// TestSweepEndToEndTwoWorkerProcesses is the acceptance test of the
+// sharded sweep: `rowswap-sweep plan`, two *separate worker processes*
+// running `run-shard`, and `merge` must reproduce the quick-matrix
+// PerfRows bit-identically to a single-process report run. It builds
+// the real CLI and execs it, so the content-addressed interchange is
+// exercised across genuine process boundaries (the only thing shared
+// between the workers is the manifest file and the filesystem).
+//
+// The reference rows are computed in-process by this test binary. That
+// is a different build than the CLI, so their cache keys intentionally
+// differ — bit-identity must come from determinism of the simulations
+// and of the row assembly, not from accidentally sharing cache entries.
+func TestSweepEndToEndTwoWorkerProcesses(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available to build the CLI")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rowswap-sweep")
+	build := exec.Command(goBin, "build", "-o", bin, "./cmd/rowswap-sweep")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rowswap-sweep: %v\n%s", err, out)
+	}
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Coordinator: plan the quick matrix over 2 shards.
+	manifest := filepath.Join(dir, "manifest.json")
+	run("plan", "-fig", "14",
+		"-workloads", "gcc,mcf,gups", "-cores", "2",
+		"-instructions", "200000", "-window", "200000",
+		"-shards", "2", "-strategy", "cost", "-out", manifest)
+
+	// Two plain worker processes, running concurrently like they would
+	// on separate machines.
+	w0 := filepath.Join(dir, "w0")
+	w1 := filepath.Join(dir, "w1")
+	workers := make([]*exec.Cmd, 2)
+	for i, cdir := range []string{w0, w1} {
+		workers[i] = exec.Command(bin, "run-shard",
+			"-manifest", manifest, "-shard", []string{"0", "1"}[i], "-cache-dir", cdir)
+		workers[i].Dir = dir
+		if err := workers[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d failed: %v", i, err)
+		}
+	}
+
+	// Coordinator again: merge the two worker directories.
+	results := filepath.Join(dir, "results.json")
+	mergeOut := run("merge", "-manifest", manifest, "-dirs", w0+","+w1,
+		"-merged-dir", filepath.Join(dir, "merged"), "-out", results)
+	if len(mergeOut) == 0 {
+		t.Error("merge rendered no figure output")
+	}
+	// The merged cache must have been folded into a packed shard index.
+	if _, err := os.Stat(filepath.Join(dir, "merged", "shard-index.pack")); err != nil {
+		t.Errorf("merged cache has no packed shard index: %v", err)
+	}
+
+	data, err := os.ReadFile(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Results
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same matrix in a single process.
+	report.ResetBaselineCache()
+	want, err := report.Fig14(io.Discard, report.PerfOptions{
+		Workloads: []string{"gcc", "mcf", "gups"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 200_000, WindowNS: 200_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNonTrivial(t, want)
+	if !reflect.DeepEqual(want, got.Rows) {
+		t.Errorf("sharded two-process rows differ from single-process rows:\nwant: %+v\ngot:  %+v", want, got.Rows)
+	}
+}

@@ -1,0 +1,493 @@
+// Package sweep distributes a figure's experiment matrix across worker
+// processes. The paper's evaluation (§VI) is a large matrix — 78
+// workloads × mitigation configs — whose cells are independent,
+// deterministic simulations, so the sweep is coordinated purely through
+// data: a coordinator expands the matrix into a content-addressed job
+// manifest (Plan), shards it round-robin or by cost estimate, hands each
+// shard to a plain worker process that simulates into a persistent
+// result cache (RunShard), and merges the worker cache directories back
+// into the figure's normalized-performance rows (Merge). Because every
+// job is keyed with internal/simcache's SHA-256 scheme — workload,
+// system, normalized options, and binary fingerprint — the merged rows
+// are bit-identical to a single-process run, and re-running any stage
+// is idempotent.
+//
+// cmd/rowswap-sweep exposes the three stages as plan / run-shard /
+// merge subcommands; see its README for a two-worker walkthrough.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/config"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// ManifestSchema invalidates manifests written by incompatible versions
+// of this package.
+const ManifestSchema = 1
+
+// Sharding strategies.
+const (
+	// StrategyRoundRobin deals jobs to shards in matrix order. With
+	// uniform per-cell cost (the common case: every cell runs the same
+	// instruction budget) it balances well and keeps each shard's cells
+	// spread across workloads.
+	StrategyRoundRobin = "round-robin"
+	// StrategyCost greedily assigns the most expensive remaining job to
+	// the least-loaded shard (LPT scheduling) using each job's static
+	// cost estimate, for matrices whose workloads differ strongly in
+	// memory intensity.
+	StrategyCost = "cost"
+)
+
+// Job is one cell of the sharded matrix: a (workload, config)
+// simulation identified by its content-addressed cache key. Jobs appear
+// in the manifest in matrix order (per workload: baseline first, then
+// each config label sorted), mirroring report.MatrixPlan.Cells index
+// for index.
+type Job struct {
+	// Workload names the trace workload (row of the matrix).
+	Workload string `json:"workload"`
+	// Label names the mitigation config ("" = unprotected baseline).
+	Label string `json:"label"`
+	// Key is the simcache key the job's result is stored under —
+	// SHA-256 over the workload description, full system config,
+	// normalized options, and binary fingerprint.
+	Key string `json:"key"`
+	// Cost is the deterministic static cost estimate used by
+	// StrategyCost (arbitrary units; comparable only within a manifest).
+	Cost float64 `json:"cost"`
+	// Shard is the worker index this job is assigned to.
+	Shard int `json:"shard"`
+}
+
+// Manifest is the coordinator's output: the full description of a
+// sharded sweep, sufficient for any worker process (of the same build)
+// to re-derive the exact simulations of its shard and for the merge
+// stage to audit completeness. It is plain JSON so it can be shipped to
+// remote machines alongside the binary.
+type Manifest struct {
+	Schema int `json:"schema"`
+	// Binary is the coordinating binary's fingerprint
+	// (simcache.CodeVersion). Workers refuse a manifest planned by a
+	// different build: their cache keys could never match.
+	Binary string `json:"binary"`
+	// Fig is the performance-figure identifier the matrix belongs to
+	// (report.PerfFigureByID); merge uses it to render the final table.
+	Fig string `json:"fig"`
+	// Workloads is the resolved workload-name set, in matrix row order.
+	Workloads []string `json:"workloads"`
+	// Cores is the per-workload core count.
+	Cores int `json:"cores"`
+	// Sim carries the normalized simulation options every cell runs with.
+	Sim sim.Options `json:"sim"`
+	// Configs is the figure's mitigation matrix; Labels its column order.
+	Configs map[string]config.Mitigation `json:"configs"`
+	Labels  []string                     `json:"labels"`
+	// Shards is the worker count; Strategy how jobs were assigned.
+	Shards   int    `json:"shards"`
+	Strategy string `json:"strategy"`
+	Jobs     []Job  `json:"jobs"`
+}
+
+// cellCost predicts a cell's relative simulation cost. The event
+// kernel's work scales with the number of memory accesses (one per
+// ~AvgGap instructions per core) plus a per-instruction floor for the
+// batched compute stretches; mitigated runs pay a small surcharge for
+// tracker and swap work. The estimate only steers StrategyCost's load
+// balance, so a rough deterministic heuristic is enough.
+func cellCost(cell report.MatrixCell, instructions int64) float64 {
+	var perInstr float64
+	for _, p := range cell.Workload.PerCore {
+		perInstr += 0.2 + 1/float64(p.AvgGap+1)
+	}
+	cost := float64(instructions) * perInstr
+	if cell.Label != "" {
+		cost *= 1.15
+	}
+	return cost
+}
+
+// Plan expands the figure's experiment matrix into a sharded job
+// manifest without simulating anything. Planning is deterministic: the
+// same figure, options, shard count, and binary always produce the
+// same manifest, so coordinator and workers can independently agree on
+// every job's identity.
+func Plan(figID string, opt report.PerfOptions, shards int, strategy string) (*Manifest, error) {
+	f, ok := report.PerfFigureByID(figID)
+	if !ok {
+		return nil, fmt.Errorf("sweep: no performance figure %q", figID)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("sweep: shard count %d < 1", shards)
+	}
+	switch strategy {
+	case StrategyRoundRobin, StrategyCost:
+	default:
+		return nil, fmt.Errorf("sweep: unknown sharding strategy %q", strategy)
+	}
+
+	plan := opt.Plan(f.Configs)
+	if len(plan.Cells) == 0 {
+		return nil, fmt.Errorf("sweep: figure %s expands to an empty matrix", figID)
+	}
+	names := make([]string, len(plan.Workloads))
+	for i, w := range plan.Workloads {
+		names[i] = w.Name
+	}
+	jobs := make([]Job, len(plan.Cells))
+	for i, cell := range plan.Cells {
+		jobs[i] = Job{
+			Workload: cell.Workload.Name,
+			Label:    cell.Label,
+			Key:      simcache.RunKey(cell.Workload, cell.System, plan.Sim),
+			Cost:     cellCost(cell, plan.Sim.Instructions),
+		}
+	}
+	assignShards(jobs, shards, strategy)
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Binary:    simcache.CodeVersion(),
+		Fig:       figID,
+		Workloads: names,
+		Cores:     plan.Cells[0].System.Core.Cores,
+		Sim:       plan.Sim,
+		Configs:   f.Configs,
+		Labels:    plan.Labels,
+		Shards:    shards,
+		Strategy:  strategy,
+		Jobs:      jobs,
+	}, nil
+}
+
+// assignShards distributes jobs across shards in place.
+func assignShards(jobs []Job, shards int, strategy string) {
+	if strategy == StrategyRoundRobin {
+		for i := range jobs {
+			jobs[i].Shard = i % shards
+		}
+		return
+	}
+	// LPT: most expensive job first onto the least-loaded shard. Ties
+	// break toward the earlier job and the lower shard index, keeping
+	// the assignment deterministic.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Cost > jobs[order[b]].Cost
+	})
+	loads := make([]float64, shards)
+	for _, ji := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		jobs[ji].Shard = best
+		loads[best] += jobs[ji].Cost
+	}
+}
+
+// perfOptions reconstructs the planning options the manifest was built
+// from.
+func (m *Manifest) perfOptions() report.PerfOptions {
+	return report.PerfOptions{Workloads: m.Workloads, Cores: m.Cores, Sim: m.Sim}
+}
+
+// expand re-derives the matrix plan behind the manifest and verifies
+// the manifest's jobs still describe it exactly — same cells, same
+// order, same content-addressed keys. A key mismatch means the manifest
+// was planned by a different build (any code change re-fingerprints the
+// binary) or hand-edited; either way no cache entry this process writes
+// or reads could line up with it, so expansion fails loudly instead.
+func (m *Manifest) expand() (report.MatrixPlan, error) {
+	if m.Schema != ManifestSchema {
+		return report.MatrixPlan{}, fmt.Errorf("sweep: manifest schema %d, this build expects %d", m.Schema, ManifestSchema)
+	}
+	if got := simcache.CodeVersion(); m.Binary != got {
+		return report.MatrixPlan{}, fmt.Errorf("sweep: manifest was planned by binary %.12s…, this is %.12s…: results would not be interchangeable (re-run plan with this build)", m.Binary, got)
+	}
+	plan := m.perfOptions().Plan(m.Configs)
+	if len(plan.Cells) != len(m.Jobs) {
+		return report.MatrixPlan{}, fmt.Errorf("sweep: manifest lists %d jobs but the matrix expands to %d cells", len(m.Jobs), len(plan.Cells))
+	}
+	for i, cell := range plan.Cells {
+		j := m.Jobs[i]
+		if j.Workload != cell.Workload.Name || j.Label != cell.Label {
+			return report.MatrixPlan{}, fmt.Errorf("sweep: job %d is (%s, %q) but the matrix expands to (%s, %q)",
+				i, j.Workload, j.Label, cell.Workload.Name, cell.Label)
+		}
+		if want := simcache.RunKey(cell.Workload, cell.System, plan.Sim); j.Key != want {
+			return report.MatrixPlan{}, fmt.Errorf("sweep: job %d (%s %q) key does not match this build's plan", i, j.Workload, j.Label)
+		}
+		if j.Shard < 0 || j.Shard >= m.Shards {
+			return report.MatrixPlan{}, fmt.Errorf("sweep: job %d assigned to shard %d of %d", i, j.Shard, m.Shards)
+		}
+	}
+	return plan, nil
+}
+
+// Validate checks that the manifest is internally consistent and was
+// planned by this binary.
+func (m *Manifest) Validate() error {
+	_, err := m.expand()
+	return err
+}
+
+// Save writes the manifest as indented JSON.
+func (m *Manifest) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads a manifest written by Save.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// ShardStats reports what a RunShard invocation did.
+type ShardStats struct {
+	// Jobs is the number of manifest jobs in the shard; Hits of those
+	// were already present in the cache directory (idempotent re-runs,
+	// or baselines shared between figures).
+	Jobs, Hits int
+}
+
+// RunShard executes every job of the given shard, writing results into
+// the simcache directory at cacheDir. It is the worker-process entry
+// point: plain, stateless, and idempotent — a re-run after a crash
+// redoes only the cells the cache is missing. Jobs are independent
+// deterministic simulations, so they are spread over a pool of workers
+// goroutines (0 = one per CPU) without affecting any result.
+func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io.Writer) (ShardStats, error) {
+	var stats ShardStats
+	plan, err := m.expand()
+	if err != nil {
+		return stats, err
+	}
+	if shard < 0 || shard >= m.Shards {
+		return stats, fmt.Errorf("sweep: shard %d out of range [0, %d)", shard, m.Shards)
+	}
+	cache, err := simcache.Open(cacheDir)
+	if err != nil {
+		return stats, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+
+	var mine []int
+	for i, j := range m.Jobs {
+		if j.Shard == shard {
+			mine = append(mine, i)
+		}
+	}
+	stats.Jobs = len(mine)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(mine) {
+		workers = len(mine)
+	}
+	var (
+		cursor  atomic.Int64
+		hits    atomic.Int64
+		failed  atomic.Bool
+		firstMu sync.Mutex
+		firstE  error
+		progMu  sync.Mutex
+		wg      sync.WaitGroup
+	)
+	cursor.Store(-1)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1))
+				if k >= len(mine) || failed.Load() {
+					return
+				}
+				cell := plan.Cells[mine[k]]
+				_, hit, err := simcache.RunCached(cache, cell.Workload, cell.System, plan.Sim)
+				if err != nil {
+					firstMu.Lock()
+					if firstE == nil {
+						label := cell.Label
+						if label == "" {
+							label = "baseline"
+						}
+						firstE = fmt.Errorf("sweep: shard %d: %s %s: %w", shard, label, cell.Workload.Name, err)
+					}
+					firstMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				if hit {
+					hits.Add(1)
+				}
+				if progress != nil {
+					progMu.Lock()
+					state := "simulated"
+					if hit {
+						state = "cached"
+					}
+					label := cell.Label
+					if label == "" {
+						label = "baseline"
+					}
+					fmt.Fprintf(progress, "  shard %d: %-14s %-14s %s\n", shard, cell.Workload.Name, label, state)
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Hits = int(hits.Load())
+	if firstE != nil {
+		return stats, firstE
+	}
+	return stats, nil
+}
+
+// Merge unions the worker cache directories into mergedDir, audits that
+// every manifest job has a valid result, and assembles the figure's
+// normalized rows. The assembly arithmetic is report.MatrixPlan.Rows —
+// the same code the in-process matrix uses — so merged rows are
+// bit-identical to a single-process run of the same matrix. When pack
+// is true the merged loose entries are folded into a packed shard index
+// ("shard-index.pack") so later readers of mergedDir pay one file scan
+// instead of thousands of opens.
+func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progress io.Writer) ([]report.PerfRow, error) {
+	plan, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	cache, err := simcache.Open(mergedDir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: merged dir: %w", err)
+	}
+	for _, dir := range workerDirs {
+		n, err := cache.ImportDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: import %s: %w", dir, err)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "  imported %d entries from %s\n", n, dir)
+		}
+	}
+
+	results := make([]*sim.Result, len(plan.Cells))
+	var missing []string
+	for i, j := range m.Jobs {
+		var res sim.Result
+		hit, err := cache.Get(j.Key, &res)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: read result for %s %q: %w", j.Workload, j.Label, err)
+		}
+		if !hit {
+			label := j.Label
+			if label == "" {
+				label = "baseline"
+			}
+			missing = append(missing, fmt.Sprintf("%s %s (shard %d)", j.Workload, label, j.Shard))
+			continue
+		}
+		results[i] = &res
+	}
+	if len(missing) > 0 {
+		if len(missing) > 8 {
+			missing = append(missing[:8], fmt.Sprintf("… and %d more", len(missing)-8))
+		}
+		return nil, fmt.Errorf("sweep: merge incomplete, %d of %d results missing:\n  %s",
+			len(missing), len(m.Jobs), strings.Join(missing, "\n  "))
+	}
+
+	rows, err := plan.Rows(results)
+	if err != nil {
+		return nil, err
+	}
+	if pack {
+		n, err := cache.PackLoose("shard-index")
+		if err != nil {
+			return nil, fmt.Errorf("sweep: pack merged entries: %w", err)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "  packed %d entries into shard-index.pack\n", n)
+		}
+	}
+	return rows, nil
+}
+
+// Results is the merge stage's durable output: the figure's rows,
+// ready to render (rowswap-figures -manifest) without any simulation.
+type Results struct {
+	Schema int              `json:"schema"`
+	Fig    string           `json:"fig"`
+	Labels []string         `json:"labels"`
+	Rows   []report.PerfRow `json:"rows"`
+}
+
+// NewResults bundles merged rows with their figure identity.
+func (m *Manifest) NewResults(rows []report.PerfRow) *Results {
+	return &Results{Schema: ManifestSchema, Fig: m.Fig, Labels: m.Labels, Rows: rows}
+}
+
+// Render prints the figure the rows belong to, exactly as the
+// in-process figure functions would.
+func (r *Results) Render(w io.Writer) error {
+	if r.Schema != ManifestSchema {
+		return fmt.Errorf("sweep: results schema %d, this build expects %d", r.Schema, ManifestSchema)
+	}
+	f, ok := report.PerfFigureByID(r.Fig)
+	if !ok {
+		return fmt.Errorf("sweep: results reference unknown figure %q", r.Fig)
+	}
+	f.Render(w, r.Rows)
+	return nil
+}
+
+// Save writes the results as indented JSON.
+func (r *Results) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadResults reads a results file written by Save.
+func LoadResults(path string) (*Results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,287 @@
+package sweep
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// quickOpts is a small matrix that still spans baseline sharing and
+// hot workloads. The budget is sized so swaps actually fire (gcc and
+// gups cross T_S within the compressed window): the normalized rows
+// then carry full-precision non-1.0 values and the bit-identity
+// comparisons below cannot pass vacuously.
+func quickOpts() report.PerfOptions {
+	return report.PerfOptions{
+		Workloads: []string{"gcc", "mcf", "gups"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 200_000, WindowNS: 200_000},
+	}
+}
+
+// requireNonTrivial fails the calling test if no row carries a
+// normalized value different from 1.0 — a vacuously identical matrix
+// would make a bit-identity comparison meaningless.
+func requireNonTrivial(t *testing.T, rows []report.PerfRow) {
+	t.Helper()
+	for _, r := range rows {
+		for _, v := range r.Norm {
+			if v != 1.0 {
+				return
+			}
+		}
+	}
+	t.Fatal("every normalized value is exactly 1.0; the matrix exercises no mitigation work")
+}
+
+func mustPlan(t *testing.T, shards int, strategy string) *Manifest {
+	t.Helper()
+	m, err := Plan("14", quickOpts(), shards, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	a := mustPlan(t, 3, StrategyCost)
+	b := mustPlan(t, 3, StrategyCost)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two plans of the same sweep differ")
+	}
+	// 3 workloads x (baseline + rrs + scale-srs) in matrix order.
+	if len(a.Jobs) != 9 {
+		t.Fatalf("planned %d jobs, want 9", len(a.Jobs))
+	}
+	if a.Jobs[0].Workload != "gcc" || a.Jobs[0].Label != "" ||
+		a.Jobs[1].Label != "rrs" || a.Jobs[2].Label != "scale-srs" {
+		t.Errorf("matrix order broken: %+v", a.Jobs[:3])
+	}
+	seen := map[string]bool{}
+	for _, j := range a.Jobs {
+		if j.Key == "" || seen[j.Key] {
+			t.Fatalf("job key empty or duplicated: %+v", j)
+		}
+		seen[j.Key] = true
+		if j.Cost <= 0 {
+			t.Errorf("job %s %q has cost %g", j.Workload, j.Label, j.Cost)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("fresh plan does not validate: %v", err)
+	}
+}
+
+func TestPlanRejectsBadInput(t *testing.T) {
+	if _, err := Plan("nope", quickOpts(), 2, StrategyRoundRobin); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, err := Plan("14", quickOpts(), 0, StrategyRoundRobin); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := Plan("14", quickOpts(), 2, "random"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestShardAssignmentCoversAllShards(t *testing.T) {
+	for _, strategy := range []string{StrategyRoundRobin, StrategyCost} {
+		m := mustPlan(t, 2, strategy)
+		counts := map[int]int{}
+		for _, j := range m.Jobs {
+			counts[j.Shard]++
+		}
+		if len(counts) != 2 {
+			t.Errorf("%s: jobs landed on %d shards, want 2", strategy, len(counts))
+		}
+		// 9 jobs over 2 shards: no shard may hold more than 2/3 of them
+		// under either strategy (round-robin gives 5/4; LPT must not
+		// degenerate further on a near-uniform matrix).
+		for s, n := range counts {
+			if n > 6 {
+				t.Errorf("%s: shard %d holds %d of 9 jobs", strategy, s, n)
+			}
+		}
+	}
+}
+
+func TestCostStrategyBalancesLoad(t *testing.T) {
+	m := mustPlan(t, 2, StrategyCost)
+	loads := map[int]float64{}
+	var total float64
+	for _, j := range m.Jobs {
+		loads[j.Shard] += j.Cost
+		total += j.Cost
+	}
+	for s, l := range loads {
+		if frac := l / total; frac > 0.75 {
+			t.Errorf("shard %d carries %.0f%% of the estimated cost", s, frac*100)
+		}
+	}
+}
+
+func TestManifestRoundTripsThroughJSON(t *testing.T) {
+	m := mustPlan(t, 2, StrategyRoundRobin)
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, loaded) {
+		t.Errorf("manifest changed across save/load:\nsaved:  %+v\nloaded: %+v", m, loaded)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Errorf("loaded manifest does not validate: %v", err)
+	}
+}
+
+func TestExpandRejectsTamperedManifest(t *testing.T) {
+	tamper := map[string]func(*Manifest){
+		"schema":        func(m *Manifest) { m.Schema = 99 },
+		"binary":        func(m *Manifest) { m.Binary = "deadbeef" },
+		"job key":       func(m *Manifest) { m.Jobs[3].Key = m.Jobs[4].Key },
+		"job identity":  func(m *Manifest) { m.Jobs[0].Workload = "gups" },
+		"dropped job":   func(m *Manifest) { m.Jobs = m.Jobs[:len(m.Jobs)-1] },
+		"shard range":   func(m *Manifest) { m.Jobs[1].Shard = 7 },
+		"workload list": func(m *Manifest) { m.Workloads = m.Workloads[:2] },
+	}
+	for name, mutate := range tamper {
+		m := mustPlan(t, 2, StrategyRoundRobin)
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("tampered manifest (%s) validated", name)
+		}
+	}
+}
+
+// TestShardedSweepMatchesInProcessMatrix is the in-process half of the
+// determinism contract (the process-boundary half is the end-to-end
+// test): running every shard into its own cache directory and merging
+// must yield rows bit-identical to report.Fig14 on the same options.
+func TestShardedSweepMatchesInProcessMatrix(t *testing.T) {
+	opt := quickOpts()
+	report.ResetBaselineCache()
+	want, err := report.Fig14(io.Discard, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNonTrivial(t, want)
+
+	for _, strategy := range []string{StrategyRoundRobin, StrategyCost} {
+		t.Run(strategy, func(t *testing.T) {
+			m, err := Plan("14", opt, 2, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := t.TempDir()
+			var dirs []string
+			for shard := 0; shard < m.Shards; shard++ {
+				dir := filepath.Join(base, "worker", string(rune('0'+shard)))
+				dirs = append(dirs, dir)
+				stats, err := m.RunShard(shard, dir, 2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Jobs == 0 {
+					t.Fatalf("shard %d ran no jobs", shard)
+				}
+			}
+			rows, err := m.Merge(filepath.Join(base, "merged"), dirs, true, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, rows) {
+				t.Errorf("sharded rows differ from in-process rows:\nwant: %+v\ngot:  %+v", want, rows)
+			}
+		})
+	}
+}
+
+// TestRunShardIsIdempotent re-runs a shard over its own cache: the
+// second pass must be all hits and leave the merged rows unchanged.
+func TestRunShardIsIdempotent(t *testing.T) {
+	m := mustPlan(t, 1, StrategyRoundRobin)
+	dir := t.TempDir()
+	cold, err := m.RunShard(0, dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hits != 0 {
+		t.Errorf("cold shard run reported %d hits", cold.Hits)
+	}
+	warm, err := m.RunShard(0, dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != warm.Jobs {
+		t.Errorf("warm shard run: %d of %d jobs hit", warm.Hits, warm.Jobs)
+	}
+}
+
+// TestMergeReportsMissingShard proves an incomplete sweep fails loudly,
+// naming the shard whose results are absent.
+func TestMergeReportsMissingShard(t *testing.T) {
+	m := mustPlan(t, 2, StrategyRoundRobin)
+	dir := t.TempDir()
+	if _, err := m.RunShard(0, filepath.Join(dir, "w0"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1 never ran.
+	_, err := m.Merge(filepath.Join(dir, "merged"), []string{filepath.Join(dir, "w0")}, false, nil)
+	if err == nil {
+		t.Fatal("merge of an incomplete sweep succeeded")
+	}
+	if got := err.Error(); !strings.Contains(got, "shard 1") {
+		t.Errorf("merge error does not name the missing shard: %v", err)
+	}
+}
+
+// TestMergedResultsRenderAndRoundTrip exercises the Results artifact:
+// save, load, and render must reproduce the figure output of the
+// in-process run byte for byte.
+func TestMergedResultsRenderAndRoundTrip(t *testing.T) {
+	opt := quickOpts()
+	report.ResetBaselineCache()
+	var wantBuf bytes.Buffer
+	wantRows, err := report.Fig14(&wantBuf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustPlan(t, 1, StrategyRoundRobin)
+	dir := t.TempDir()
+	if _, err := m.RunShard(0, filepath.Join(dir, "w0"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := m.Merge(filepath.Join(dir, "merged"), []string{filepath.Join(dir, "w0")}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.NewResults(rows)
+	path := filepath.Join(dir, "results.json")
+	if err := res.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantRows, loaded.Rows) {
+		t.Error("rows changed across results save/load")
+	}
+	var gotBuf bytes.Buffer
+	if err := loaded.Render(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if wantBuf.String() != gotBuf.String() {
+		t.Errorf("rendered figure differs from in-process output:\nwant:\n%s\ngot:\n%s", wantBuf.String(), gotBuf.String())
+	}
+}

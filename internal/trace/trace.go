@@ -34,6 +34,19 @@ type Record struct {
 	// the conflict/stream misses that let a row be activated repeatedly
 	// in real traces even though its footprint would fit in cache).
 	NoAlloc bool
+
+	// Loc caches the DRAM decomposition of Addr. The synthetic
+	// generator composes every address from a (bank, row, column)
+	// triple it already holds, so it fills Loc for free and the
+	// simulator skips one dram.DecodeAddr per access (~10% of a
+	// figure-sweep's runtime). HasLoc marks it valid; records parsed
+	// from text traces leave it unset and are decoded on demand.
+	// When set, Loc must equal dram.DecodeAddr(geo, Addr) under the
+	// geometry the stream was built for — EncodeLoc and DecodeAddr are
+	// exact inverses (see dram's round-trip property test), which is
+	// what makes the cached and decoded paths interchangeable.
+	Loc    dram.Location
+	HasLoc bool
 }
 
 // Stream produces an unbounded access stream for one core.
@@ -132,16 +145,21 @@ func NewGenerator(prof Profile, geo config.Geometry, seed uint64) Stream {
 
 func (g *generator) Name() string { return g.prof.Name }
 
-func (g *generator) addr(bankIdx uint8, row int32, col int) uint64 {
+// place composes the address and the equivalent decoded location for a
+// (flat bank, row, column) triple. Returning both lets Next cache the
+// DRAM decomposition in the record instead of making the simulator
+// re-derive it with dram.DecodeAddr on every access.
+func (g *generator) place(bankIdx uint8, row int32, col int) (uint64, dram.Location) {
 	geo := g.geo
 	b := int(bankIdx)
 	ch := b / (geo.RanksPerCh * geo.BanksPerRnk)
 	rem := b % (geo.RanksPerCh * geo.BanksPerRnk)
 	rank := rem / geo.BanksPerRnk
 	bank := rem % geo.BanksPerRnk
-	return dram.EncodeLoc(geo, dram.Location{
-		Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col,
-	})
+	loc := dram.Location{
+		Channel: ch, Rank: rank, Bank: bank, BankIdx: b, Row: row, Col: col,
+	}
+	return dram.EncodeLoc(geo, loc), loc
 }
 
 func (g *generator) Next() Record {
@@ -160,11 +178,14 @@ func (g *generator) Next() Record {
 		i := g.hotCol % p.HotRows
 		col := (g.hotCol / p.HotRows) % g.geo.LinesPerRow()
 		g.hotCol++
+		addr, loc := g.place(g.hotBank[i], g.hotRow[i], col)
 		return Record{
 			Gap:     gap,
 			Write:   write,
-			Addr:    g.addr(g.hotBank[i], g.hotRow[i], col),
+			Addr:    addr,
 			NoAlloc: true,
+			Loc:     loc,
+			HasLoc:  true,
 		}
 	}
 
@@ -181,8 +202,8 @@ func (g *generator) Next() Record {
 		}
 		g.runLeft = run
 	}
-	addr := g.addr(g.curBank, g.curRow, g.curCol)
+	addr, loc := g.place(g.curBank, g.curRow, g.curCol)
 	g.curCol++
 	g.runLeft--
-	return Record{Gap: gap, Write: write, Addr: addr}
+	return Record{Gap: gap, Write: write, Addr: addr, Loc: loc, HasLoc: true}
 }
