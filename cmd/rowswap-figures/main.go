@@ -16,8 +16,9 @@
 // new figure that shares baselines with a previous one, skips every
 // simulation already on disk. Use -no-cache to force re-simulation.
 //
-// A figure computed by a distributed sweep (cmd/rowswap-sweep) can be
-// re-rendered from its merged results file without any simulation:
+// Figures computed by a distributed sweep (cmd/rowswap-sweep) can be
+// re-rendered from their merged results file without any simulation —
+// an evaluation-wide results file renders every figure it covers:
 //
 //	rowswap-figures -manifest results.json
 package main
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure/table to regenerate (1a,t1,4,6,7,10,12,13,14,15,16,t4,t5,disc)")
-	manifest := flag.String("manifest", "", "render a figure from a rowswap-sweep merge results file instead of simulating")
+	manifest := flag.String("manifest", "", "render every figure of a rowswap-sweep merge results file instead of simulating")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	quick := flag.Bool("quick", false, "use the 12-workload subset for performance figures")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (overrides -quick)")
@@ -52,7 +53,11 @@ func main() {
 	if *manifest != "" {
 		res, err := sweep.LoadResults(*manifest)
 		if err == nil {
-			fmt.Printf("==== %s (from sweep results) ====\n", res.Fig)
+			ids := make([]string, len(res.Figures))
+			for i, f := range res.Figures {
+				ids[i] = f.Fig
+			}
+			fmt.Printf("==== %s (from sweep results) ====\n", strings.Join(ids, ", "))
 			err = res.Render(os.Stdout)
 		}
 		if err != nil {

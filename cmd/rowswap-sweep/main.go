@@ -1,24 +1,29 @@
-// Command rowswap-sweep distributes a performance figure's experiment
-// matrix across worker processes (or machines) and merges the results
-// back into the figure, bit-identical to a single-process run.
+// Command rowswap-sweep distributes the paper's evaluation across
+// worker processes (or machines) and merges the results back into its
+// figures, bit-identical to single-process runs.
 //
 // The sweep has three stages, coordinated purely through files:
 //
-//	rowswap-sweep plan      -fig 14 -shards 2 -out manifest.json
+//	rowswap-sweep plan      -all -shards 2 -out manifest.json
 //	rowswap-sweep run-shard -manifest manifest.json -shard 0 -cache-dir w0   # worker 0
 //	rowswap-sweep run-shard -manifest manifest.json -shard 1 -cache-dir w1   # worker 1
 //	rowswap-sweep merge     -manifest manifest.json -dirs w0,w1 -merged-dir merged -out results.json
 //
-// plan expands the matrix into a deterministic, content-addressed job
-// manifest; run-shard is the worker entry point (stateless and
-// idempotent: re-running redoes only missing cells); merge unions the
-// worker cache directories, audits completeness, folds the merged
-// entries into a packed shard index, renders the figure, and writes a
-// results file that rowswap-figures -manifest can re-render without
-// simulating. All stages must run the same build of this binary — the
-// manifest records the binary fingerprint and every stage verifies it.
+// plan expands one figure (-fig 14), several (-fig 4,14), or the whole
+// evaluation (-all) into one deterministic, content-addressed job
+// manifest; cells shared between figures — every unprotected baseline,
+// mitigation configs that recur across figures — are deduplicated at
+// plan time, so the whole evaluation is strictly fewer simulations
+// than the figures planned one by one. run-shard is the worker entry
+// point (stateless and idempotent: re-running redoes only missing
+// cells); merge unions the worker cache directories, audits
+// completeness, folds the merged entries into a packed shard index,
+// renders every covered figure, and writes a results file that
+// rowswap-figures -manifest can re-render without simulating. All
+// stages must run the same build of this binary — the manifest records
+// the binary fingerprint and every stage verifies it.
 //
-// See README.md for a two-worker walkthrough.
+// See README.md for a whole-evaluation two-worker walkthrough.
 package main
 
 import (
@@ -30,12 +35,13 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/sweep"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  rowswap-sweep plan      -fig ID [-shards N] [-strategy round-robin|cost] [-quick] [-workloads a,b] [-cores N] [-instructions N] [-window NS] -out manifest.json
+  rowswap-sweep plan      -all | -fig ID[,ID...] [-shards N] [-strategy round-robin|cost] [-cost-dir DIR] [-quick] [-workloads a,b] [-cores N] [-instructions N] [-window NS] -out manifest.json
   rowswap-sweep run-shard -manifest manifest.json -shard I -cache-dir DIR [-workers N] [-progress]
   rowswap-sweep merge     -manifest manifest.json -dirs DIR0,DIR1,... -merged-dir DIR [-out results.json] [-no-pack] [-progress]
 `)
@@ -65,9 +71,11 @@ func main() {
 
 func runPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
-	fig := fs.String("fig", "", "performance figure to sweep (4, 12, 14, 15, 16, cmp)")
+	fig := fs.String("fig", "", "performance figure(s) to sweep, comma-separated (4, 12, 14, 15, 16, cmp)")
+	all := fs.Bool("all", false, "plan the whole evaluation: every performance figure in one deduplicated manifest")
 	shards := fs.Int("shards", 2, "number of worker shards")
 	strategy := fs.String("strategy", sweep.StrategyRoundRobin, "job assignment: round-robin or cost")
+	costDir := fs.String("cost-dir", simcache.DefaultDir(), "cache directory whose measured-cost sidecar feeds -strategy cost (empty = static heuristic only)")
 	quick := fs.Bool("quick", false, "use the 12-workload subset")
 	workloads := fs.String("workloads", "", "comma-separated workload subset (overrides -quick; default all 78)")
 	cores := fs.Int("cores", 8, "simulated cores per workload")
@@ -76,8 +84,16 @@ func runPlan(args []string) error {
 	out := fs.String("out", "manifest.json", "manifest output path")
 	fs.Parse(args)
 
-	if *fig == "" {
-		return fmt.Errorf("missing -fig")
+	var figIDs []string
+	switch {
+	case *all && *fig != "":
+		return fmt.Errorf("-all and -fig are mutually exclusive")
+	case *all:
+		figIDs = report.PerfFigureIDs()
+	case *fig != "":
+		figIDs = strings.Split(*fig, ",")
+	default:
+		return fmt.Errorf("missing -fig or -all")
 	}
 	opt := report.PerfOptions{
 		Cores: *cores,
@@ -89,15 +105,25 @@ func runPlan(args []string) error {
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
-	m, err := sweep.Plan(*fig, opt, *shards, *strategy)
+	po := sweep.PlanOptions{Shards: *shards, Strategy: *strategy, Log: os.Stderr}
+	if *strategy == sweep.StrategyCost {
+		// Only the cost strategy consults measured costs; round-robin
+		// plans skip the sidecar read entirely.
+		po.Costs = simcache.OpenCostIndex(*costDir)
+	}
+	m, err := sweep.PlanEvaluation(figIDs, opt, po)
 	if err != nil {
 		return err
 	}
 	if err := m.Save(*out); err != nil {
 		return err
 	}
-	fmt.Printf("planned figure %s: %d jobs over %d shards (%s) -> %s\n",
-		m.Fig, len(m.Jobs), m.Shards, m.Strategy, *out)
+	perFigure := 0
+	for _, f := range m.Figures {
+		perFigure += len(f.Cells)
+	}
+	fmt.Printf("planned %d figure(s) (%s): %d deduplicated jobs (%d before dedupe) over %d shards (%s) -> %s\n",
+		len(m.Figures), strings.Join(figIDs, ","), len(m.Jobs), perFigure, m.Shards, m.Strategy, *out)
 	return nil
 }
 
@@ -151,16 +177,15 @@ func runMerge(args []string) error {
 	if *progress {
 		prog = os.Stderr
 	}
-	rows, err := m.Merge(*mergedDir, strings.Split(*dirs, ","), !*noPack, progIfSet(prog))
+	res, err := m.Merge(*mergedDir, strings.Split(*dirs, ","), !*noPack, progIfSet(prog))
 	if err != nil {
 		return err
 	}
-	res := m.NewResults(rows)
 	if *out != "" {
 		if err := res.Save(*out); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "merged rows written to %s\n", *out)
+		fmt.Fprintf(os.Stderr, "merged rows for %d figure(s) written to %s\n", len(res.Figures), *out)
 	}
 	return res.Render(os.Stdout)
 }

@@ -158,9 +158,10 @@ func (c *Core) stretchDoneTicks() Cycles {
 // replay reproduces the combined effect of ticking every cycle in
 // [from, to), using a closed form where the regime allows it. The event
 // kernel only skips a cycle when NextWork proved the core cannot touch
-// shared state there, which limits replay to two regimes: a full ROB
-// stalled on its head entry (every skipped tick is a no-op) and a steady
-// compute stretch.
+// shared state there, which limits replay to three regimes: a full ROB
+// stalled on its head entry (every skipped tick is a no-op), a steady
+// compute stretch, and a fill-toward-full stretch behind a blocked
+// head.
 func (c *Core) replay(from, to Cycles) {
 	if c.robFull() {
 		// Fetch is blocked and NextWork woke us no later than the head
@@ -170,6 +171,10 @@ func (c *Core) replay(from, to Cycles) {
 	}
 	if c.steadyCompute(from - 1) {
 		c.advanceComputeStretch(from, to-from)
+		return
+	}
+	if k := to - from; k > 0 && c.fillCycles(from-1) >= k {
+		c.advanceFill(from, k)
 		return
 	}
 	// Unreachable under the NextWork contract (it returns now+1 in every
@@ -201,11 +206,60 @@ func (c *Core) advanceComputeStretch(from, k Cycles) {
 	c.robInstr = w
 }
 
+// fillCycles returns how many consecutive cycles after ref are pure
+// fill-toward-full cycles: the ROB head is an incomplete long-latency
+// entry blocking in-order retirement while fetch streams full-width
+// runs of gap instructions into the remaining ROB space. Such cycles
+// are provably core-local — no retirement (head blocked), no memory
+// issue (a full FetchWidth of gap instructions absorbs the cycle's
+// whole fetch bandwidth), no budget crossing (retired never moves) —
+// so the kernel may skip them and replay in closed form. The count is
+// bounded by the cycle something observable can happen: the memory op
+// behind the gap run issuing (gap exhausted below full width), fetch
+// hitting the ROB capacity wall (instruction occupancy or ring slots),
+// or the head entry completing and unblocking retirement.
+func (c *Core) fillCycles(ref Cycles) Cycles {
+	w := c.cfg.FetchWidth
+	if c.robCount == 0 || c.robFull() || c.gapLeft < w {
+		return 0
+	}
+	head := c.rob[c.head].done
+	if head <= ref+1 {
+		return 0
+	}
+	k := Cycles(c.gapLeft / w)
+	if r := Cycles((c.cfg.ROBSize - c.robInstr) / w); r < k {
+		k = r
+	}
+	if s := Cycles(len(c.rob) - 1 - c.robCount); s < k {
+		k = s
+	}
+	if h := head - ref - 1; h < k {
+		k = h
+	}
+	return k
+}
+
+// advanceFill applies k (>=1) fill-toward-full ticks at cycles
+// from .. from+k-1: each pushes one full-width gap entry completing the
+// next cycle, exactly as the per-cycle fetch would, while the blocked
+// head keeps retirement (and therefore retired/done/budget state)
+// frozen. One ROB push per skipped cycle is the whole replay — no
+// retire scan, no fetch loop, and on the kernel side the entire
+// stretch was a single event.
+func (c *Core) advanceFill(from, k Cycles) {
+	w := c.cfg.FetchWidth
+	for i := Cycles(0); i < k; i++ {
+		c.push(robEntry{count: w, done: from + i + 1})
+	}
+	c.gapLeft -= int(k) * w
+}
+
 // NextWork returns the next cycle at which Tick can interact with shared
 // state (issue a memory operation to the memory system) or change
 // kernel-visible state (retire instructions, cross the budget). The
 // event-driven kernel jumps straight to the returned deadline; Tick then
-// replays the skipped, provably core-local cycles in closed form. Three
+// replays the skipped, provably core-local cycles in closed form. Four
 // regimes advertise a deadline beyond now+1:
 //
 //   - ROB full: nothing can happen until the head entry's completion
@@ -216,6 +270,10 @@ func (c *Core) advanceComputeStretch(from, k Cycles) {
 //   - Budget crossing inside a stretch: the core must be woken exactly
 //     when Done flips so the kernel observes the same final cycle as the
 //     cycle-stepped oracle.
+//   - Fill toward full: gap instructions stream into the ROB behind a
+//     blocked head; the kernel may fast-forward to whichever comes
+//     first — the memory issue behind the gap run, the capacity wall,
+//     or the head unblocking (see fillCycles).
 func (c *Core) NextWork(now Cycles) Cycles {
 	if c.robFull() {
 		if head := c.rob[c.head].done; head > now+1 {
@@ -223,16 +281,19 @@ func (c *Core) NextWork(now Cycles) Cycles {
 		}
 		return now + 1
 	}
-	if !c.steadyCompute(now) {
-		return now + 1
-	}
-	next := now + Cycles(c.gapLeft/c.cfg.FetchWidth) + 1
-	if !c.done {
-		if doneAt := now + c.stretchDoneTicks(); doneAt < next {
-			next = doneAt
+	if c.steadyCompute(now) {
+		next := now + Cycles(c.gapLeft/c.cfg.FetchWidth) + 1
+		if !c.done {
+			if doneAt := now + c.stretchDoneTicks(); doneAt < next {
+				next = doneAt
+			}
 		}
+		return next
 	}
-	return next
+	if k := c.fillCycles(now); k > 0 {
+		return now + k + 1
+	}
+	return now + 1
 }
 
 func (c *Core) retire(now Cycles) {

@@ -11,14 +11,16 @@ import (
 // regime: the head entry is a long-latency memory operation blocking
 // in-order retirement while gap instructions keep streaming into the
 // remaining ROB space, cycle after cycle, until fetch hits the
-// capacity wall. The core currently steps this regime one cycle at a
-// time (NextWork returns now+1 while fetch can still make progress);
-// the ROADMAP's open item is to batch it in closed form like the
-// steady-compute stretch. These tests are the safety net that batching
-// must land against: they compare the event-ticked core against the
-// per-cycle oracle on exactly this regime and pin down its observable
-// schedule, so any future NextWork/replay change that miscounts a fill
-// cycle fails here instead of skewing figure sweeps.
+// capacity wall. The core batches this regime in closed form like the
+// steady-compute stretch (fillCycles/advanceFill): NextWork advertises
+// the cycle of the next observable event — memory issue, capacity
+// wall, or head release — and the skipped pure-fill cycles are
+// replayed as one ROB push each. These tests are the safety net the
+// batching landed against: they compare the event-ticked core against
+// the per-cycle oracle on exactly this regime, require that the fill
+// regime actually advertises batched deadlines, and pin down the
+// observable schedule, so any NextWork/replay change that miscounts a
+// fill cycle fails here instead of skewing figure sweeps.
 
 // fillStream alternates one long-latency memory op with a burst of gap
 // instructions sized near the ROB capacity, maximizing the cycles spent
@@ -87,7 +89,7 @@ func TestFillTowardFullMatchesCycleOracle(t *testing.T) {
 			evtIss := &logIssuer{lats: []Cycles{tc.latency}}
 			evt := NewCore(0, cfg, &fillStream{gap: tc.gap}, evtIss, tc.budget)
 			var now Cycles
-			var ticks int64
+			var ticks, fillJumps int64
 			for !evt.Done() {
 				evt.Tick(now)
 				ticks++
@@ -95,10 +97,22 @@ func TestFillTowardFullMatchesCycleOracle(t *testing.T) {
 				if next <= now {
 					t.Fatalf("NextWork(%d) = %d went backwards", now, next)
 				}
+				// Whenever the core sits in the fill regime, NextWork
+				// must advertise the full closed-form jump — a now+1
+				// answer here means the batching silently disengaged.
+				if k := evt.fillCycles(now); k > 0 {
+					if next != now+k+1 {
+						t.Fatalf("fill regime at cycle %d: NextWork = %d, want %d (k=%d)", now, next, now+k+1, k)
+					}
+					fillJumps++
+				}
 				now = next
 				if now > 50_000_000 {
 					t.Fatal("event-ticked core never finished")
 				}
+			}
+			if fillJumps == 0 {
+				t.Error("event-ticked run never batched a fill stretch")
 			}
 
 			if len(cycIss.log) != len(evtIss.log) {

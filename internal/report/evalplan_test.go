@@ -1,0 +1,145 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func evalOpts() PerfOptions {
+	return PerfOptions{
+		Workloads: []string{"gcc", "mcf"},
+		Cores:     2,
+		Sim:       sim.Options{Instructions: 50_000, WindowNS: 200_000},
+	}
+}
+
+func evalFigs(t *testing.T, ids ...string) []PerfFigure {
+	t.Helper()
+	figs := make([]PerfFigure, len(ids))
+	for i, id := range ids {
+		f, ok := PerfFigureByID(id)
+		if !ok {
+			t.Fatalf("no figure %q", id)
+		}
+		figs[i] = f
+	}
+	return figs
+}
+
+// TestPlanEvaluationDedupesSharedCells pins the fan-out arithmetic:
+// figures 4, 12, and 14 share every workload's baseline and several
+// mitigation configs (fig 4's unswap@TRH is DefaultRRS(TRH), which is
+// also fig 12's rrs@TRH and fig 14's rrs at 1200), so the evaluation
+// must carry strictly fewer cells than the figures do together, each
+// figure's fan-out must resolve every one of its cells, and shared
+// cells must resolve to the same evaluation index.
+func TestPlanEvaluationDedupesSharedCells(t *testing.T) {
+	opt := evalOpts()
+	eval := opt.PlanEvaluation(evalFigs(t, "4", "12", "14"))
+	if len(eval.Figures) != 3 {
+		t.Fatalf("planned %d figures, want 3", len(eval.Figures))
+	}
+	total := eval.TotalFigureCells()
+	if len(eval.Cells) >= total {
+		t.Errorf("evaluation has %d cells, figures total %d: nothing deduplicated", len(eval.Cells), total)
+	}
+	if len(eval.Keys) != len(eval.Cells) {
+		t.Fatalf("%d keys for %d cells", len(eval.Keys), len(eval.Cells))
+	}
+	seen := map[string]bool{}
+	for _, k := range eval.Keys {
+		if seen[k] {
+			t.Fatal("duplicate key in the deduplicated cell set")
+		}
+		seen[k] = true
+	}
+
+	// Each figure's plan must be exactly its standalone expansion, and
+	// its fan-out must point every cell at an evaluation cell with the
+	// same workload and system.
+	for fi, fp := range eval.Figures {
+		standalone := opt.Plan(fp.Figure.Configs)
+		if !reflect.DeepEqual(standalone, fp.Plan) {
+			t.Errorf("figure %s plan differs from its standalone expansion", fp.Figure.ID)
+		}
+		if len(fp.Cells) != len(fp.Plan.Cells) {
+			t.Fatalf("figure %s fan-out covers %d of %d cells", fp.Figure.ID, len(fp.Cells), len(fp.Plan.Cells))
+		}
+		for ci, ei := range fp.Cells {
+			got, want := eval.Cells[ei], fp.Plan.Cells[ci]
+			if got.Workload.Name != want.Workload.Name || !reflect.DeepEqual(got.System, want.System) {
+				t.Errorf("figure %s cell %d fans out to a different simulation", fp.Figure.ID, ci)
+			}
+		}
+		_ = fi
+	}
+
+	// The concrete shared cells: every figure's baseline for workload 0,
+	// and fig 4 "unswap@1200" == fig 12 "rrs@1200" == fig 14 "rrs".
+	base4 := eval.Figures[0].Cells[0]
+	base12 := eval.Figures[1].Cells[0]
+	base14 := eval.Figures[2].Cells[0]
+	if base4 != base12 || base4 != base14 {
+		t.Errorf("baselines not shared: fig4=%d fig12=%d fig14=%d", base4, base12, base14)
+	}
+	find := func(fi int, label string) int {
+		t.Helper()
+		fp := eval.Figures[fi]
+		for ci, cell := range fp.Plan.Cells {
+			if cell.WorkloadIndex == 0 && cell.Label == label {
+				return fp.Cells[ci]
+			}
+		}
+		t.Fatalf("figure %s has no label %q", fp.Figure.ID, label)
+		return -1
+	}
+	rrs4 := find(0, "unswap@1200")
+	rrs12 := find(1, "rrs@1200")
+	rrs14 := find(2, "rrs")
+	if rrs4 != rrs12 || rrs4 != rrs14 {
+		t.Errorf("DefaultRRS(1200) cells not shared: fig4=%d fig12=%d fig14=%d", rrs4, rrs12, rrs14)
+	}
+}
+
+// TestFigurePlanRowsGathersThroughFanOut feeds synthetic results
+// through a figure's fan-out map and checks the reconstruction equals
+// MatrixPlan.Rows over the directly gathered slice — plus the error
+// paths for short and out-of-range result sets.
+func TestFigurePlanRowsGathersThroughFanOut(t *testing.T) {
+	opt := evalOpts()
+	eval := opt.PlanEvaluation(evalFigs(t, "4", "14"))
+	results := make([]*sim.Result, len(eval.Cells))
+	for i := range results {
+		// Distinct, deterministic IPC per evaluation cell so a wrong
+		// fan-out produces visibly wrong normalized values.
+		results[i] = &sim.Result{MeanIPC: 1 + float64(i)/16}
+	}
+	for _, fp := range eval.Figures {
+		local := make([]*sim.Result, len(fp.Cells))
+		for ci, ei := range fp.Cells {
+			local[ci] = results[ei]
+		}
+		want, err := fp.Plan.Rows(local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fp.Rows(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("figure %s: fan-out rows differ from direct assembly", fp.Figure.ID)
+		}
+	}
+	if _, err := eval.Figures[0].Rows(results[:1]); err == nil {
+		t.Error("short result set accepted")
+	}
+	bad := eval.Figures[0]
+	bad.Cells = append([]int(nil), bad.Cells...)
+	bad.Cells[2] = len(results)
+	if _, err := bad.Rows(results); err == nil {
+		t.Error("out-of-range fan-out accepted")
+	}
+}

@@ -142,6 +142,13 @@ func comparatorSpec(trh int) PerfFigure {
 	}
 }
 
+// PerfFigureIDs lists every performance-figure identifier in canonical
+// evaluation order. PlanEvaluation over this set is the whole §VI
+// evaluation as one deduplicated plan (rowswap-sweep plan -all).
+func PerfFigureIDs() []string {
+	return []string{"4", "12", "14", "15", "16", "cmp"}
+}
+
 // PerfFigureByID returns the performance figure with the given
 // identifier: "4", "12", "14", "15", "16", or "cmp" (the §IX-A
 // comparators at T_RH 1200). Non-performance figures (closed-form

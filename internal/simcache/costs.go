@@ -1,0 +1,204 @@
+package simcache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file implements the measured-cost sidecar: a small append-only
+// index of how many wall-seconds each simulation actually took, living
+// next to the result entries ("costs.jsonl" in the cache directory).
+// The sweep coordinator's cost strategy (internal/sweep, -strategy
+// cost) consults it to shard by measured cost instead of the static
+// heuristic. Unlike result entries, costs are keyed WITHOUT the binary
+// fingerprint: a rebuild orphans every cached result (correctness), but
+// a workload's relative simulation cost survives rebuilds just fine —
+// that is the whole value of the sidecar, since the common sweep
+// pattern is plan-with-new-binary after measure-with-old-binary.
+
+// costFileName is the sidecar's file name. The .jsonl extension keeps
+// it invisible to the result-entry machinery (loose-entry scans, pack
+// import, pruning all match .json/.pack only).
+const costFileName = "costs.jsonl"
+
+// CostKey identifies one simulation for cost-measurement purposes: a
+// SHA-256 over the workload description, full system configuration, and
+// normalized options — the same parts as RunKey, minus the binary
+// fingerprint and entry schema, so measured costs survive rebuilds.
+func CostKey(w trace.Workload, sys config.System, opt sim.Options) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	enc.Encode("sim.Cost")
+	for _, p := range []any{w, sys, opt.Normalized(sys)} {
+		if err := enc.Encode(p); err != nil {
+			io.WriteString(h, "\x00unencodable\x00"+err.Error())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// costRecord is one line of the sidecar file.
+type costRecord struct {
+	Key     string  `json:"key"`
+	Seconds float64 `json:"seconds"`
+}
+
+// CostIndex is the in-memory view of a cache directory's measured-cost
+// sidecar. A nil *CostIndex is valid and behaves as an always-miss,
+// never-record index. The index is append-only on disk: Record appends
+// one JSON line, and loading replays the file with later lines winning,
+// so concurrent writers of the same directory at worst duplicate lines
+// (every line is self-contained; torn or garbled lines are skipped).
+type CostIndex struct {
+	path string
+
+	mu     sync.Mutex
+	loaded bool
+	secs   map[string]float64
+}
+
+// OpenCostIndex returns the measured-cost sidecar index of the given
+// cache directory, or nil when dir is empty (cost tracking disabled).
+// The sidecar file is not read until the index is first consulted, so
+// cache opens on hot paths that never look at costs (every
+// rowswap-sim/rowswap-figures run) pay nothing for it.
+func OpenCostIndex(dir string) *CostIndex {
+	if dir == "" {
+		return nil
+	}
+	return &CostIndex{path: filepath.Join(dir, costFileName), secs: map[string]float64{}}
+}
+
+// ensureLoaded lazily replays the sidecar file into the in-memory map,
+// later lines winning, exactly once. Callers must hold x.mu. Missing or
+// unreadable files are fine: the index is an optimization, never a
+// correctness dependency.
+func (x *CostIndex) ensureLoaded() {
+	if x.loaded {
+		return
+	}
+	x.loaded = true
+	f, err := os.Open(x.path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		var r costRecord
+		if json.Unmarshal(sc.Bytes(), &r) == nil && r.Key != "" && r.Seconds > 0 {
+			x.secs[r.Key] = r.Seconds
+		}
+	}
+}
+
+// Seconds returns the measured wall-seconds recorded for key.
+func (x *CostIndex) Seconds(key string) (float64, bool) {
+	if x == nil {
+		return 0, false
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLoaded()
+	s, ok := x.secs[key]
+	return s, ok
+}
+
+// Len returns the number of keys with a measured cost.
+func (x *CostIndex) Len() int {
+	if x == nil {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLoaded()
+	return len(x.secs)
+}
+
+// Record stores the measured wall-seconds for key and appends it to the
+// sidecar file. Recording is best-effort: a full disk or read-only
+// directory must not fail the simulation whose cost is being noted.
+func (x *CostIndex) Record(key string, seconds float64) {
+	if x == nil || key == "" || seconds <= 0 {
+		return
+	}
+	line, err := json.Marshal(costRecord{Key: key, Seconds: seconds})
+	if err != nil {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLoaded()
+	x.secs[key] = seconds
+	x.appendLocked(append(line, '\n'))
+}
+
+// appendLocked best-effort appends raw sidecar lines. Callers must
+// hold x.mu.
+func (x *CostIndex) appendLocked(lines []byte) {
+	f, err := os.OpenFile(x.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	f.Write(lines)
+	f.Close()
+}
+
+// ImportFrom merges the measured costs recorded in another cache
+// directory (typically a sweep worker's shard output) into this index
+// and its sidecar file, returning how many new keys were merged. Keys
+// already present are kept (re-merging the same worker directories is
+// idempotent and does not grow the file). The sweep merge stage calls
+// it so a coordinator's later plan can shard by the costs its workers
+// just measured.
+func (x *CostIndex) ImportFrom(dir string) int {
+	if x == nil {
+		return 0
+	}
+	f, err := os.Open(filepath.Join(dir, costFileName))
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLoaded()
+	// Batch the new records into one append so a thousand-job merge is
+	// one open/write/close, not one per record.
+	var lines []byte
+	n := 0
+	for sc.Scan() {
+		var r costRecord
+		if json.Unmarshal(sc.Bytes(), &r) != nil || r.Key == "" || r.Seconds <= 0 {
+			continue
+		}
+		if _, ok := x.secs[r.Key]; ok {
+			continue
+		}
+		line, err := json.Marshal(r)
+		if err != nil {
+			continue
+		}
+		x.secs[r.Key] = r.Seconds
+		lines = append(lines, line...)
+		lines = append(lines, '\n')
+		n++
+	}
+	if len(lines) > 0 {
+		x.appendLocked(lines)
+	}
+	return n
+}

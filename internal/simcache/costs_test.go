@@ -1,0 +1,165 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCostKeyIsStableAndBuildIndependent(t *testing.T) {
+	w, sys, opt := testWorkload(t), testSys(), testOpts()
+	a := CostKey(w, sys, opt)
+	if a != CostKey(w, sys, opt) {
+		t.Error("CostKey is not deterministic")
+	}
+	// The cost key must NOT alias the result key: result keys fold in
+	// the binary fingerprint (results are build-specific), cost keys
+	// must survive rebuilds.
+	if a == RunKey(w, sys, opt) {
+		t.Error("CostKey equals RunKey; measured costs would be orphaned by every rebuild")
+	}
+	other := sys
+	other.Mitigation.TRH = 4800
+	if a == CostKey(w, other, opt) {
+		t.Error("CostKey ignores the system configuration")
+	}
+	// Defaulted and explicitly-resolved options share an identity.
+	norm := opt.Normalized(sys)
+	if a != CostKey(w, sys, norm) {
+		t.Error("CostKey differs between raw and normalized options")
+	}
+}
+
+func TestCostIndexRecordAndReload(t *testing.T) {
+	dir := t.TempDir()
+	x := OpenCostIndex(dir)
+	if x == nil {
+		t.Fatal("OpenCostIndex returned nil for a real directory")
+	}
+	if _, ok := x.Seconds("k1"); ok {
+		t.Error("empty index reports a hit")
+	}
+	x.Record("k1", 1.5)
+	x.Record("k2", 0.25)
+	x.Record("k1", 2.0) // later record wins
+	x.Record("bad", 0)  // non-positive measurements are dropped
+	x.Record("", 3)     // as are empty keys
+	if s, ok := x.Seconds("k1"); !ok || s != 2.0 {
+		t.Errorf("Seconds(k1) = (%g, %v), want (2, true)", s, ok)
+	}
+	if x.Len() != 2 {
+		t.Errorf("index holds %d keys, want 2", x.Len())
+	}
+
+	// A fresh open replays the append-only file, later lines winning.
+	y := OpenCostIndex(dir)
+	if s, ok := y.Seconds("k1"); !ok || s != 2.0 {
+		t.Errorf("reloaded Seconds(k1) = (%g, %v), want (2, true)", s, ok)
+	}
+	if y.Len() != 2 {
+		t.Errorf("reloaded index holds %d keys, want 2", y.Len())
+	}
+}
+
+func TestCostIndexSurvivesTornLines(t *testing.T) {
+	dir := t.TempDir()
+	x := OpenCostIndex(dir)
+	x.Record("good", 1.25)
+	// Simulate a torn concurrent append followed by a valid record.
+	f, err := os.OpenFile(filepath.Join(dir, costFileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"key\":\"torn\",\"seco\n")
+	f.Close()
+	x.Record("after", 0.5)
+
+	y := OpenCostIndex(dir)
+	if y.Len() != 2 {
+		t.Errorf("index holds %d keys after a torn line, want 2", y.Len())
+	}
+	if _, ok := y.Seconds("torn"); ok {
+		t.Error("torn record was accepted")
+	}
+	if s, ok := y.Seconds("after"); !ok || s != 0.5 {
+		t.Errorf("record after the torn line lost: (%g, %v)", s, ok)
+	}
+}
+
+func TestCostIndexImportFrom(t *testing.T) {
+	src := t.TempDir()
+	sx := OpenCostIndex(src)
+	sx.Record("a", 1)
+	sx.Record("b", 2)
+
+	dst := t.TempDir()
+	dx := OpenCostIndex(dst)
+	dx.Record("b", 9) // existing keys are kept, not overwritten
+	if n := dx.ImportFrom(src); n != 1 {
+		t.Errorf("ImportFrom merged %d keys, want 1", n)
+	}
+	if s, _ := dx.Seconds("b"); s != 9 {
+		t.Errorf("ImportFrom overwrote existing key b: %g", s)
+	}
+	if s, ok := dx.Seconds("a"); !ok || s != 1 {
+		t.Errorf("ImportFrom did not merge key a: (%g, %v)", s, ok)
+	}
+	// Idempotent: nothing new on a re-import, and the merged view is
+	// persisted for later opens.
+	if n := dx.ImportFrom(src); n != 0 {
+		t.Errorf("second ImportFrom merged %d keys, want 0", n)
+	}
+	if s, ok := OpenCostIndex(dst).Seconds("a"); !ok || s != 1 {
+		t.Errorf("merged key a not persisted: (%g, %v)", s, ok)
+	}
+}
+
+func TestCostIndexNilIsInert(t *testing.T) {
+	var x *CostIndex
+	x.Record("k", 1)
+	if _, ok := x.Seconds("k"); ok {
+		t.Error("nil index reports a hit")
+	}
+	if x.Len() != 0 || x.ImportFrom(".") != 0 {
+		t.Error("nil index is not inert")
+	}
+	if OpenCostIndex("") != nil {
+		t.Error("OpenCostIndex(\"\") must disable cost tracking")
+	}
+}
+
+// TestRunCachedRecordsMeasuredCost pins the satellite contract: a
+// simulation that misses the cache leaves its measured wall time in
+// the cost sidecar under the build-independent key, and a later hit
+// does not duplicate it.
+func TestRunCachedRecordsMeasuredCost(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, sys, opt := testWorkload(t), testSys(), testOpts()
+	if _, hit, err := RunCached(c, w, sys, opt); err != nil || hit {
+		t.Fatalf("cold RunCached = (hit=%v, err=%v)", hit, err)
+	}
+	s, ok := c.Costs().Seconds(CostKey(w, sys, opt))
+	if !ok || s <= 0 {
+		t.Fatalf("no measured cost recorded after a cold run: (%g, %v)", s, ok)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, costFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if _, hit, err := RunCached(c, w, sys, opt); err != nil || !hit {
+		t.Fatalf("warm RunCached = (hit=%v, err=%v)", hit, err)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, costFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != lines {
+		t.Errorf("cache hit appended cost records: %d -> %d lines", lines, got)
+	}
+}

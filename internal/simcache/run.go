@@ -41,8 +41,10 @@ func RunCached(c *Cache, w trace.Workload, sys config.System, opt sim.Options) (
 		return nil, false, err
 	}
 	// Storing is best-effort: a full disk or read-only cache directory
-	// must not fail a successful simulation.
+	// must not fail a successful simulation. The measured wall time goes
+	// to the cost sidecar so later sweep plans can shard by it.
 	_ = c.Put(key, res)
+	c.Costs().Record(CostKey(w, sys, opt), res.WallSeconds)
 	return res, false, nil
 }
 

@@ -1,19 +1,23 @@
-// Package sweep distributes a figure's experiment matrix across worker
-// processes. The paper's evaluation (§VI) is a large matrix — 78
-// workloads × mitigation configs — whose cells are independent,
-// deterministic simulations, so the sweep is coordinated purely through
-// data: a coordinator expands the matrix into a content-addressed job
-// manifest (Plan), shards it round-robin or by cost estimate, hands each
+// Package sweep distributes the paper's experiment matrices across
+// worker processes. The evaluation (§VI) is one coherent matrix — 78
+// workloads × mitigation configs, shared across Figs. 4/12/14/15/16 and
+// the §IX-A comparators — whose cells are independent, deterministic
+// simulations, so the sweep is coordinated purely through data: a
+// coordinator expands one or more figures into a content-addressed,
+// evaluation-wide job manifest (PlanEvaluation), deduplicates cells
+// that several figures share (every figure's unprotected baseline,
+// recurring mitigation configs), shards the deduplicated set globally
+// — round-robin or LPT over measured-or-estimated costs — hands each
 // shard to a plain worker process that simulates into a persistent
-// result cache (RunShard), and merges the worker cache directories back
-// into the figure's normalized-performance rows (Merge). Because every
-// job is keyed with internal/simcache's SHA-256 scheme — workload,
-// system, normalized options, and binary fingerprint — the merged rows
-// are bit-identical to a single-process run, and re-running any stage
-// is idempotent.
+// result cache (RunShard), and merges the worker cache directories
+// back into every covered figure's normalized-performance rows
+// (Merge). Because every job is keyed with internal/simcache's SHA-256
+// scheme — workload, system, normalized options, and binary
+// fingerprint — the merged rows are bit-identical to a single-process
+// run of each figure, and re-running any stage is idempotent.
 //
 // cmd/rowswap-sweep exposes the three stages as plan / run-shard /
-// merge subcommands; see its README for a two-worker walkthrough.
+// merge subcommands; see its README for a whole-evaluation walkthrough.
 package sweep
 
 import (
@@ -34,71 +38,115 @@ import (
 )
 
 // ManifestSchema invalidates manifests written by incompatible versions
-// of this package.
-const ManifestSchema = 1
+// of this package. Schema 2 is the evaluation-wide format: a manifest
+// spans any set of figures, carries one deduplicated job per unique
+// simulation, and maps each figure's cells onto the job set.
+const ManifestSchema = 2
 
 // Sharding strategies.
 const (
-	// StrategyRoundRobin deals jobs to shards in matrix order. With
+	// StrategyRoundRobin deals jobs to shards in plan order. With
 	// uniform per-cell cost (the common case: every cell runs the same
 	// instruction budget) it balances well and keeps each shard's cells
 	// spread across workloads.
 	StrategyRoundRobin = "round-robin"
 	// StrategyCost greedily assigns the most expensive remaining job to
-	// the least-loaded shard (LPT scheduling) using each job's static
-	// cost estimate, for matrices whose workloads differ strongly in
-	// memory intensity.
+	// the least-loaded shard (LPT scheduling). Costs come from the
+	// measured-cost sidecar of the planning cache directory when
+	// present (wall-seconds of previous runs, surviving rebuilds) and
+	// fall back to a static estimate; Manifest.CostSource records which.
 	StrategyCost = "cost"
 )
 
-// Job is one cell of the sharded matrix: a (workload, config)
+// Cost sources recorded in Manifest.CostSource.
+const (
+	// CostSourceStatic: every job cost is the deterministic static
+	// heuristic (memory intensity × instruction budget).
+	CostSourceStatic = "static-heuristic"
+	// CostSourceMeasured: every job cost is a measured wall-seconds
+	// value from the planning cache's cost sidecar. Partially measured
+	// plans record a descriptive hybrid string instead.
+	CostSourceMeasured = "measured-wall-seconds"
+)
+
+// Job is one deduplicated cell of the evaluation: a (workload, system)
 // simulation identified by its content-addressed cache key. Jobs appear
-// in the manifest in matrix order (per workload: baseline first, then
-// each config label sorted), mirroring report.MatrixPlan.Cells index
-// for index.
+// in first-occurrence order (figures in manifest order, each figure's
+// cells in its matrix order); a job shared by several figures — every
+// baseline, any config recurring across figures — appears exactly once,
+// with Workload and Label taken from its first occurrence.
 type Job struct {
 	// Workload names the trace workload (row of the matrix).
 	Workload string `json:"workload"`
-	// Label names the mitigation config ("" = unprotected baseline).
+	// Label names the mitigation config of the job's first occurrence
+	// ("" = unprotected baseline). Figures referencing the same job may
+	// spell the config differently; the simulation is identical.
 	Label string `json:"label"`
 	// Key is the simcache key the job's result is stored under —
 	// SHA-256 over the workload description, full system config,
 	// normalized options, and binary fingerprint.
 	Key string `json:"key"`
-	// Cost is the deterministic static cost estimate used by
-	// StrategyCost (arbitrary units; comparable only within a manifest).
+	// Cost is the deterministic cost used by StrategyCost's LPT
+	// assignment: measured wall-seconds when the planning cache had
+	// them, otherwise the static estimate (see Manifest.CostSource).
 	Cost float64 `json:"cost"`
 	// Shard is the worker index this job is assigned to.
 	Shard int `json:"shard"`
 }
 
+// desc names a job for error and progress messages.
+func (j Job) desc() string {
+	label := j.Label
+	if label == "" {
+		label = "baseline"
+	}
+	return fmt.Sprintf("%s %s", j.Workload, label)
+}
+
+// Figure is one figure's slice of an evaluation manifest: its config
+// matrix plus the fan-out map from its own cells to the shared job set.
+type Figure struct {
+	// Fig is the performance-figure identifier (report.PerfFigureByID);
+	// merge uses it to render the figure from its reconstructed rows.
+	Fig string `json:"fig"`
+	// Configs is the figure's mitigation matrix; Labels its column
+	// display order.
+	Configs map[string]config.Mitigation `json:"configs"`
+	Labels  []string                     `json:"labels"`
+	// Cells maps the figure's matrix-cell index (report.MatrixPlan
+	// order) to an index into Manifest.Jobs. Several cells of different
+	// figures may map to the same job — that is the deduplication.
+	Cells []int `json:"cells"`
+}
+
 // Manifest is the coordinator's output: the full description of a
-// sharded sweep, sufficient for any worker process (of the same build)
-// to re-derive the exact simulations of its shard and for the merge
-// stage to audit completeness. It is plain JSON so it can be shipped to
-// remote machines alongside the binary.
+// sharded evaluation sweep, sufficient for any worker process (of the
+// same build) to re-derive the exact simulations of its shard and for
+// the merge stage to audit completeness and rebuild every figure. It is
+// plain JSON so it can be shipped to remote machines alongside the
+// binary.
 type Manifest struct {
 	Schema int `json:"schema"`
 	// Binary is the coordinating binary's fingerprint
 	// (simcache.CodeVersion). Workers refuse a manifest planned by a
 	// different build: their cache keys could never match.
 	Binary string `json:"binary"`
-	// Fig is the performance-figure identifier the matrix belongs to
-	// (report.PerfFigureByID); merge uses it to render the final table.
-	Fig string `json:"fig"`
-	// Workloads is the resolved workload-name set, in matrix row order.
+	// Workloads is the resolved workload-name set, in matrix row order,
+	// shared by every figure of the evaluation.
 	Workloads []string `json:"workloads"`
 	// Cores is the per-workload core count.
 	Cores int `json:"cores"`
-	// Sim carries the normalized simulation options every cell runs with.
+	// Sim carries the normalized simulation options every job runs with.
 	Sim sim.Options `json:"sim"`
-	// Configs is the figure's mitigation matrix; Labels its column order.
-	Configs map[string]config.Mitigation `json:"configs"`
-	Labels  []string                     `json:"labels"`
-	// Shards is the worker count; Strategy how jobs were assigned.
-	Shards   int    `json:"shards"`
-	Strategy string `json:"strategy"`
-	Jobs     []Job  `json:"jobs"`
+	// Shards is the worker count; Strategy how jobs were assigned;
+	// CostSource where StrategyCost's job costs came from.
+	Shards     int    `json:"shards"`
+	Strategy   string `json:"strategy"`
+	CostSource string `json:"cost_source,omitempty"`
+	// Figures lists the covered figures with their fan-out maps; Jobs is
+	// the deduplicated job set they fan out over.
+	Figures []Figure `json:"figures"`
+	Jobs    []Job    `json:"jobs"`
 }
 
 // cellCost predicts a cell's relative simulation cost. The event
@@ -119,56 +167,151 @@ func cellCost(cell report.MatrixCell, instructions int64) float64 {
 	return cost
 }
 
-// Plan expands the figure's experiment matrix into a sharded job
-// manifest without simulating anything. Planning is deterministic: the
-// same figure, options, shard count, and binary always produce the
-// same manifest, so coordinator and workers can independently agree on
-// every job's identity.
+// PlanOptions tunes PlanEvaluation beyond the figure set and the
+// experiment options.
+type PlanOptions struct {
+	// Shards is the worker count jobs are distributed over.
+	Shards int
+	// Strategy is StrategyRoundRobin or StrategyCost.
+	Strategy string
+	// Costs, when non-nil, supplies measured wall-seconds for
+	// StrategyCost (typically simcache.OpenCostIndex on the cache
+	// directory of previous runs). Jobs without a measured cost fall
+	// back to the static estimate, rescaled into seconds.
+	Costs *simcache.CostIndex
+	// Log, when non-nil, receives one-line planning notes (which cost
+	// source was used).
+	Log io.Writer
+}
+
+// Plan expands a single figure into a sharded job manifest — the
+// degenerate evaluation of one figure, kept as the convenience entry
+// point for single-figure sweeps and tests.
 func Plan(figID string, opt report.PerfOptions, shards int, strategy string) (*Manifest, error) {
-	f, ok := report.PerfFigureByID(figID)
-	if !ok {
-		return nil, fmt.Errorf("sweep: no performance figure %q", figID)
+	return PlanEvaluation([]string{figID}, opt, PlanOptions{Shards: shards, Strategy: strategy})
+}
+
+// PlanEvaluation expands the given figures into one deduplicated,
+// sharded job manifest without simulating anything. Planning is
+// deterministic given the cost source: the same figures, options, shard
+// count, binary, and measured-cost index always produce the same
+// manifest, so coordinator and workers can independently agree on every
+// job's identity.
+func PlanEvaluation(figIDs []string, opt report.PerfOptions, po PlanOptions) (*Manifest, error) {
+	if len(figIDs) == 0 {
+		return nil, fmt.Errorf("sweep: no figures requested")
 	}
-	if shards < 1 {
-		return nil, fmt.Errorf("sweep: shard count %d < 1", shards)
+	figs := make([]report.PerfFigure, 0, len(figIDs))
+	seen := map[string]bool{}
+	for _, id := range figIDs {
+		f, ok := report.PerfFigureByID(id)
+		if !ok {
+			return nil, fmt.Errorf("sweep: no performance figure %q", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("sweep: figure %q requested twice", id)
+		}
+		seen[id] = true
+		figs = append(figs, f)
 	}
-	switch strategy {
+	if po.Shards < 1 {
+		return nil, fmt.Errorf("sweep: shard count %d < 1", po.Shards)
+	}
+	switch po.Strategy {
 	case StrategyRoundRobin, StrategyCost:
 	default:
-		return nil, fmt.Errorf("sweep: unknown sharding strategy %q", strategy)
+		return nil, fmt.Errorf("sweep: unknown sharding strategy %q", po.Strategy)
 	}
 
-	plan := opt.Plan(f.Configs)
-	if len(plan.Cells) == 0 {
-		return nil, fmt.Errorf("sweep: figure %s expands to an empty matrix", figID)
+	eval := opt.PlanEvaluation(figs)
+	if len(eval.Cells) == 0 {
+		return nil, fmt.Errorf("sweep: figures %s expand to an empty matrix", strings.Join(figIDs, ","))
 	}
-	names := make([]string, len(plan.Workloads))
-	for i, w := range plan.Workloads {
+	names := make([]string, len(eval.Figures[0].Plan.Workloads))
+	for i, w := range eval.Figures[0].Plan.Workloads {
 		names[i] = w.Name
 	}
-	jobs := make([]Job, len(plan.Cells))
-	for i, cell := range plan.Cells {
+	jobs := make([]Job, len(eval.Cells))
+	for i, cell := range eval.Cells {
 		jobs[i] = Job{
 			Workload: cell.Workload.Name,
 			Label:    cell.Label,
-			Key:      simcache.RunKey(cell.Workload, cell.System, plan.Sim),
-			Cost:     cellCost(cell, plan.Sim.Instructions),
+			Key:      eval.Keys[i],
+			Cost:     cellCost(cell, eval.Sim.Instructions),
 		}
 	}
-	assignShards(jobs, shards, strategy)
+	costSource := CostSourceStatic
+	if po.Strategy == StrategyCost {
+		costSource = applyMeasuredCosts(jobs, eval, po.Costs)
+		if po.Log != nil {
+			fmt.Fprintf(po.Log, "cost source: %s\n", costSource)
+		}
+	}
+	assignShards(jobs, po.Shards, po.Strategy)
+
+	mfigs := make([]Figure, len(eval.Figures))
+	for fi, fp := range eval.Figures {
+		mfigs[fi] = Figure{
+			Fig:     fp.Figure.ID,
+			Configs: fp.Figure.Configs,
+			Labels:  fp.Figure.Labels,
+			Cells:   fp.Cells,
+		}
+	}
 	return &Manifest{
-		Schema:    ManifestSchema,
-		Binary:    simcache.CodeVersion(),
-		Fig:       figID,
-		Workloads: names,
-		Cores:     plan.Cells[0].System.Core.Cores,
-		Sim:       plan.Sim,
-		Configs:   f.Configs,
-		Labels:    plan.Labels,
-		Shards:    shards,
-		Strategy:  strategy,
-		Jobs:      jobs,
+		Schema:     ManifestSchema,
+		Binary:     simcache.CodeVersion(),
+		Workloads:  names,
+		Cores:      eval.Cells[0].System.Core.Cores,
+		Sim:        eval.Sim,
+		Shards:     po.Shards,
+		Strategy:   po.Strategy,
+		CostSource: costSource,
+		Figures:    mfigs,
+		Jobs:       jobs,
 	}, nil
+}
+
+// applyMeasuredCosts replaces static job costs with measured
+// wall-seconds where the cost index has them, returning a description
+// of the resulting cost source. When only part of the job set is
+// measured, the unmeasured jobs keep their static estimate rescaled
+// into the measured unit (seconds) by the ratio observed on the
+// measured jobs, so LPT compares like with like.
+func applyMeasuredCosts(jobs []Job, eval report.EvaluationPlan, costs *simcache.CostIndex) string {
+	if costs.Len() == 0 {
+		return CostSourceStatic
+	}
+	measured := make([]float64, len(jobs))
+	n := 0
+	var sumMeasured, sumStatic float64
+	for i := range jobs {
+		cell := eval.Cells[i]
+		if s, ok := costs.Seconds(simcache.CostKey(cell.Workload, cell.System, eval.Sim)); ok {
+			measured[i] = s
+			n++
+			sumMeasured += s
+			sumStatic += jobs[i].Cost
+		}
+	}
+	if n == 0 {
+		return CostSourceStatic
+	}
+	if n == len(jobs) {
+		for i := range jobs {
+			jobs[i].Cost = measured[i]
+		}
+		return CostSourceMeasured
+	}
+	scale := sumMeasured / sumStatic
+	for i := range jobs {
+		if measured[i] > 0 {
+			jobs[i].Cost = measured[i]
+		} else {
+			jobs[i].Cost *= scale
+		}
+	}
+	return fmt.Sprintf("measured-wall-seconds for %d/%d jobs, static heuristic (rescaled) for the rest", n, len(jobs))
 }
 
 // assignShards distributes jobs across shards in place.
@@ -208,37 +351,106 @@ func (m *Manifest) perfOptions() report.PerfOptions {
 	return report.PerfOptions{Workloads: m.Workloads, Cores: m.Cores, Sim: m.Sim}
 }
 
-// expand re-derives the matrix plan behind the manifest and verifies
-// the manifest's jobs still describe it exactly — same cells, same
-// order, same content-addressed keys. A key mismatch means the manifest
-// was planned by a different build (any code change re-fingerprints the
-// binary) or hand-edited; either way no cache entry this process writes
-// or reads could line up with it, so expansion fails loudly instead.
-func (m *Manifest) expand() (report.MatrixPlan, error) {
+// validateStructure checks the manifest's internal consistency without
+// re-deriving any plan: schema, shard assignments, key uniqueness, and
+// the figure fan-out maps. Every failure is an operator-actionable
+// error — these are the mistakes a hand-edited or corrupted manifest,
+// or a mismatched -shards between plan and workers, actually produces.
+func (m *Manifest) validateStructure() error {
 	if m.Schema != ManifestSchema {
-		return report.MatrixPlan{}, fmt.Errorf("sweep: manifest schema %d, this build expects %d", m.Schema, ManifestSchema)
+		return fmt.Errorf("sweep: manifest schema %d, this build expects %d (re-run plan with this build; schema 1 single-figure manifests predate evaluation-wide planning)", m.Schema, ManifestSchema)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("sweep: manifest declares %d shards; a sweep needs at least 1", m.Shards)
+	}
+	if len(m.Figures) == 0 {
+		return fmt.Errorf("sweep: manifest covers no figures")
+	}
+	if len(m.Jobs) == 0 {
+		return fmt.Errorf("sweep: manifest has no jobs")
+	}
+	seenFig := map[string]int{}
+	for fi, f := range m.Figures {
+		if prev, dup := seenFig[f.Fig]; dup {
+			return fmt.Errorf("sweep: figure %q appears twice in the manifest (entries %d and %d); re-run plan", f.Fig, prev, fi)
+		}
+		seenFig[f.Fig] = fi
+	}
+	seenKey := map[string]int{}
+	for i, j := range m.Jobs {
+		if j.Key == "" {
+			return fmt.Errorf("sweep: job %d (%s) has an empty cache key; the manifest is corrupt — re-run plan", i, j.desc())
+		}
+		if prev, dup := seenKey[j.Key]; dup {
+			return fmt.Errorf("sweep: jobs %d (%s) and %d (%s) share cache key %.12s…: the job set is deduplicated by construction, so a duplicate means the manifest was corrupted or hand-edited — re-run plan", prev, m.Jobs[prev].desc(), i, j.desc(), j.Key)
+		}
+		seenKey[j.Key] = i
+		if j.Shard < 0 || j.Shard >= m.Shards {
+			return fmt.Errorf("sweep: job %d (%s) is assigned to shard %d, but the manifest declares %d shards (valid: 0…%d) — re-run plan instead of editing shard assignments", i, j.desc(), j.Shard, m.Shards, m.Shards-1)
+		}
+	}
+	referenced := make([]bool, len(m.Jobs))
+	for _, f := range m.Figures {
+		for ci, ji := range f.Cells {
+			if ji < 0 || ji >= len(m.Jobs) {
+				return fmt.Errorf("sweep: figure %s cell %d references job %d, but the manifest lists only %d jobs — the fan-out map is corrupt, re-run plan", f.Fig, ci, ji, len(m.Jobs))
+			}
+			referenced[ji] = true
+		}
+	}
+	for i, ok := range referenced {
+		if !ok {
+			return fmt.Errorf("sweep: job %d (%s) is referenced by no figure — the fan-out map is corrupt, re-run plan", i, m.Jobs[i].desc())
+		}
+	}
+	return nil
+}
+
+// expand re-derives the evaluation plan behind the manifest and
+// verifies the manifest's jobs and fan-out maps still describe it
+// exactly — same deduplicated cells, same order, same
+// content-addressed keys, same per-figure fan-out. A key mismatch means
+// the manifest was planned by a different build (any code change
+// re-fingerprints the binary) or hand-edited; either way no cache entry
+// this process writes or reads could line up with it, so expansion
+// fails loudly instead.
+func (m *Manifest) expand() (report.EvaluationPlan, error) {
+	if err := m.validateStructure(); err != nil {
+		return report.EvaluationPlan{}, err
 	}
 	if got := simcache.CodeVersion(); m.Binary != got {
-		return report.MatrixPlan{}, fmt.Errorf("sweep: manifest was planned by binary %.12s…, this is %.12s…: results would not be interchangeable (re-run plan with this build)", m.Binary, got)
+		return report.EvaluationPlan{}, fmt.Errorf("sweep: manifest was planned by binary %.12s…, this is %.12s…: results would not be interchangeable (re-run plan with this build)", m.Binary, got)
 	}
-	plan := m.perfOptions().Plan(m.Configs)
-	if len(plan.Cells) != len(m.Jobs) {
-		return report.MatrixPlan{}, fmt.Errorf("sweep: manifest lists %d jobs but the matrix expands to %d cells", len(m.Jobs), len(plan.Cells))
+	figs := make([]report.PerfFigure, len(m.Figures))
+	for fi, f := range m.Figures {
+		figs[fi] = report.PerfFigure{ID: f.Fig, Configs: f.Configs, Labels: f.Labels}
 	}
-	for i, cell := range plan.Cells {
+	eval := m.perfOptions().PlanEvaluation(figs)
+	if len(eval.Cells) != len(m.Jobs) {
+		return report.EvaluationPlan{}, fmt.Errorf("sweep: manifest lists %d jobs but the evaluation deduplicates to %d cells", len(m.Jobs), len(eval.Cells))
+	}
+	for i, cell := range eval.Cells {
 		j := m.Jobs[i]
 		if j.Workload != cell.Workload.Name || j.Label != cell.Label {
-			return report.MatrixPlan{}, fmt.Errorf("sweep: job %d is (%s, %q) but the matrix expands to (%s, %q)",
+			return report.EvaluationPlan{}, fmt.Errorf("sweep: job %d is (%s, %q) but the evaluation expands to (%s, %q)",
 				i, j.Workload, j.Label, cell.Workload.Name, cell.Label)
 		}
-		if want := simcache.RunKey(cell.Workload, cell.System, plan.Sim); j.Key != want {
-			return report.MatrixPlan{}, fmt.Errorf("sweep: job %d (%s %q) key does not match this build's plan", i, j.Workload, j.Label)
-		}
-		if j.Shard < 0 || j.Shard >= m.Shards {
-			return report.MatrixPlan{}, fmt.Errorf("sweep: job %d assigned to shard %d of %d", i, j.Shard, m.Shards)
+		if j.Key != eval.Keys[i] {
+			return report.EvaluationPlan{}, fmt.Errorf("sweep: job %d (%s) key does not match this build's plan", i, j.desc())
 		}
 	}
-	return plan, nil
+	for fi, fp := range eval.Figures {
+		f := m.Figures[fi]
+		if len(f.Cells) != len(fp.Cells) {
+			return report.EvaluationPlan{}, fmt.Errorf("sweep: figure %s fan-out lists %d cells but its matrix expands to %d", f.Fig, len(f.Cells), len(fp.Cells))
+		}
+		for ci := range f.Cells {
+			if f.Cells[ci] != fp.Cells[ci] {
+				return report.EvaluationPlan{}, fmt.Errorf("sweep: figure %s cell %d fans out to job %d but the evaluation maps it to job %d", f.Fig, ci, f.Cells[ci], fp.Cells[ci])
+			}
+		}
+	}
+	return eval, nil
 }
 
 // Validate checks that the manifest is internally consistent and was
@@ -274,7 +486,7 @@ func LoadManifest(path string) (*Manifest, error) {
 type ShardStats struct {
 	// Jobs is the number of manifest jobs in the shard; Hits of those
 	// were already present in the cache directory (idempotent re-runs,
-	// or baselines shared between figures).
+	// or entries shared with earlier sweeps).
 	Jobs, Hits int
 }
 
@@ -286,7 +498,7 @@ type ShardStats struct {
 // goroutines (0 = one per CPU) without affecting any result.
 func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io.Writer) (ShardStats, error) {
 	var stats ShardStats
-	plan, err := m.expand()
+	eval, err := m.expand()
 	if err != nil {
 		return stats, err
 	}
@@ -331,16 +543,13 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 				if k >= len(mine) || failed.Load() {
 					return
 				}
-				cell := plan.Cells[mine[k]]
-				_, hit, err := simcache.RunCached(cache, cell.Workload, cell.System, plan.Sim)
+				ji := mine[k]
+				cell := eval.Cells[ji]
+				_, hit, err := simcache.RunCached(cache, cell.Workload, cell.System, eval.Sim)
 				if err != nil {
 					firstMu.Lock()
 					if firstE == nil {
-						label := cell.Label
-						if label == "" {
-							label = "baseline"
-						}
-						firstE = fmt.Errorf("sweep: shard %d: %s %s: %w", shard, label, cell.Workload.Name, err)
+						firstE = fmt.Errorf("sweep: shard %d: %s: %w", shard, m.Jobs[ji].desc(), err)
 					}
 					firstMu.Unlock()
 					failed.Store(true)
@@ -355,11 +564,7 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 					if hit {
 						state = "cached"
 					}
-					label := cell.Label
-					if label == "" {
-						label = "baseline"
-					}
-					fmt.Fprintf(progress, "  shard %d: %-14s %-14s %s\n", shard, cell.Workload.Name, label, state)
+					fmt.Fprintf(progress, "  shard %d: %-30s %s\n", shard, m.Jobs[ji].desc(), state)
 					progMu.Unlock()
 				}
 			}
@@ -374,15 +579,18 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 }
 
 // Merge unions the worker cache directories into mergedDir, audits that
-// every manifest job has a valid result, and assembles the figure's
-// normalized rows. The assembly arithmetic is report.MatrixPlan.Rows —
-// the same code the in-process matrix uses — so merged rows are
-// bit-identical to a single-process run of the same matrix. When pack
-// is true the merged loose entries are folded into a packed shard index
-// ("shard-index.pack") so later readers of mergedDir pay one file scan
-// instead of thousands of opens.
-func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progress io.Writer) ([]report.PerfRow, error) {
-	plan, err := m.expand()
+// every manifest job has a valid result, and reconstructs every covered
+// figure's normalized rows from the single merged result set via the
+// manifest's fan-out maps. The assembly arithmetic is
+// report.MatrixPlan.Rows — the same code the in-process matrix uses —
+// so each figure's merged rows are bit-identical to a single-process
+// run. Measured-cost sidecars of the worker directories are merged too,
+// so a later plan against mergedDir can shard by measured wall time.
+// When pack is true the merged loose entries are folded into a packed
+// shard index ("shard-index.pack") so later readers of mergedDir pay
+// one file scan instead of thousands of opens.
+func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progress io.Writer) (*Results, error) {
+	eval, err := m.expand()
 	if err != nil {
 		return nil, err
 	}
@@ -395,25 +603,22 @@ func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progr
 		if err != nil {
 			return nil, fmt.Errorf("sweep: import %s: %w", dir, err)
 		}
+		nc := cache.Costs().ImportFrom(dir)
 		if progress != nil {
-			fmt.Fprintf(progress, "  imported %d entries from %s\n", n, dir)
+			fmt.Fprintf(progress, "  imported %d entries (+%d measured costs) from %s\n", n, nc, dir)
 		}
 	}
 
-	results := make([]*sim.Result, len(plan.Cells))
+	results := make([]*sim.Result, len(m.Jobs))
 	var missing []string
 	for i, j := range m.Jobs {
 		var res sim.Result
 		hit, err := cache.Get(j.Key, &res)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: read result for %s %q: %w", j.Workload, j.Label, err)
+			return nil, fmt.Errorf("sweep: read result for %s: %w", j.desc(), err)
 		}
 		if !hit {
-			label := j.Label
-			if label == "" {
-				label = "baseline"
-			}
-			missing = append(missing, fmt.Sprintf("%s %s (shard %d)", j.Workload, label, j.Shard))
+			missing = append(missing, fmt.Sprintf("%s (shard %d)", j.desc(), j.Shard))
 			continue
 		}
 		results[i] = &res
@@ -426,9 +631,13 @@ func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progr
 			len(missing), len(m.Jobs), strings.Join(missing, "\n  "))
 	}
 
-	rows, err := plan.Rows(results)
-	if err != nil {
-		return nil, err
+	out := &Results{Schema: ManifestSchema}
+	for _, fp := range eval.Figures {
+		rows, err := fp.Rows(results)
+		if err != nil {
+			return nil, err
+		}
+		out.Figures = append(out.Figures, FigureResults{Fig: fp.Figure.ID, Labels: fp.Figure.Labels, Rows: rows})
 	}
 	if pack {
 		n, err := cache.PackLoose("shard-index")
@@ -439,34 +648,53 @@ func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progr
 			fmt.Fprintf(progress, "  packed %d entries into shard-index.pack\n", n)
 		}
 	}
-	return rows, nil
+	return out, nil
 }
 
-// Results is the merge stage's durable output: the figure's rows,
-// ready to render (rowswap-figures -manifest) without any simulation.
-type Results struct {
-	Schema int              `json:"schema"`
+// FigureResults is one figure's reconstructed rows, ready to render.
+type FigureResults struct {
 	Fig    string           `json:"fig"`
 	Labels []string         `json:"labels"`
 	Rows   []report.PerfRow `json:"rows"`
 }
 
-// NewResults bundles merged rows with their figure identity.
-func (m *Manifest) NewResults(rows []report.PerfRow) *Results {
-	return &Results{Schema: ManifestSchema, Fig: m.Fig, Labels: m.Labels, Rows: rows}
+// Results is the merge stage's durable output: every covered figure's
+// rows, ready to render (rowswap-figures -manifest) without any
+// simulation.
+type Results struct {
+	Schema  int             `json:"schema"`
+	Figures []FigureResults `json:"figures"`
 }
 
-// Render prints the figure the rows belong to, exactly as the
-// in-process figure functions would.
+// FigureRows returns the rows reconstructed for the given figure.
+func (r *Results) FigureRows(id string) ([]report.PerfRow, bool) {
+	for _, f := range r.Figures {
+		if f.Fig == id {
+			return f.Rows, true
+		}
+	}
+	return nil, false
+}
+
+// Render prints every covered figure from its rows, exactly as the
+// in-process figure functions would, separated by blank lines.
 func (r *Results) Render(w io.Writer) error {
 	if r.Schema != ManifestSchema {
 		return fmt.Errorf("sweep: results schema %d, this build expects %d", r.Schema, ManifestSchema)
 	}
-	f, ok := report.PerfFigureByID(r.Fig)
-	if !ok {
-		return fmt.Errorf("sweep: results reference unknown figure %q", r.Fig)
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("sweep: results cover no figures")
 	}
-	f.Render(w, r.Rows)
+	for i, fr := range r.Figures {
+		f, ok := report.PerfFigureByID(fr.Fig)
+		if !ok {
+			return fmt.Errorf("sweep: results reference unknown figure %q", fr.Fig)
+		}
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		f.Render(w, fr.Rows)
+	}
 	return nil
 }
 
