@@ -9,6 +9,14 @@
 //	rowswap-sweep run-shard -manifest manifest.json -shard 1 -cache-dir w1   # worker 1
 //	rowswap-sweep merge     -manifest manifest.json -dirs w0,w1 -merged-dir merged -out results.json
 //
+// or — with a rowswap-cached daemon as the interchange — through the
+// network, which needs no shared or copied directories and replaces
+// plan-time sharding with a work-stealing queue:
+//
+//	rowswap-cached -manifest manifest.json -store-dir store                  # coordinator
+//	rowswap-sweep work  -server http://COORD:8344 -name w0                   # each worker
+//	rowswap-sweep merge -server http://COORD:8344 -manifest manifest.json -merged-dir merged
+//
 // plan expands one figure (-fig 14), several (-fig 4,14), or the whole
 // evaluation (-all) into one deterministic, content-addressed job
 // manifest; cells shared between figures — every unprotected baseline,
@@ -27,12 +35,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/objstore"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simcache"
@@ -42,8 +52,14 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   rowswap-sweep plan      -all | -fig ID[,ID...] [-shards N] [-strategy round-robin|cost] [-cost-dir DIR] [-quick] [-workloads a,b] [-cores N] [-instructions N] [-window NS] -out manifest.json
-  rowswap-sweep run-shard -manifest manifest.json -shard I -cache-dir DIR [-workers N] [-progress]
-  rowswap-sweep merge     -manifest manifest.json -dirs DIR0,DIR1,... -merged-dir DIR [-out results.json] [-no-pack] [-progress]
+  rowswap-sweep run-shard -manifest manifest.json -shard I (-cache-dir DIR | -server URL) [-workers N] [-progress]
+  rowswap-sweep work      -server URL [-manifest manifest.json] [-name NAME] [-workers N] [-progress]
+  rowswap-sweep merge     -manifest manifest.json (-dirs DIR0,DIR1,... | -server URL) -merged-dir DIR [-out results.json] [-no-pack] [-progress]
+
+run-shard executes a plan-time shard; work claims jobs from a
+rowswap-cached daemon's work-stealing queue until the evaluation is
+done. With -server, results are pushed to / pulled from the daemon and
+no cache directories change hands.
 `)
 	os.Exit(2)
 }
@@ -58,6 +74,8 @@ func main() {
 		err = runPlan(os.Args[2:])
 	case "run-shard":
 		err = runShard(os.Args[2:])
+	case "work":
+		err = runWork(os.Args[2:])
 	case "merge":
 		err = runMerge(os.Args[2:])
 	default:
@@ -132,12 +150,16 @@ func runShard(args []string) error {
 	manifest := fs.String("manifest", "", "manifest written by plan")
 	shard := fs.Int("shard", -1, "shard index to execute")
 	cacheDir := fs.String("cache-dir", "", "result cache directory this worker writes")
+	server := fs.String("server", "", "rowswap-cached URL to push results to instead of a local cache directory")
 	workers := fs.Int("workers", 0, "simulation goroutines (0 = all CPUs)")
 	progress := fs.Bool("progress", false, "print per-job progress")
 	fs.Parse(args)
 
-	if *manifest == "" || *cacheDir == "" || *shard < 0 {
-		return fmt.Errorf("missing -manifest, -shard, or -cache-dir")
+	if *manifest == "" || *shard < 0 {
+		return fmt.Errorf("missing -manifest or -shard")
+	}
+	if (*cacheDir == "") == (*server == "") {
+		return fmt.Errorf("exactly one of -cache-dir (filesystem interchange) or -server (rowswap-cached transport) is required")
 	}
 	m, err := sweep.LoadManifest(*manifest)
 	if err != nil {
@@ -146,6 +168,15 @@ func runShard(args []string) error {
 	var prog *os.File
 	if *progress {
 		prog = os.Stderr
+	}
+	if *server != "" {
+		stats, err := m.RunShardServer(*shard, objstore.NewClient(*server), *workers, progIfSet(prog))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shard %d: %d jobs done (%d served from store) -> %s\n",
+			*shard, stats.Jobs, stats.Hits, *server)
+		return nil
 	}
 	stats, err := m.RunShard(*shard, *cacheDir, *workers, progIfSet(prog))
 	if err != nil {
@@ -156,18 +187,83 @@ func runShard(args []string) error {
 	return nil
 }
 
+// defaultWorkerName identifies this process in the daemon's per-worker
+// stats and lease bookkeeping when -name is not given.
+func defaultWorkerName() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func runWork(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	server := fs.String("server", "", "rowswap-cached URL to claim jobs from and push results to")
+	manifest := fs.String("manifest", "", "manifest written by plan (default: fetch it from the server)")
+	name := fs.String("name", defaultWorkerName(), "worker name reported to the coordinator")
+	workers := fs.Int("workers", 0, "simulation goroutines claiming independently (0 = all CPUs)")
+	progress := fs.Bool("progress", false, "print per-job progress")
+	fs.Parse(args)
+
+	if *server == "" {
+		return fmt.Errorf("missing -server (start one with: rowswap-cached -manifest manifest.json)")
+	}
+	client := objstore.NewClient(*server)
+	var m *sweep.Manifest
+	var err error
+	if *manifest != "" {
+		m, err = sweep.LoadManifest(*manifest)
+	} else {
+		m, err = fetchManifest(client)
+	}
+	if err != nil {
+		return err
+	}
+	var prog *os.File
+	if *progress {
+		prog = os.Stderr
+	}
+	stats, err := m.RunWork(client, *name, *workers, progIfSet(prog))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: claimed %d jobs (%d simulated, %d served from store) -> %s\n",
+		*name, stats.Claimed, stats.Simulated, stats.Hits, client.Base())
+	return nil
+}
+
+// fetchManifest pulls the manifest from the daemon, so a worker
+// machine needs nothing but the binary and the server URL. RunWork
+// still validates it against this build before simulating anything.
+func fetchManifest(client *objstore.Client) (*sweep.Manifest, error) {
+	data, err := client.ManifestJSON()
+	if err != nil {
+		return nil, fmt.Errorf("fetching manifest from %s: %w", client.Base(), err)
+	}
+	var m sweep.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest from %s: %w", client.Base(), err)
+	}
+	return &m, nil
+}
+
 func runMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	manifest := fs.String("manifest", "", "manifest written by plan")
 	dirs := fs.String("dirs", "", "comma-separated worker cache directories")
+	server := fs.String("server", "", "rowswap-cached URL to pull the result set from instead of worker directories")
 	mergedDir := fs.String("merged-dir", "", "directory the merged cache is built in")
 	out := fs.String("out", "", "results file for rowswap-figures -manifest (optional)")
 	noPack := fs.Bool("no-pack", false, "keep merged entries as loose files instead of a packed shard index")
-	progress := fs.Bool("progress", false, "print per-directory import progress")
+	progress := fs.Bool("progress", false, "print import/pull progress")
 	fs.Parse(args)
 
-	if *manifest == "" || *dirs == "" || *mergedDir == "" {
-		return fmt.Errorf("missing -manifest, -dirs, or -merged-dir")
+	if *manifest == "" || *mergedDir == "" {
+		return fmt.Errorf("missing -manifest or -merged-dir")
+	}
+	if (*dirs == "") == (*server == "") {
+		return fmt.Errorf("exactly one of -dirs (filesystem interchange) or -server (rowswap-cached transport) is required")
 	}
 	m, err := sweep.LoadManifest(*manifest)
 	if err != nil {
@@ -177,7 +273,12 @@ func runMerge(args []string) error {
 	if *progress {
 		prog = os.Stderr
 	}
-	res, err := m.Merge(*mergedDir, strings.Split(*dirs, ","), !*noPack, progIfSet(prog))
+	var res *sweep.Results
+	if *server != "" {
+		res, err = m.MergeServer(*mergedDir, objstore.NewClient(*server), !*noPack, progIfSet(prog))
+	} else {
+		res, err = m.Merge(*mergedDir, strings.Split(*dirs, ","), !*noPack, progIfSet(prog))
+	}
 	if err != nil {
 		return err
 	}

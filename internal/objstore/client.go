@@ -1,0 +1,266 @@
+package objstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/simcache"
+)
+
+// Client talks to a rowswap-cached server. It implements
+// simcache.Store (Get/Put/RecordCost), so a sweep worker can execute
+// jobs against the network exactly as it would against a local cache
+// directory.
+//
+// Every request is retried on transport errors, truncated responses,
+// and 5xx statuses — all the transient failures a flaky network or a
+// restarting server produces — with exponential backoff. Retrying is
+// safe throughout: entries are content-addressed (a re-PUT writes
+// identical bytes), claims that got lost in flight simply expire into
+// the requeue pool, and completions fall back to the
+// result-entry-exists proof. 4xx statuses are never retried: they mean
+// the request itself is wrong, and the server's reason is surfaced
+// verbatim. A response whose envelope fails the checksum gate is
+// re-fetched, never silently used.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// attempts and backoff tune the retry loop; tests shrink them.
+	attempts int
+	backoff  time.Duration
+}
+
+// NewClient returns a client for the server at base (host:port or a
+// full http:// URL).
+func NewClient(base string) *Client {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base:     base,
+		hc:       &http.Client{Timeout: 60 * time.Second},
+		attempts: 4,
+		backoff:  150 * time.Millisecond,
+	}
+}
+
+// Base returns the normalized server URL.
+func (c *Client) Base() string { return c.base }
+
+// errStatus is a non-2xx response with the server's decoded reason.
+type errStatus struct {
+	code   int
+	reason string
+}
+
+func (e *errStatus) Error() string {
+	if e.reason != "" {
+		return fmt.Sprintf("server returned %d: %s", e.code, e.reason)
+	}
+	return fmt.Sprintf("server returned %d", e.code)
+}
+
+// decodeReason extracts the server's {"error": ...} body, if any.
+func decodeReason(data []byte) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil {
+		return body.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// do performs one request with the retry policy, returning the
+// response body of the final 2xx answer. 4xx answers abort
+// immediately; transport errors, short reads, and 5xx answers burn an
+// attempt and back off.
+func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// A truncated body (connection cut mid-response) is as
+			// transient as a connect failure: retry.
+			lastErr = fmt.Errorf("reading response: %w", err)
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			return data, nil
+		case resp.StatusCode >= 500:
+			lastErr = &errStatus{code: resp.StatusCode, reason: decodeReason(data)}
+			continue
+		default:
+			return nil, &errStatus{code: resp.StatusCode, reason: decodeReason(data)}
+		}
+	}
+	return nil, fmt.Errorf("objstore: %s %s failed after %d attempts: %w", method, path, c.attempts, lastErr)
+}
+
+// notFound reports whether err is a 404 answer.
+func notFound(err error) bool {
+	var se *errStatus
+	return errors.As(err, &se) && se.code == http.StatusNotFound
+}
+
+// fetchEntry fetches and validates the envelope for key exactly once
+// per checksum pass, returning the raw bytes and the extracted
+// payload. A missing entry is (nil, nil, false, nil). Bytes that fail
+// the checksum gate are re-fetched with the same backoff as any other
+// transient failure (a proxy or cut transfer can damage a body without
+// breaking HTTP); if every attempt is corrupt the error says so rather
+// than handing back poison.
+func (c *Client) fetchEntry(key string) (data []byte, payload json.RawMessage, ok bool, err error) {
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		data, err := c.do(http.MethodGet, "/v1/entry/"+key, nil)
+		if err != nil {
+			if notFound(err) {
+				return nil, nil, false, nil
+			}
+			return nil, nil, false, err
+		}
+		if payload, ok := simcache.DecodeEntry(data, key); ok {
+			return data, payload, true, nil
+		}
+		lastErr = fmt.Errorf("objstore: entry %.12s… from %s fails the checksum gate; refusing the corrupt bytes", key, c.base)
+	}
+	return nil, nil, false, lastErr
+}
+
+// GetEntryRaw fetches the validated envelope bytes for key. A missing
+// entry is (nil, false, nil).
+func (c *Client) GetEntryRaw(key string) ([]byte, bool, error) {
+	data, _, ok, err := c.fetchEntry(key)
+	return data, ok, err
+}
+
+// PutEntryRaw pushes already-encoded envelope bytes for key.
+func (c *Client) PutEntryRaw(key string, data []byte) error {
+	_, err := c.do(http.MethodPut, "/v1/entry/"+key, data)
+	return err
+}
+
+// Get implements simcache.Store: load the entry for key into v,
+// reporting a miss as (false, nil).
+func (c *Client) Get(key string, v any) (bool, error) {
+	_, payload, ok, err := c.fetchEntry(key)
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return false, fmt.Errorf("objstore: entry %.12s… payload does not decode: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put implements simcache.Store: envelope v and push it.
+func (c *Client) Put(key string, v any) error {
+	data, err := simcache.EncodeEntry(key, v)
+	if err != nil {
+		return err
+	}
+	return c.PutEntryRaw(key, data)
+}
+
+// RecordCost implements simcache.Store: push one measured-cost
+// observation. Best-effort by contract — the server folds it into its
+// EWMA estimate, and a lost observation only costs planning accuracy.
+func (c *Client) RecordCost(key string, seconds float64) {
+	line, err := json.Marshal(costLine{Key: key, Seconds: seconds})
+	if err != nil {
+		return
+	}
+	c.do(http.MethodPost, "/v1/costs", line)
+}
+
+// CostsJSONL pulls the server's measured-cost estimates in sidecar
+// line format (simcache.CostIndex.ImportRecords consumes it).
+func (c *Client) CostsJSONL() ([]byte, error) {
+	return c.do(http.MethodGet, "/v1/costs", nil)
+}
+
+// ManifestJSON fetches the manifest the server was started with, so a
+// worker machine needs only the binary and the server URL.
+func (c *Client) ManifestJSON() ([]byte, error) {
+	return c.do(http.MethodGet, "/v1/manifest", nil)
+}
+
+// ClaimJob asks the queue for work on behalf of worker.
+func (c *Client) ClaimJob(worker string) (ClaimResponse, error) {
+	body, err := json.Marshal(claimRequest{Worker: worker})
+	if err != nil {
+		return ClaimResponse{}, err
+	}
+	data, err := c.do(http.MethodPost, "/v1/claim", body)
+	if err != nil {
+		return ClaimResponse{}, err
+	}
+	var resp ClaimResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return ClaimResponse{}, fmt.Errorf("objstore: claim response does not decode: %w", err)
+	}
+	switch resp.Status {
+	case ClaimJob:
+		if resp.Claim == nil {
+			return ClaimResponse{}, fmt.Errorf("objstore: claim response grants a job but carries none")
+		}
+	case ClaimWait, ClaimDone:
+	default:
+		return ClaimResponse{}, fmt.Errorf("objstore: claim response has unknown status %q", resp.Status)
+	}
+	return resp, nil
+}
+
+// Complete reports a claimed job finished.
+func (c *Client) Complete(job int, lease, worker string) error {
+	body, err := json.Marshal(completeRequest{Job: job, Lease: lease, Worker: worker})
+	if err != nil {
+		return err
+	}
+	_, err = c.do(http.MethodPost, "/v1/complete", body)
+	return err
+}
+
+// Status fetches a queue snapshot.
+func (c *Client) Status() (QueueStats, error) {
+	data, err := c.do(http.MethodGet, "/v1/status", nil)
+	if err != nil {
+		return QueueStats{}, err
+	}
+	var st QueueStats
+	if err := json.Unmarshal(data, &st); err != nil {
+		return QueueStats{}, fmt.Errorf("objstore: status response does not decode: %w", err)
+	}
+	return st, nil
+}

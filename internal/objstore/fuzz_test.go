@@ -1,0 +1,126 @@
+package objstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/simcache"
+)
+
+// FuzzEntryUpload fuzzes the server's entry-upload path (PUT
+// /v1/entry/{key}) with arbitrary request bodies. Its contract mirrors
+// simcache's FuzzReadEntry — whose corpus shapes seed this one — at
+// the network boundary: the server never panics, accepts only a
+// bit-exact valid envelope for the key, and a rejected upload leaves
+// the store byte-for-byte untouched, so a corrupt push can never
+// poison the store every other worker and the merge stage read from.
+func FuzzEntryUpload(f *testing.F) {
+	key := simcache.Key("fuzz-upload")
+	valid, err := simcache.EncodeEntry(key, map[string]any{"ipc": 1.25, "cycles": 123456})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The FuzzReadEntry corpus, re-aimed at the upload path.
+	f.Add(valid)                                                                             // intact entry: the one legal accept
+	f.Add(valid[:len(valid)/2])                                                              // truncated mid-envelope
+	f.Add(valid[:0])                                                                         // empty body
+	f.Add([]byte("not json at all"))                                                         // garbage
+	f.Add([]byte(`{"schema":999}`))                                                          // wrong schema, no payload
+	f.Add([]byte(`{"payload":null}`))                                                        // missing checksum
+	f.Add([]byte(`[1,2,3]`))                                                                 // JSON of the wrong shape
+	f.Add([]byte("{\"schema\":1,\"key\":\"" + key + "\",\"sha256\":\"00\",\"payload\":{}}")) // bad sum
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01 // single bit flip inside the envelope
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cache, err := simcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(cache, ServerOptions{})
+		req := httptest.NewRequest(http.MethodPut, "/v1/entry/"+key, bytes.NewReader(data))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		switch {
+		case rec.Code == http.StatusOK:
+			// An accept is only legal for a valid envelope, and the
+			// stored bytes must re-validate and round-trip.
+			if _, ok := simcache.DecodeEntry(data, key); !ok {
+				t.Fatalf("invalid upload accepted: %q", data)
+			}
+			stored, ok := cache.GetRaw(key)
+			if !ok {
+				t.Fatal("accepted upload not readable back")
+			}
+			if _, valid := simcache.DecodeEntry(stored, key); !valid {
+				t.Fatalf("stored bytes fail validation: %q", stored)
+			}
+		default:
+			// A reject must leave no trace: the key stays a miss.
+			if cache.Has(key) {
+				t.Fatalf("rejected upload (%d) poisoned the store: %q", rec.Code, data)
+			}
+		}
+	})
+}
+
+// FuzzClaimDecode fuzzes the control-plane decoders (POST /v1/claim
+// and /v1/complete) with arbitrary bodies. Whatever arrives, the
+// server must answer 200/400/409 (never panic, never 500), any granted
+// claim must be internally consistent with the queue, and the queue's
+// job accounting must stay conserved.
+func FuzzClaimDecode(f *testing.F) {
+	f.Add([]byte(`{"worker":"w0"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"worker":""}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"worker":"w0","job":0,"lease":"1"}`))
+	f.Add([]byte(`{"job":-1,"lease":"","worker":"w"}`))
+	f.Add([]byte(`{"job":1e300}`))
+	f.Add(bytes.Repeat([]byte("a"), 1024))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cache, err := simcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := testJobs(2)
+		srv := NewServer(cache, ServerOptions{Jobs: jobs, Lease: time.Minute})
+		h := srv.Handler()
+
+		for _, path := range []string{"/v1/claim", "/v1/complete"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK, http.StatusBadRequest, http.StatusConflict:
+			default:
+				t.Fatalf("POST %s answered %d for body %q", path, rec.Code, data)
+			}
+			if path == "/v1/claim" && rec.Code == http.StatusOK {
+				var resp ClaimResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Fatalf("claim 200 with undecodable body: %v", err)
+				}
+				if resp.Status == ClaimJob {
+					c := resp.Claim
+					if c == nil || c.Job < 0 || c.Job >= len(jobs) || c.Key != jobs[c.Job].Key || c.Lease == "" {
+						t.Fatalf("granted claim is inconsistent: %+v", resp)
+					}
+				}
+			}
+		}
+		// Conservation: every job is still exactly one of
+		// pending/leased/done, whatever the fuzzer sent.
+		st := srv.Stats()
+		if st.Pending+st.Leased+st.Done != st.Jobs {
+			t.Fatalf("queue accounting broken: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package objstore
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// QueueJob is one claimable unit of a networked sweep: a deduplicated
+// evaluation cell identified by its content-addressed result key.
+// Workload and Label only name the job in logs and progress output —
+// workers re-derive the actual simulation from the manifest.
+type QueueJob struct {
+	Key      string `json:"key"`
+	Workload string `json:"workload"`
+	Label    string `json:"label"`
+}
+
+// jobState is a queue job's lifecycle: pending (claimable) → leased
+// (one worker is on it, until the lease expires) → done.
+type jobState uint8
+
+const (
+	jobPending jobState = iota
+	jobLeased
+	jobDone
+)
+
+// DefaultLease bounds how long a claimed job stays invisible to other
+// workers. It must comfortably exceed one simulation's wall time (a
+// full-budget cell runs seconds, not minutes); a worker that dies
+// mid-job forfeits the job to the next claimer after this long.
+const DefaultLease = 2 * time.Minute
+
+// Queue is the work-stealing core of the store daemon: workers claim
+// the next pending job, run it, push the result, and complete the
+// claim. Unlike plan-time sharding (LPT over estimated costs), the
+// queue absorbs stragglers and heterogeneous machines by construction
+// — a fast worker simply claims more jobs — and a worker killed
+// mid-job only delays its jobs by one lease, because an expired lease
+// returns the job to the pending pool.
+//
+// Completion is idempotent and tolerant of lease races: results are
+// content-addressed, so when a requeued job is finished by two workers
+// their pushes are bit-identical and either completion is acceptable.
+type Queue struct {
+	mu    sync.Mutex
+	lease time.Duration
+	now   func() time.Time // injectable for lease-expiry tests
+
+	jobs    []QueueJob
+	state   []jobState
+	leaseID []string
+	holder  []string
+	expires []time.Time
+	next    int64
+
+	requeues  int
+	claimed   map[string]int
+	completed map[string]int
+}
+
+// NewQueue builds a queue over the given jobs (manifest order: a
+// claim's Job index addresses the manifest's job set). lease <= 0
+// selects DefaultLease.
+func NewQueue(jobs []QueueJob, lease time.Duration) *Queue {
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	return &Queue{
+		lease:     lease,
+		now:       time.Now,
+		jobs:      jobs,
+		state:     make([]jobState, len(jobs)),
+		leaseID:   make([]string, len(jobs)),
+		holder:    make([]string, len(jobs)),
+		expires:   make([]time.Time, len(jobs)),
+		claimed:   map[string]int{},
+		completed: map[string]int{},
+	}
+}
+
+// Claim states returned to workers.
+const (
+	// ClaimJob: a job was leased to the worker; run it, push the
+	// result, then Complete.
+	ClaimJob = "job"
+	// ClaimWait: every remaining job is leased to someone else — poll
+	// again after RetryMS (a lease may expire or the queue may drain).
+	ClaimWait = "wait"
+	// ClaimDone: every job is complete; the worker can exit.
+	ClaimDone = "done"
+)
+
+// Claim is a granted lease on one job.
+type Claim struct {
+	Job      int    `json:"job"`
+	Key      string `json:"key"`
+	Workload string `json:"workload"`
+	Label    string `json:"label"`
+	Lease    string `json:"lease"`
+	// LeaseSeconds tells the worker how long it holds the job before
+	// the queue may hand it to someone else.
+	LeaseSeconds float64 `json:"lease_seconds"`
+}
+
+// ClaimResponse is the full answer to a claim request.
+type ClaimResponse struct {
+	Status  string `json:"status"` // ClaimJob, ClaimWait, or ClaimDone
+	Claim   *Claim `json:"claim,omitempty"`
+	RetryMS int    `json:"retry_ms,omitempty"`
+}
+
+// Claim hands the next available job to worker. Expired leases are
+// swept first, so a job orphaned by a dead worker is re-claimable the
+// moment its lease runs out.
+func (q *Queue) Claim(worker string) ClaimResponse {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	for i := range q.jobs {
+		if q.state[i] == jobLeased && now.After(q.expires[i]) {
+			q.state[i] = jobPending
+			q.requeues++
+		}
+	}
+	anyLeased := false
+	for i := range q.jobs {
+		switch q.state[i] {
+		case jobPending:
+			q.next++
+			q.state[i] = jobLeased
+			q.leaseID[i] = strconv.FormatInt(q.next, 10)
+			q.holder[i] = worker
+			q.expires[i] = now.Add(q.lease)
+			q.claimed[worker]++
+			return ClaimResponse{Status: ClaimJob, Claim: &Claim{
+				Job:          i,
+				Key:          q.jobs[i].Key,
+				Workload:     q.jobs[i].Workload,
+				Label:        q.jobs[i].Label,
+				Lease:        q.leaseID[i],
+				LeaseSeconds: q.lease.Seconds(),
+			}}
+		case jobLeased:
+			anyLeased = true
+		}
+	}
+	if anyLeased {
+		return ClaimResponse{Status: ClaimWait, RetryMS: 200}
+	}
+	return ClaimResponse{Status: ClaimDone}
+}
+
+// Complete marks a job done. A matching lease always completes; a
+// mismatched one (the lease expired and the job was requeued, or the
+// claim response never reached the worker) completes only when stored
+// confirms the job's result actually exists — results are
+// content-addressed, so an existing entry proves the work happened,
+// whoever pushed it. Completing an already-done job is a no-op.
+func (q *Queue) Complete(job int, lease, worker string, stored func(key string) bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if job < 0 || job >= len(q.jobs) {
+		return fmt.Errorf("objstore: no job %d in a %d-job queue", job, len(q.jobs))
+	}
+	if q.state[job] == jobDone {
+		return nil
+	}
+	if q.state[job] == jobLeased && q.leaseID[job] == lease {
+		q.state[job] = jobDone
+		q.completed[worker]++
+		return nil
+	}
+	if stored != nil && stored(q.jobs[job].Key) {
+		q.state[job] = jobDone
+		q.completed[worker]++
+		return nil
+	}
+	return fmt.Errorf("objstore: lease %q on job %d is stale (the job was requeued after lease expiry) and no result entry exists for key %.12s… — push the entry, then complete again", lease, job, q.jobs[job].Key)
+}
+
+// QueueStats is a queue snapshot: totals plus per-worker claim and
+// completion counts (the networked sweep's BENCH row).
+type QueueStats struct {
+	Jobs     int            `json:"jobs"`
+	Pending  int            `json:"pending"`
+	Leased   int            `json:"leased"`
+	Done     int            `json:"done"`
+	Requeues int            `json:"requeues"`
+	Claimed  map[string]int `json:"claimed"`
+	Complete map[string]int `json:"completed"`
+}
+
+// Stats snapshots the queue. Expired leases are swept first so the
+// pending/leased split reflects reality even when no worker is
+// actively claiming.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	for i := range q.jobs {
+		if q.state[i] == jobLeased && now.After(q.expires[i]) {
+			q.state[i] = jobPending
+			q.requeues++
+		}
+	}
+	st := QueueStats{Jobs: len(q.jobs), Requeues: q.requeues,
+		Claimed: map[string]int{}, Complete: map[string]int{}}
+	for i := range q.jobs {
+		switch q.state[i] {
+		case jobPending:
+			st.Pending++
+		case jobLeased:
+			st.Leased++
+		case jobDone:
+			st.Done++
+		}
+	}
+	for w, n := range q.claimed {
+		st.Claimed[w] = n
+	}
+	for w, n := range q.completed {
+		st.Complete[w] = n
+	}
+	return st
+}

@@ -1,0 +1,144 @@
+package objstore
+
+import (
+	"testing"
+	"time"
+)
+
+func testJobs(n int) []QueueJob {
+	jobs := make([]QueueJob, n)
+	for i := range jobs {
+		jobs[i] = QueueJob{Key: testKey(byte(i)), Workload: "w", Label: "l"}
+	}
+	return jobs
+}
+
+// testKey builds a distinct well-formed (64 hex chars) key per seed.
+func testKey(seed byte) string {
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = hexdigits[(int(seed)+i)%16]
+	}
+	return string(b)
+}
+
+// fakeClock drives lease expiry deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQueue(n int, lease time.Duration) (*Queue, *fakeClock) {
+	q := NewQueue(testJobs(n), lease)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQueueDrainsInOrder(t *testing.T) {
+	q, _ := newTestQueue(3, time.Minute)
+	for i := 0; i < 3; i++ {
+		resp := q.Claim("w0")
+		if resp.Status != ClaimJob || resp.Claim.Job != i {
+			t.Fatalf("claim %d: %+v", i, resp)
+		}
+		if err := q.Complete(resp.Claim.Job, resp.Claim.Lease, "w0", nil); err != nil {
+			t.Fatalf("complete %d: %v", i, err)
+		}
+	}
+	if resp := q.Claim("w0"); resp.Status != ClaimDone {
+		t.Fatalf("drained queue still hands out work: %+v", resp)
+	}
+	st := q.Stats()
+	if st.Done != 3 || st.Pending != 0 || st.Leased != 0 || st.Requeues != 0 {
+		t.Errorf("stats after drain: %+v", st)
+	}
+	if st.Claimed["w0"] != 3 || st.Complete["w0"] != 3 {
+		t.Errorf("per-worker counts: %+v", st)
+	}
+}
+
+func TestQueueWaitWhileAllLeased(t *testing.T) {
+	q, _ := newTestQueue(1, time.Minute)
+	first := q.Claim("w0")
+	if first.Status != ClaimJob {
+		t.Fatalf("first claim: %+v", first)
+	}
+	// The only job is leased: a second worker must wait, not get the
+	// same job and not be told the queue is done.
+	second := q.Claim("w1")
+	if second.Status != ClaimWait || second.RetryMS <= 0 {
+		t.Fatalf("second claim while leased: %+v", second)
+	}
+}
+
+func TestQueueLeaseExpiryRequeues(t *testing.T) {
+	q, clk := newTestQueue(1, time.Minute)
+	dead := q.Claim("dead")
+	if dead.Status != ClaimJob {
+		t.Fatalf("claim: %+v", dead)
+	}
+	// Before expiry the job is invisible; after expiry it is stolen.
+	if resp := q.Claim("rescuer"); resp.Status != ClaimWait {
+		t.Fatalf("claim before expiry: %+v", resp)
+	}
+	clk.advance(time.Minute + time.Second)
+	stolen := q.Claim("rescuer")
+	if stolen.Status != ClaimJob || stolen.Claim.Job != 0 {
+		t.Fatalf("claim after expiry: %+v", stolen)
+	}
+	if stolen.Claim.Lease == dead.Claim.Lease {
+		t.Error("requeued job reuses the dead worker's lease id")
+	}
+	if st := q.Stats(); st.Requeues != 1 {
+		t.Errorf("requeues = %d, want 1", st.Requeues)
+	}
+	// The rescuer's completion works; the dead worker's stale lease
+	// then hits the already-done no-op path.
+	if err := q.Complete(stolen.Claim.Job, stolen.Claim.Lease, "rescuer", nil); err != nil {
+		t.Fatalf("rescuer complete: %v", err)
+	}
+	if err := q.Complete(dead.Claim.Job, dead.Claim.Lease, "dead", nil); err != nil {
+		t.Errorf("completing an already-done job must be a no-op: %v", err)
+	}
+}
+
+func TestQueueStaleLeaseNeedsStoredProof(t *testing.T) {
+	q, clk := newTestQueue(1, time.Minute)
+	slow := q.Claim("slow")
+	clk.advance(2 * time.Minute) // lease expires while "slow" is still simulating
+	// The job is requeued and re-leased to another worker, so "slow"'s
+	// lease is genuinely stale (an expired-but-unstolen lease would
+	// still complete: nobody else is on the job).
+	if resp := q.Claim("thief"); resp.Status != ClaimJob {
+		t.Fatalf("expired job not re-leased: %+v", resp)
+	}
+	// No proof: the stale completion must be rejected with an
+	// actionable error, because nothing guarantees the result exists.
+	err := q.Complete(slow.Claim.Job, slow.Claim.Lease, "slow", func(string) bool { return false })
+	if err == nil {
+		t.Fatal("stale lease completed without a stored result")
+	}
+	// With the entry stored (content-addressed: whoever pushed it, the
+	// bytes are right), the completion is accepted.
+	if err := q.Complete(slow.Claim.Job, slow.Claim.Lease, "slow", func(string) bool { return true }); err != nil {
+		t.Fatalf("stale lease with stored proof rejected: %v", err)
+	}
+	if st := q.Stats(); st.Done != 1 {
+		t.Errorf("job not done after proven completion: %+v", st)
+	}
+}
+
+func TestQueueCompleteBounds(t *testing.T) {
+	q, _ := newTestQueue(2, time.Minute)
+	if err := q.Complete(-1, "x", "w", nil); err == nil {
+		t.Error("negative job index accepted")
+	}
+	if err := q.Complete(2, "x", "w", nil); err == nil {
+		t.Error("out-of-range job index accepted")
+	}
+	if err := q.Complete(0, "bogus-lease", "w", func(string) bool { return false }); err == nil {
+		t.Error("pending job completed with a bogus lease and no stored proof")
+	}
+}

@@ -1,0 +1,277 @@
+// Package objstore is the networked sweep transport: an HTTP
+// content-addressed object store (server and client) keyed by
+// internal/simcache's SHA-256 scheme, plus a work-stealing job queue
+// over an evaluation manifest. It replaces the filesystem as the
+// interchange surface of a distributed sweep — workers push each
+// result entry the moment it is simulated and the merge stage pulls
+// them back, so a multi-machine run of the paper's evaluation (§VI)
+// needs no copied cache directories — and replaces plan-time sharding
+// with claim-as-you-go scheduling that absorbs stragglers and
+// heterogeneous machines.
+//
+// The server (cmd/rowswap-cached) stores entries in an ordinary
+// simcache directory, so everything downstream — checksummed
+// envelopes, corrupt-entry rejection, packed indexes, measured-cost
+// sidecars with EWMA smoothing — behaves exactly as it does locally,
+// and a store directory can be merged or planned against like any
+// worker cache. The client implements simcache.Store, so sweep
+// execution code is agnostic to the transport.
+package objstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/simcache"
+)
+
+// Request-size ceilings. Entries are one simulation result each (a few
+// KB of JSON); control requests are tiny. Anything larger is not
+// legitimate traffic.
+const (
+	maxEntryBytes   = 32 << 20
+	maxControlBytes = 1 << 16
+	maxCostsBytes   = 64 << 20
+)
+
+// ServerOptions configures NewServer beyond the backing cache.
+type ServerOptions struct {
+	// Manifest is the raw manifest JSON served at /v1/manifest, so a
+	// worker machine needs nothing but the binary and the server URL.
+	Manifest []byte
+	// Jobs feeds the work-stealing queue, in manifest job order.
+	Jobs []QueueJob
+	// Lease bounds how long a claimed job stays invisible to other
+	// workers (<= 0: DefaultLease).
+	Lease time.Duration
+	// Log, when non-nil, receives one line per claim, completion, and
+	// upload.
+	Log io.Writer
+}
+
+// Server is the store/coordinator daemon's HTTP surface. Storage is a
+// plain simcache directory; scheduling is a Queue. All handlers are
+// safe for concurrent use.
+type Server struct {
+	cache    *simcache.Cache
+	queue    *Queue
+	manifest []byte
+	mux      *http.ServeMux
+
+	logMu sync.Mutex
+	log   io.Writer
+}
+
+// NewServer builds a server over the given cache directory.
+func NewServer(cache *simcache.Cache, opt ServerOptions) *Server {
+	s := &Server{
+		cache:    cache,
+		queue:    NewQueue(opt.Jobs, opt.Lease),
+		manifest: opt.Manifest,
+		mux:      http.NewServeMux(),
+		log:      opt.Log,
+	}
+	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/entry/{key}", s.handleGetEntry)
+	s.mux.HandleFunc("PUT /v1/entry/{key}", s.handlePutEntry)
+	s.mux.HandleFunc("GET /v1/costs", s.handleGetCosts)
+	s.mux.HandleFunc("POST /v1/costs", s.handlePostCosts)
+	s.mux.HandleFunc("POST /v1/claim", s.handleClaim)
+	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the queue (exposed for the daemon's shutdown
+// summary; remote callers use GET /v1/status).
+func (s *Server) Stats() QueueStats { return s.queue.Stats() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log == nil {
+		return
+	}
+	s.logMu.Lock()
+	fmt.Fprintf(s.log, format+"\n", args...)
+	s.logMu.Unlock()
+}
+
+// validKey gates every key-carrying route: keys are SHA-256 hex
+// digests, nothing else. This is what keeps a hostile key from
+// escaping the store directory (the cache joins keys into file paths).
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// httpError sends a JSON error body so clients can surface the
+// server's reason verbatim.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if len(s.manifest) == 0 {
+		httpError(w, http.StatusNotFound, "this server was started without a manifest")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.manifest)
+}
+
+func (s *Server) handleGetEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		httpError(w, http.StatusBadRequest, "key %q is not a SHA-256 hex digest", key)
+		return
+	}
+	data, ok := s.cache.GetRaw(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no entry for key %.12s…", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handlePutEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		httpError(w, http.StatusBadRequest, "key %q is not a SHA-256 hex digest", key)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading entry body: %v", err)
+		return
+	}
+	// PutRaw re-validates schema, key, and checksum; a corrupt push is
+	// rejected here and never touches the store.
+	if err := s.cache.PutRaw(key, data); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.logf("stored entry %.12s… (%d bytes)", key, len(data))
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleGetCosts(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Write(s.cache.Costs().Export())
+}
+
+// costLine mirrors the sidecar's line format ({key, seconds}).
+type costLine struct {
+	Key     string  `json:"key"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (s *Server) handlePostCosts(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCostsBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading costs body: %v", err)
+		return
+	}
+	merged := 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var c costLine
+		if json.Unmarshal(line, &c) != nil || !validKey(c.Key) || c.Seconds <= 0 {
+			continue
+		}
+		// Record folds repeated observations — from any worker — into
+		// the EWMA estimate, which is the whole point of centralizing
+		// cost feedback.
+		s.cache.Costs().Record(c.Key, c.Seconds)
+		merged++
+	}
+	writeJSON(w, map[string]int{"merged": merged})
+}
+
+// claimRequest is a worker's claim body.
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading claim body: %v", err)
+		return
+	}
+	var req claimRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "claim body is not JSON ({\"worker\":\"name\"}): %v", err)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "claim body names no worker ({\"worker\":\"name\"})")
+		return
+	}
+	resp := s.queue.Claim(req.Worker)
+	if resp.Status == ClaimJob {
+		s.logf("claim: job %d (%s %s) -> %s", resp.Claim.Job, resp.Claim.Workload, labelOrBaseline(resp.Claim.Label), req.Worker)
+	}
+	writeJSON(w, resp)
+}
+
+// completeRequest is a worker's completion body.
+type completeRequest struct {
+	Job    int    `json:"job"`
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading completion body: %v", err)
+		return
+	}
+	var req completeRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "completion body is not JSON ({\"job\":N,\"lease\":\"id\",\"worker\":\"name\"}): %v", err)
+		return
+	}
+	if err := s.queue.Complete(req.Job, req.Lease, req.Worker, s.cache.Has); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.logf("complete: job %d by %s", req.Job, req.Worker)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.queue.Stats())
+}
+
+func labelOrBaseline(label string) string {
+	if label == "" {
+		return "baseline"
+	}
+	return label
+}

@@ -1,0 +1,211 @@
+package objstore
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/simcache"
+)
+
+func newTestServer(t *testing.T, opt ServerOptions) (*Server, *Client, *simcache.Cache) {
+	t.Helper()
+	cache, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cache, opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.backoff = time.Millisecond
+	return srv, c, cache
+}
+
+// TestServerEntryRoundTrip proves the push/pull path preserves entries
+// bit-identically: what a worker pushes is what the merge stage pulls,
+// checksums and all.
+func TestServerEntryRoundTrip(t *testing.T) {
+	_, c, cache := newTestServer(t, ServerOptions{})
+	key := simcache.Key("roundtrip")
+	payload := map[string]any{"ipc": 1.25, "cycles": 123456.0}
+
+	if ok, err := c.Get(key, &map[string]any{}); ok || err != nil {
+		t.Fatalf("empty store Get = (%v, %v), want miss", ok, err)
+	}
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	// The server persisted a real simcache entry.
+	if !cache.Has(key) {
+		t.Fatal("pushed entry not in the server's cache directory")
+	}
+	var got map[string]any
+	ok, err := c.Get(key, &got)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v)", ok, err)
+	}
+	if !reflect.DeepEqual(got, payload) {
+		t.Errorf("round-tripped payload %v != %v", got, payload)
+	}
+	// Raw bytes are byte-identical to a locally encoded envelope.
+	raw, ok, err := c.GetEntryRaw(key)
+	if err != nil || !ok {
+		t.Fatalf("GetEntryRaw = (%v, %v)", ok, err)
+	}
+	want, err := simcache.EncodeEntry(key, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(want) {
+		t.Error("network envelope differs from local encoding")
+	}
+}
+
+// TestServerRejectsCorruptUpload: the upload gate is the same
+// schema/key/checksum validation local reads enforce, so a corrupt
+// push gets a 400 and never lands in the store.
+func TestServerRejectsCorruptUpload(t *testing.T) {
+	_, c, cache := newTestServer(t, ServerOptions{})
+	key := simcache.Key("corrupt-upload")
+	valid, err := simcache.EncodeEntry(key, map[string]int{"v": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	for name, bad := range map[string][]byte{
+		"bit-flip":  flipped,
+		"truncated": valid[:len(valid)/2],
+		"garbage":   []byte("not an envelope"),
+		"empty":     {},
+	} {
+		if err := c.PutEntryRaw(key, bad); err == nil {
+			t.Errorf("%s upload accepted", name)
+		}
+		if cache.Has(key) {
+			t.Fatalf("%s upload poisoned the store", name)
+		}
+	}
+	// The wrong-key case: a valid envelope pushed under another key.
+	other := simcache.Key("other-key")
+	if err := c.PutEntryRaw(other, valid); err == nil {
+		t.Error("envelope uploaded under a mismatched key was accepted")
+	}
+}
+
+// TestServerCostsEWMAAcrossWorkers: repeated observations from
+// different pushers fold into one EWMA estimate, and the export is in
+// sidecar format an index can import.
+func TestServerCostsEWMAAcrossWorkers(t *testing.T) {
+	_, c, cache := newTestServer(t, ServerOptions{})
+	key := testKey(7)
+	c.RecordCost(key, 2.0)
+	c.RecordCost(key, 2.0)
+	c.RecordCost(key, 2.0)
+	s, ok := cache.Costs().Seconds(key)
+	if !ok || s != 2.0 {
+		t.Fatalf("steady observations give %g, want 2.0", s)
+	}
+	c.RecordCost(key, 8.0) // one straggler machine
+	if s, _ = cache.Costs().Seconds(key); s <= 2.0 || s >= 8.0 {
+		t.Fatalf("outlier folded to %g, want strictly between 2 and 8", s)
+	}
+
+	data, err := c.CostsJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := simcache.OpenCostIndex(t.TempDir())
+	if n := merged.ImportRecords(bytes.NewReader(data)); n != 1 {
+		t.Fatalf("imported %d cost keys from the export, want 1", n)
+	}
+	got, _ := merged.Seconds(key)
+	if got != s {
+		t.Errorf("imported estimate %g != server estimate %g", got, s)
+	}
+}
+
+// TestServerQueueOverHTTP drains a queue through the real HTTP surface
+// with two client "workers", completing each job only after its entry
+// is pushed — the full work-stealing protocol minus the simulator.
+func TestServerQueueOverHTTP(t *testing.T) {
+	jobs := testJobs(5)
+	srv, c, _ := newTestServer(t, ServerOptions{Jobs: jobs, Lease: time.Minute})
+	done := 0
+	workers := []string{"w0", "w1"}
+	for i := 0; ; i++ {
+		w := workers[i%2]
+		resp, err := c.ClaimJob(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status == ClaimDone {
+			break
+		}
+		if resp.Status != ClaimJob {
+			t.Fatalf("unexpected claim status %q with jobs pending", resp.Status)
+		}
+		if err := c.Put(resp.Claim.Key, map[string]int{"job": resp.Claim.Job}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Complete(resp.Claim.Job, resp.Claim.Lease, w); err != nil {
+			t.Fatal(err)
+		}
+		done++
+	}
+	if done != len(jobs) {
+		t.Fatalf("drained %d jobs, want %d", done, len(jobs))
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != len(jobs) || st.Pending != 0 || st.Leased != 0 {
+		t.Errorf("status after drain: %+v", st)
+	}
+	if st.Claimed["w0"]+st.Claimed["w1"] != len(jobs) {
+		t.Errorf("per-worker claims do not sum to the job count: %+v", st.Claimed)
+	}
+	if got := srv.Stats(); got.Done != len(jobs) {
+		t.Errorf("server-side stats disagree: %+v", got)
+	}
+}
+
+// TestServerManifest serves the bytes it was started with, 404s
+// without one.
+func TestServerManifest(t *testing.T) {
+	manifest := []byte(`{"schema":2,"jobs":[]}`)
+	_, c, _ := newTestServer(t, ServerOptions{Manifest: manifest})
+	got, err := c.ManifestJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(manifest) {
+		t.Errorf("manifest %q != %q", got, manifest)
+	}
+	_, c2, _ := newTestServer(t, ServerOptions{})
+	if _, err := c2.ManifestJSON(); err == nil {
+		t.Error("manifest-less server served a manifest")
+	}
+}
+
+// TestServerRejectsHostileKeys: non-SHA-256 keys (path traversal,
+// wrong length, non-hex) never reach the filesystem layer.
+func TestServerRejectsHostileKeys(t *testing.T) {
+	_, c, _ := newTestServer(t, ServerOptions{})
+	for _, key := range []string{
+		"..%2F..%2Fetc%2Fpasswd",
+		"short",
+		testKey(0)[:63] + "Z",
+	} {
+		if err := c.PutEntryRaw(key, []byte("{}")); err == nil {
+			t.Errorf("hostile key %q accepted on PUT", key)
+		}
+		if _, ok, err := c.GetEntryRaw(key); ok || err == nil {
+			t.Errorf("hostile key %q accepted on GET: ok=%v err=%v", key, ok, err)
+		}
+	}
+}

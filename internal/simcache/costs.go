@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"repro/internal/config"
@@ -126,21 +127,39 @@ func (x *CostIndex) Len() int {
 	return len(x.secs)
 }
 
-// Record stores the measured wall-seconds for key and appends it to the
-// sidecar file. Recording is best-effort: a full disk or read-only
-// directory must not fail the simulation whose cost is being noted.
+// costEWMAAlpha weights a new observation against the running
+// estimate. Wall-seconds are noisy — host load, thermal state, and
+// (across a sweep) heterogeneous worker machines all perturb them — so
+// the index keeps an exponentially weighted moving average instead of
+// letting the last observation win: repeated measurements converge on
+// the workload's true cost, and a stale outlier decays by (1-α) per
+// subsequent observation instead of steering LPT forever.
+const costEWMAAlpha = 0.4
+
+// Record folds a measured wall-seconds observation for key into the
+// index's running estimate (EWMA, see costEWMAAlpha; a first
+// observation is taken as-is) and appends the updated estimate to the
+// sidecar file — the file stores estimates, not raw observations, so
+// replaying it (later lines winning) reproduces the in-memory state
+// and importers see already-smoothed values. Recording is best-effort:
+// a full disk or read-only directory must not fail the simulation
+// whose cost is being noted.
 func (x *CostIndex) Record(key string, seconds float64) {
 	if x == nil || key == "" || seconds <= 0 {
-		return
-	}
-	line, err := json.Marshal(costRecord{Key: key, Seconds: seconds})
-	if err != nil {
 		return
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.ensureLoaded()
-	x.secs[key] = seconds
+	est := seconds
+	if old, ok := x.secs[key]; ok {
+		est = costEWMAAlpha*seconds + (1-costEWMAAlpha)*old
+	}
+	line, err := json.Marshal(costRecord{Key: key, Seconds: est})
+	if err != nil {
+		return
+	}
+	x.secs[key] = est
 	x.appendLocked(append(line, '\n'))
 }
 
@@ -153,6 +172,34 @@ func (x *CostIndex) appendLocked(lines []byte) {
 	}
 	f.Write(lines)
 	f.Close()
+}
+
+// Export returns the index's current estimates, one JSON line per key
+// in sorted-key order — the sidecar file format, so the dump can be
+// fed straight to ImportRecords on another machine. The object-store
+// daemon serves it to the merge stage.
+func (x *CostIndex) Export() []byte {
+	if x == nil {
+		return nil
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLoaded()
+	keys := make([]string, 0, len(x.secs))
+	for k := range x.secs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		line, err := json.Marshal(costRecord{Key: k, Seconds: x.secs[k]})
+		if err != nil {
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out
 }
 
 // ImportFrom merges the measured costs recorded in another cache
@@ -171,7 +218,18 @@ func (x *CostIndex) ImportFrom(dir string) int {
 		return 0
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
+	return x.ImportRecords(f)
+}
+
+// ImportRecords merges sidecar-format cost lines from r — a worker's
+// costs.jsonl, or a daemon's Export dump — into this index under the
+// same keep-existing-keys rule as ImportFrom, returning how many new
+// keys were merged.
+func (x *CostIndex) ImportRecords(r io.Reader) int {
+	if x == nil {
+		return 0
+	}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	x.mu.Lock()
 	defer x.mu.Unlock()

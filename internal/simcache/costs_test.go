@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,20 +43,23 @@ func TestCostIndexRecordAndReload(t *testing.T) {
 	}
 	x.Record("k1", 1.5)
 	x.Record("k2", 0.25)
-	x.Record("k1", 2.0) // later record wins
+	x.Record("k1", 2.0) // folded into the EWMA estimate
 	x.Record("bad", 0)  // non-positive measurements are dropped
 	x.Record("", 3)     // as are empty keys
-	if s, ok := x.Seconds("k1"); !ok || s != 2.0 {
-		t.Errorf("Seconds(k1) = (%g, %v), want (2, true)", s, ok)
+	want := costEWMAAlpha*2.0 + (1-costEWMAAlpha)*1.5
+	if s, ok := x.Seconds("k1"); !ok || s != want {
+		t.Errorf("Seconds(k1) = (%g, %v), want (%g, true)", s, ok, want)
 	}
 	if x.Len() != 2 {
 		t.Errorf("index holds %d keys, want 2", x.Len())
 	}
 
-	// A fresh open replays the append-only file, later lines winning.
+	// A fresh open replays the append-only file, later lines winning;
+	// lines hold smoothed estimates, so the reload matches in-memory
+	// state exactly.
 	y := OpenCostIndex(dir)
-	if s, ok := y.Seconds("k1"); !ok || s != 2.0 {
-		t.Errorf("reloaded Seconds(k1) = (%g, %v), want (2, true)", s, ok)
+	if s, ok := y.Seconds("k1"); !ok || s != want {
+		t.Errorf("reloaded Seconds(k1) = (%g, %v), want (%g, true)", s, ok, want)
 	}
 	if y.Len() != 2 {
 		t.Errorf("reloaded index holds %d keys, want 2", y.Len())
@@ -112,6 +116,65 @@ func TestCostIndexImportFrom(t *testing.T) {
 	}
 	if s, ok := OpenCostIndex(dst).Seconds("a"); !ok || s != 1 {
 		t.Errorf("merged key a not persisted: (%g, %v)", s, ok)
+	}
+}
+
+// TestCostIndexEWMAConverges pins the satellite contract: repeated
+// noisy observations of the same simulation converge on the true cost
+// instead of jumping to whatever was measured last.
+func TestCostIndexEWMAConverges(t *testing.T) {
+	x := OpenCostIndex(t.TempDir())
+	// Noisy measurements around a true cost of 2.0 s, ending on the
+	// worst single observation so latest-wins would be off by 30%.
+	obs := []float64{2.4, 1.7, 2.2, 1.8, 2.1, 1.9, 2.05, 1.95, 2.6}
+	for _, o := range obs {
+		x.Record("k", o)
+	}
+	s, ok := x.Seconds("k")
+	if !ok {
+		t.Fatal("no estimate recorded")
+	}
+	if math.Abs(s-2.0) > 0.3 {
+		t.Errorf("EWMA estimate %g strayed more than 0.3 from the true cost 2.0", s)
+	}
+	last := obs[len(obs)-1]
+	if math.Abs(s-2.0) >= math.Abs(last-2.0) {
+		t.Errorf("EWMA estimate %g is no closer to the true cost than latest-wins (%g)", s, last)
+	}
+}
+
+// TestCostIndexEWMAOutlierDecays shows a stale outlier (one slow
+// measurement on a loaded machine) losing influence with every later
+// observation, and the decayed estimate surviving a reload.
+func TestCostIndexEWMAOutlierDecays(t *testing.T) {
+	dir := t.TempDir()
+	x := OpenCostIndex(dir)
+	for i := 0; i < 4; i++ {
+		x.Record("k", 1.0)
+	}
+	if s, _ := x.Seconds("k"); s != 1.0 {
+		t.Fatalf("steady observations drifted: %g", s)
+	}
+	x.Record("k", 10.0) // the outlier
+	spike, _ := x.Seconds("k")
+	if spike <= 1.0 || spike >= 10.0 {
+		t.Fatalf("outlier folded to %g, want strictly between 1 and 10", spike)
+	}
+	prev := spike
+	for i := 0; i < 6; i++ {
+		x.Record("k", 1.0)
+		s, _ := x.Seconds("k")
+		if s >= prev {
+			t.Fatalf("estimate did not decay: %g -> %g after observation %d", prev, s, i)
+		}
+		prev = s
+	}
+	if prev > 1.3 {
+		t.Errorf("outlier residual %g after 6 observations, want <= 1.3", prev)
+	}
+	// The decay is persisted: a fresh open sees the same estimate.
+	if s, ok := OpenCostIndex(dir).Seconds("k"); !ok || s != prev {
+		t.Errorf("reloaded estimate (%g, %v) differs from in-memory %g", s, ok, prev)
 	}
 }
 

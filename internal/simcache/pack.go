@@ -69,16 +69,17 @@ func (c *Cache) scanPacks() {
 	}
 }
 
-// getPacked serves key from the packed index, fully re-validating the
-// entry bytes. A corrupted or stale packed entry is dropped from the
-// index and reported as a miss so the caller re-simulates into a loose
-// file (which Get prefers over the pack from then on).
-func (c *Cache) getPacked(key string, v any) bool {
+// packedRaw serves key's envelope bytes from the packed index,
+// validating them once and returning the extracted payload alongside.
+// A corrupted or stale packed entry is dropped from the index and
+// reported as a miss so the caller re-simulates into a loose file
+// (which Get prefers over the pack from then on).
+func (c *Cache) packedRaw(key string) (data []byte, payload json.RawMessage, ok bool) {
 	c.mu.RLock()
-	ref, ok := c.packed[key]
+	ref, found := c.packed[key]
 	c.mu.RUnlock()
-	if !ok {
-		return false
+	if !found {
+		return nil, nil, false
 	}
 	drop := func() {
 		c.mu.Lock()
@@ -88,17 +89,33 @@ func (c *Cache) getPacked(key string, v any) bool {
 	f, err := os.Open(ref.path)
 	if err != nil {
 		drop()
-		return false
+		return nil, nil, false
 	}
 	defer f.Close()
-	data := make([]byte, ref.n)
+	data = make([]byte, ref.n)
 	if _, err := f.ReadAt(data, ref.off); err != nil {
 		drop()
+		return nil, nil, false
+	}
+	payload, ok = decodeEnvelope(data, key)
+	if !ok {
+		drop()
+		return nil, nil, false
+	}
+	return data, payload, true
+}
+
+// getPacked serves key from the packed index, fully re-validating the
+// entry bytes.
+func (c *Cache) getPacked(key string, v any) bool {
+	_, payload, ok := c.packedRaw(key)
+	if !ok {
 		return false
 	}
-	payload, ok := decodeEnvelope(data, key)
-	if !ok || json.Unmarshal(payload, v) != nil {
-		drop()
+	if json.Unmarshal(payload, v) != nil {
+		c.mu.Lock()
+		delete(c.packed, key)
+		c.mu.Unlock()
 		return false
 	}
 	return true

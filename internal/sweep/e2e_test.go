@@ -257,23 +257,12 @@ func TestEvaluationSweepEndToEndTwoWorkerProcesses(t *testing.T) {
 }
 
 // writeSweepBench serializes the evaluation e2e's scale numbers into
-// BENCH_sweep.json at the repository root, mirroring BENCH_kernel.json:
-// the dedupe win (jobs planned per-figure vs deduplicated) and the
-// merge wall time are the sweep layer's trackable trajectory. The
-// write only happens in CI or under BENCH_SWEEP=1 so a plain local
-// `go test ./...` never dirties the working tree with
-// machine-dependent timings (regenerate with
-// `BENCH_SWEEP=1 go test -run TestEvaluationSweep ./internal/sweep`).
+// the "evaluation" section of BENCH_sweep.json: the dedupe win (jobs
+// planned per-figure vs deduplicated) and the merge wall time are the
+// sweep layer's trackable trajectory.
 func writeSweepBench(t *testing.T, figures, perFigure, deduped int, mergeSecs float64) {
 	t.Helper()
-	if os.Getenv("BENCH_SWEEP") == "" && os.Getenv("CI") == "" {
-		return
-	}
-	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	payload := map[string]any{
+	writeBenchSection(t, "evaluation", map[string]any{
 		"benchmark":             "EvaluationSweep",
 		"figures":               figures,
 		"jobs_per_figure_sum":   perFigure,
@@ -283,12 +272,44 @@ func writeSweepBench(t *testing.T, figures, perFigure, deduped int, mergeSecs fl
 		"worker_processes":      2,
 		"workloads":             2,
 		"instructions_per_core": 150_000,
+	})
+}
+
+// writeBenchSection read-modify-writes one named section of
+// BENCH_sweep.json at the repository root, mirroring
+// BENCH_kernel.json: each e2e owns a section ("evaluation", the dedupe
+// win; "work_stealing", the transport/scheduling row) so the file
+// tracks both trajectories whichever test ran last. The write only
+// happens in CI or under BENCH_SWEEP=1 so a plain local
+// `go test ./...` never dirties the working tree with
+// machine-dependent timings (regenerate with
+// `BENCH_SWEEP=1 go test -run 'EndToEnd' ./internal/sweep`).
+func writeBenchSection(t *testing.T, section string, payload map[string]any) {
+	t.Helper()
+	if os.Getenv("BENCH_SWEEP") == "" && os.Getenv("CI") == "" {
+		return
 	}
-	data, err := json.MarshalIndent(payload, "", "  ")
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(repoRoot, "BENCH_sweep.json"), append(data, '\n'), 0o644); err != nil {
+	path := filepath.Join(repoRoot, "BENCH_sweep.json")
+	sections := map[string]map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		// A pre-section flat file (or garbage) simply starts fresh.
+		_ = json.Unmarshal(data, &sections)
+		for k, v := range sections {
+			if v == nil {
+				delete(sections, k)
+			}
+		}
+	}
+	sections[section] = payload
+	data, err := json.MarshalIndent(sections, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Logf("could not write BENCH_sweep.json: %v", err)
 	}
 }

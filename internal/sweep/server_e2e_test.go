@@ -1,0 +1,334 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// These are the acceptance tests of the networked sweep: a real
+// rowswap-cached daemon on a loopback port, real rowswap-sweep worker
+// processes in work-stealing mode, and a server-transport merge. The
+// only things the processes share are the daemon's URL (and, for the
+// processes that interpret jobs, the manifest) — no cache directory
+// ever changes hands, which is exactly the claim the tests verify.
+
+// buildCLI builds one of this repository's commands into dir and
+// returns the binary path.
+func buildCLI(t *testing.T, dir, name string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available to build the CLI")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, name)
+	build := exec.Command(goBin, "build", "-o", bin, "./cmd/"+name)
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+var servingURL = regexp.MustCompile(`http://[0-9.]+:[0-9]+`)
+
+// startCached starts a real rowswap-cached daemon and returns its base
+// URL (parsed from the serving line, so -addr can use port 0). The
+// daemon is killed when the test ends.
+func startCached(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("rowswap-cached printed no serving line: %v", sc.Err())
+	}
+	url := servingURL.FindString(sc.Text())
+	if url == "" {
+		t.Fatalf("no URL in serving line %q", sc.Text())
+	}
+	// Drain any further output so the daemon never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+	return url
+}
+
+// queueStatus polls the daemon's status endpoint.
+func queueStatus(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return st
+}
+
+// singleProcessFig14 computes the reference rows the merged results
+// must match bit-identically.
+func singleProcessFig14(t *testing.T, workloads []string, instructions int64) []report.PerfRow {
+	t.Helper()
+	report.ResetBaselineCache()
+	want, err := report.Fig14(io.Discard, report.PerfOptions{
+		Workloads: workloads,
+		Cores:     2,
+		Sim:       sim.Options{Instructions: instructions, WindowNS: 200_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNonTrivial(t, want)
+	return want
+}
+
+// loadFigureRows reads a merge-stage results file and extracts one
+// figure's rows.
+func loadFigureRows(t *testing.T, path, fig string) []report.PerfRow {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Results
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.FigureRows(fig)
+	if !ok {
+		t.Fatalf("merged results carry no figure %s", fig)
+	}
+	return rows
+}
+
+// TestServerSweepWorkStealingTwoWorkerProcesses is the acceptance test
+// of the networked transport: plan, a real rowswap-cached daemon, two
+// real worker processes in `work -server` (work-stealing) mode that
+// never touch a cache directory, and a `merge -server` pull must
+// reproduce figure 14's PerfRows bit-identically to a single-process
+// run — with zero filesystem interchange between any two processes. It
+// also times the same matrix through the PR 4 pre-sharded LPT path and
+// records both in BENCH_sweep.json's work_stealing section (jobs
+// claimed per worker, wall seconds per mode).
+func TestServerSweepWorkStealingTwoWorkerProcesses(t *testing.T) {
+	dir := t.TempDir()
+	sweepBin := buildCLI(t, dir, "rowswap-sweep")
+	cachedBin := buildCLI(t, dir, "rowswap-cached")
+
+	const instructions = 200_000
+	workloads := []string{"gcc", "mcf", "gups"}
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(sweepBin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	manifest := filepath.Join(dir, "manifest.json")
+	run("plan", "-fig", "14",
+		"-workloads", "gcc,mcf,gups", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "2", "-out", manifest)
+
+	url := startCached(t, cachedBin,
+		"-manifest", manifest, "-store-dir", filepath.Join(dir, "store"), "-addr", "127.0.0.1:0")
+
+	// Two worker processes, claiming concurrently like two machines.
+	// w1 gets the manifest from the daemon — a worker machine needs
+	// only the binary and the URL.
+	stealStart := time.Now()
+	w0 := exec.Command(sweepBin, "work", "-server", url, "-name", "w0", "-manifest", manifest, "-workers", "2")
+	w1 := exec.Command(sweepBin, "work", "-server", url, "-name", "w1", "-workers", "2")
+	for i, w := range []*exec.Cmd{w0, w1} {
+		w.Dir = dir
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+	}
+	for i, w := range []*exec.Cmd{w0, w1} {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d failed: %v", i, err)
+		}
+	}
+	stealSecs := time.Since(stealStart).Seconds()
+
+	// The queue drained and every job was claimed by exactly one of
+	// the two named workers.
+	st := queueStatus(t, url)
+	claimed := st["claimed"].(map[string]any)
+	if len(claimed) != 2 {
+		t.Errorf("claims from %d workers, want 2: %v", len(claimed), claimed)
+	}
+	if done := st["done"].(float64); done != 9 { // 3 workloads × (baseline + 2 configs)
+		t.Errorf("queue reports %v jobs done, want 9", done)
+	}
+
+	// No worker cache directory exists anywhere: the store dir and the
+	// manifest are the only artifacts besides the binaries.
+	for _, name := range []string{"w0", "w1"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("worker %s left a local cache directory", name)
+		}
+	}
+
+	results := filepath.Join(dir, "results.json")
+	run("merge", "-server", url, "-manifest", manifest,
+		"-merged-dir", filepath.Join(dir, "merged"), "-out", results)
+	gotRows := loadFigureRows(t, results, "14")
+
+	want := singleProcessFig14(t, workloads, instructions)
+	if !reflect.DeepEqual(want, gotRows) {
+		t.Errorf("work-stealing rows differ from single-process rows:\nwant: %+v\ngot:  %+v", want, gotRows)
+	}
+
+	// The comparison row: the same matrix through pre-sharded LPT with
+	// filesystem interchange (the PR 4 path), for the BENCH file.
+	lptManifest := filepath.Join(dir, "lpt-manifest.json")
+	run("plan", "-fig", "14",
+		"-workloads", "gcc,mcf,gups", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "2", "-strategy", "cost", "-cost-dir", "", "-out", lptManifest)
+	lptStart := time.Now()
+	runWorkers(t, dir, sweepBin, lptManifest, []string{filepath.Join(dir, "lpt-w0"), filepath.Join(dir, "lpt-w1")})
+	lptSecs := time.Since(lptStart).Seconds()
+
+	perWorker := map[string]any{}
+	for w, n := range claimed {
+		perWorker[w] = n
+	}
+	writeBenchSection(t, "work_stealing", map[string]any{
+		"benchmark":                   "ServerSweepWorkStealing",
+		"jobs":                        9,
+		"worker_processes":            2,
+		"jobs_claimed_per_worker":     perWorker,
+		"work_stealing_wall_seconds":  stealSecs,
+		"lpt_presharded_wall_seconds": lptSecs,
+		"instructions_per_core":       instructions,
+		"requeues":                    st["requeues"],
+	})
+}
+
+// TestServerSweepSurvivesKilledWorker is the fault-tolerance
+// acceptance test: a worker SIGKILLed mid-run forfeits its leased job
+// after the lease expires, a second worker steals and finishes it, and
+// the merged figure is still bit-identical to a single-process run.
+func TestServerSweepSurvivesKilledWorker(t *testing.T) {
+	dir := t.TempDir()
+	sweepBin := buildCLI(t, dir, "rowswap-sweep")
+	cachedBin := buildCLI(t, dir, "rowswap-cached")
+
+	const instructions = 1_000_000
+	workloads := []string{"gcc", "gups"}
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(sweepBin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	manifest := filepath.Join(dir, "manifest.json")
+	run("plan", "-fig", "14",
+		"-workloads", "gcc,gups", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "1", "-out", manifest)
+
+	// A short lease so the orphaned job is re-claimable within the
+	// test's patience, but still far above one job's wall time.
+	url := startCached(t, cachedBin,
+		"-manifest", manifest, "-store-dir", filepath.Join(dir, "store"),
+		"-addr", "127.0.0.1:0", "-lease", "1s")
+
+	// The doomed worker: single goroutine, so it always holds exactly
+	// one lease while alive.
+	doomed := exec.Command(sweepBin, "work", "-server", url, "-name", "doomed", "-workers", "1", "-manifest", manifest)
+	doomed.Dir = dir
+	if err := doomed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		doomed.Process.Kill()
+		doomed.Wait()
+	}()
+
+	// Kill it the moment it demonstrably holds a lease (and before the
+	// queue could possibly drain).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := queueStatus(t, url)
+		if st["leased"].(float64) >= 1 {
+			break
+		}
+		if st["done"].(float64) >= 6 {
+			t.Fatal("queue drained before the worker could be killed; raise -instructions")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never claimed a job: %v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := doomed.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Wait()
+
+	// The rescuer finishes everything, including the orphaned job once
+	// its lease expires.
+	rescue := run("work", "-server", url, "-name", "rescuer", "-manifest", manifest)
+	t.Logf("rescuer: %s", rescue)
+
+	st := queueStatus(t, url)
+	if done := st["done"].(float64); done != 6 { // 2 workloads × (baseline + 2 configs)
+		t.Errorf("queue reports %v jobs done after rescue, want 6", done)
+	}
+	if requeues := st["requeues"].(float64); requeues < 1 {
+		t.Errorf("no lease was requeued (requeues = %v); the kill exercised nothing", requeues)
+	}
+
+	results := filepath.Join(dir, "results.json")
+	run("merge", "-server", url, "-manifest", manifest,
+		"-merged-dir", filepath.Join(dir, "merged"), "-out", results)
+	gotRows := loadFigureRows(t, results, "14")
+	want := singleProcessFig14(t, workloads, instructions)
+	if !reflect.DeepEqual(want, gotRows) {
+		t.Errorf("post-kill merged rows differ from single-process rows:\nwant: %+v\ngot:  %+v", want, gotRows)
+	}
+}

@@ -460,6 +460,16 @@ func (m *Manifest) Validate() error {
 	return err
 }
 
+// ValidateStructure checks the manifest's internal consistency without
+// the binary-fingerprint gate. The store daemon (cmd/rowswap-cached)
+// uses it: the daemon is a different executable than the planner by
+// construction, and it never interprets a job beyond its key, so the
+// fingerprint check belongs to the workers and the merge stage — the
+// processes that actually simulate or assemble rows.
+func (m *Manifest) ValidateStructure() error {
+	return m.validateStructure()
+}
+
 // Save writes the manifest as indented JSON.
 func (m *Manifest) Save(path string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -510,19 +520,38 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 		return stats, fmt.Errorf("sweep: cache dir: %w", err)
 	}
 
+	mine := m.shardJobs(shard)
+	stats.Jobs = len(mine)
+	exec := func(cell report.MatrixCell) (bool, error) {
+		_, hit, err := simcache.RunCached(cache, cell.Workload, cell.System, eval.Sim)
+		return hit, err
+	}
+	stats.Hits, err = m.runJobPool(eval, mine, workers, progress, fmt.Sprintf("shard %d", shard), exec)
+	return stats, err
+}
+
+// shardJobs lists the manifest job indices assigned to shard.
+func (m *Manifest) shardJobs(shard int) []int {
 	var mine []int
 	for i, j := range m.Jobs {
 		if j.Shard == shard {
 			mine = append(mine, i)
 		}
 	}
-	stats.Jobs = len(mine)
+	return mine
+}
 
+// runJobPool spreads exec over the given manifest job indices on a
+// pool of workers goroutines (0 = one per CPU), stopping at the first
+// error. Jobs are independent deterministic simulations, so the pool
+// affects wall time only, never any result. It returns how many jobs
+// exec reported as store/cache hits.
+func (m *Manifest) runJobPool(eval report.EvaluationPlan, indices []int, workers int, progress io.Writer, who string, exec func(cell report.MatrixCell) (bool, error)) (int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(mine) {
-		workers = len(mine)
+	if workers > len(indices) {
+		workers = len(indices)
 	}
 	var (
 		cursor  atomic.Int64
@@ -540,16 +569,15 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 			defer wg.Done()
 			for {
 				k := int(cursor.Add(1))
-				if k >= len(mine) || failed.Load() {
+				if k >= len(indices) || failed.Load() {
 					return
 				}
-				ji := mine[k]
-				cell := eval.Cells[ji]
-				_, hit, err := simcache.RunCached(cache, cell.Workload, cell.System, eval.Sim)
+				ji := indices[k]
+				hit, err := exec(eval.Cells[ji])
 				if err != nil {
 					firstMu.Lock()
 					if firstE == nil {
-						firstE = fmt.Errorf("sweep: shard %d: %s: %w", shard, m.Jobs[ji].desc(), err)
+						firstE = fmt.Errorf("sweep: %s: %s: %w", who, m.Jobs[ji].desc(), err)
 					}
 					firstMu.Unlock()
 					failed.Store(true)
@@ -564,18 +592,17 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 					if hit {
 						state = "cached"
 					}
-					fmt.Fprintf(progress, "  shard %d: %-30s %s\n", shard, m.Jobs[ji].desc(), state)
+					fmt.Fprintf(progress, "  %s: %-30s %s\n", who, m.Jobs[ji].desc(), state)
 					progMu.Unlock()
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	stats.Hits = int(hits.Load())
 	if firstE != nil {
-		return stats, firstE
+		return int(hits.Load()), firstE
 	}
-	return stats, nil
+	return int(hits.Load()), nil
 }
 
 // Merge unions the worker cache directories into mergedDir, audits that
@@ -608,7 +635,15 @@ func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progr
 			fmt.Fprintf(progress, "  imported %d entries (+%d measured costs) from %s\n", n, nc, dir)
 		}
 	}
+	return m.assemble(eval, cache, pack, progress)
+}
 
+// assemble audits that the merged cache holds a valid result for every
+// manifest job, reconstructs every covered figure's rows via the
+// fan-out maps, and optionally packs the loose entries. It is the
+// shared tail of both merge transports (worker directories and the
+// HTTP store).
+func (m *Manifest) assemble(eval report.EvaluationPlan, cache *simcache.Cache, pack bool, progress io.Writer) (*Results, error) {
 	results := make([]*sim.Result, len(m.Jobs))
 	var missing []string
 	for i, j := range m.Jobs {

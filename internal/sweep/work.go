@@ -1,0 +1,279 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/objstore"
+	"repro/internal/report"
+	"repro/internal/simcache"
+)
+
+// This file is the networked side of the sweep: workers that push and
+// pull results through a rowswap-cached store daemon (internal/
+// objstore) instead of local cache directories, a work-stealing
+// execution mode that claims jobs from the daemon's queue instead of
+// honoring plan-time shard assignments, and a merge transport that
+// pulls the result set over HTTP. Together they make a multi-machine
+// run of the evaluation need no filesystem interchange at all: ship
+// the binary, start the daemon, point workers at it.
+
+// QueueJobs converts the manifest's deduplicated job set into the
+// object store's claimable queue entries, in manifest order — a
+// claim's Job index addresses m.Jobs, which is how workers map a
+// granted claim back onto the evaluation plan.
+func (m *Manifest) QueueJobs() []objstore.QueueJob {
+	jobs := make([]objstore.QueueJob, len(m.Jobs))
+	for i, j := range m.Jobs {
+		jobs[i] = objstore.QueueJob{Key: j.Key, Workload: j.Workload, Label: j.Label}
+	}
+	return jobs
+}
+
+// RunShardServer executes every job of the given shard against the
+// HTTP store: results are pulled from and pushed to the daemon the
+// moment they exist, so the worker machine needs no cache directory
+// and nothing is copied afterwards. The plan-time shard assignment is
+// honored exactly as RunShard would — this is the drop-in transport
+// swap; see RunWork for the mode that also replaces the sharding.
+func (m *Manifest) RunShardServer(shard int, client *objstore.Client, workers int, progress io.Writer) (ShardStats, error) {
+	var stats ShardStats
+	eval, err := m.expand()
+	if err != nil {
+		return stats, err
+	}
+	if shard < 0 || shard >= m.Shards {
+		return stats, fmt.Errorf("sweep: shard %d out of range [0, %d)", shard, m.Shards)
+	}
+	mine := m.shardJobs(shard)
+	stats.Jobs = len(mine)
+	exec := func(cell report.MatrixCell) (bool, error) {
+		_, hit, err := simcache.RunCachedStore(client, cell.Workload, cell.System, eval.Sim)
+		return hit, err
+	}
+	stats.Hits, err = m.runJobPool(eval, mine, workers, progress, fmt.Sprintf("shard %d", shard), exec)
+	return stats, err
+}
+
+// WorkStats reports what a RunWork invocation did.
+type WorkStats struct {
+	// Claimed is how many queue jobs this worker won; Simulated how
+	// many it actually ran; Hits how many were already in the store
+	// (pushed by an earlier run, or by a worker that lost its lease
+	// after doing the work).
+	Claimed, Simulated, Hits int
+}
+
+// maxClaimWait bounds how long a worker sleeps between claim attempts
+// while every remaining job is leased elsewhere, whatever retry the
+// server suggests.
+const maxClaimWait = 2 * time.Second
+
+// RunWork is the work-stealing worker entry point: claim a job from
+// the daemon's queue, simulate it, push the result, complete the
+// claim, repeat until the queue reports the evaluation done. Shard
+// assignments in the manifest are ignored — scheduling is entirely
+// claim-order, so fast machines naturally take more jobs and a worker
+// that dies mid-job only delays that job by one lease (the queue
+// requeues it on expiry). goroutines (0 = one per CPU) claim
+// independently, so a single process also steals work from itself.
+//
+// The manifest must still expand under this binary (same build as the
+// planner): the claim's content-addressed key is verified against the
+// manifest before anything runs, so a queue that does not match the
+// plan fails loudly instead of simulating the wrong cell.
+func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines int, progress io.Writer) (WorkStats, error) {
+	var stats WorkStats
+	eval, err := m.expand()
+	if err != nil {
+		return stats, err
+	}
+	if worker == "" {
+		return stats, fmt.Errorf("sweep: a work-stealing worker needs a name (it identifies leases and per-worker stats)")
+	}
+	if goroutines <= 0 {
+		goroutines = runtime.GOMAXPROCS(0)
+	}
+	if goroutines > len(m.Jobs) {
+		goroutines = len(m.Jobs)
+	}
+	var (
+		mu                       sync.Mutex
+		firstE                   error
+		wg                       sync.WaitGroup
+		claimed, simulated, hits int
+	)
+	fail := func(err error) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstE == nil {
+			firstE = err
+		}
+		return firstE != nil
+	}
+	for n := 0; n < goroutines; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if fail(nil) {
+					return
+				}
+				resp, err := client.ClaimJob(worker)
+				if err != nil {
+					fail(fmt.Errorf("sweep: worker %s: claim: %w", worker, err))
+					return
+				}
+				switch resp.Status {
+				case objstore.ClaimDone:
+					return
+				case objstore.ClaimWait:
+					wait := time.Duration(resp.RetryMS) * time.Millisecond
+					if wait <= 0 || wait > maxClaimWait {
+						wait = maxClaimWait
+					}
+					time.Sleep(wait)
+					continue
+				}
+				claim := resp.Claim
+				if claim.Job < 0 || claim.Job >= len(m.Jobs) || m.Jobs[claim.Job].Key != claim.Key {
+					fail(fmt.Errorf("sweep: worker %s: claimed job %d (key %.12s…) does not match the manifest — the daemon was started with a different plan", worker, claim.Job, claim.Key))
+					return
+				}
+				cell := eval.Cells[claim.Job]
+				_, hit, err := simcache.RunCachedStore(client, cell.Workload, cell.System, eval.Sim)
+				if err != nil {
+					fail(fmt.Errorf("sweep: worker %s: %s: %w", worker, m.Jobs[claim.Job].desc(), err))
+					return
+				}
+				if err := client.Complete(claim.Job, claim.Lease, worker); err != nil {
+					fail(fmt.Errorf("sweep: worker %s: complete %s: %w", worker, m.Jobs[claim.Job].desc(), err))
+					return
+				}
+				mu.Lock()
+				claimed++
+				if hit {
+					hits++
+				} else {
+					simulated++
+				}
+				mu.Unlock()
+				if progress != nil {
+					state := "simulated"
+					if hit {
+						state = "from store"
+					}
+					mu.Lock()
+					fmt.Fprintf(progress, "  %s: %-30s %s\n", worker, m.Jobs[claim.Job].desc(), state)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats = WorkStats{Claimed: claimed, Simulated: simulated, Hits: hits}
+	if firstE != nil {
+		return stats, firstE
+	}
+	return stats, nil
+}
+
+// MergeServer builds the merged result set by pulling every manifest
+// job's entry (and the measured-cost estimates) from the HTTP store
+// into mergedDir, then audits and reconstructs every figure exactly
+// like Merge — same assembly arithmetic, so the rows are bit-identical
+// to a single-process run and to a directory-transport merge. Pulls
+// are idempotent: entries already present locally are not re-fetched,
+// so an interrupted merge resumes where it stopped.
+func (m *Manifest) MergeServer(mergedDir string, client *objstore.Client, pack bool, progress io.Writer) (*Results, error) {
+	eval, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	cache, err := simcache.Open(mergedDir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: merged dir: %w", err)
+	}
+	// Pulls are independent, idempotent GETs, so a small pool overlaps
+	// the round-trips instead of serializing (job count × RTT) over a
+	// real network. Entry writes are atomic (temp file + rename), so
+	// concurrent PutRaw calls are safe.
+	pullers := mergePullers
+	if pullers > len(m.Jobs) {
+		pullers = len(m.Jobs)
+	}
+	var (
+		cursor  atomic.Int64
+		pulled  atomic.Int64
+		firstMu sync.Mutex
+		firstE  error
+		wg      sync.WaitGroup
+	)
+	cursor.Store(-1)
+	for n := 0; n < pullers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(m.Jobs) {
+					return
+				}
+				firstMu.Lock()
+				failed := firstE != nil
+				firstMu.Unlock()
+				if failed {
+					return
+				}
+				j := m.Jobs[i]
+				if cache.Has(j.Key) {
+					continue
+				}
+				data, ok, err := client.GetEntryRaw(j.Key)
+				if err == nil && ok {
+					err = cache.PutRaw(j.Key, data)
+				}
+				if err != nil {
+					firstMu.Lock()
+					if firstE == nil {
+						firstE = fmt.Errorf("sweep: pull result for %s: %w", j.desc(), err)
+					}
+					firstMu.Unlock()
+					return
+				}
+				if ok {
+					pulled.Add(1)
+				}
+				// A miss is left for the audit in assemble, which
+				// reports every missing job at once, with job names.
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	nc := 0
+	costs, err := client.CostsJSONL()
+	if err == nil {
+		nc = cache.Costs().ImportRecords(bytes.NewReader(costs))
+	} else if progress != nil {
+		// Cost feedback is an optimization signal, not a correctness
+		// dependency — but a silent drop would make a later
+		// `plan -strategy cost` quietly fall back to the static
+		// heuristic, so say what happened.
+		fmt.Fprintf(progress, "  warning: measured costs not pulled from %s: %v\n", client.Base(), err)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "  pulled %d entries (+%d measured costs) from %s\n", pulled.Load(), nc, client.Base())
+	}
+	return m.assemble(eval, cache, pack, progress)
+}
+
+// mergePullers bounds MergeServer's concurrent entry downloads.
+const mergePullers = 8
