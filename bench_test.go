@@ -22,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -345,6 +346,7 @@ func writeKernelBench() {
 	// 4 cores x 150k (baselines are pre-cached by warmQuickMatrix, so
 	// they are outside the timed region at any b.N).
 	const matrixInstructions = 24 * 4 * 150_000
+	regimes, regimeCycles := measureRegimeBreakdown()
 	payload := map[string]any{
 		"benchmark":                 "QuickMatrix",
 		"workloads":                 len(report.QuickWorkloads),
@@ -358,6 +360,18 @@ func writeKernelBench() {
 		"approx_sim_ips":            matrixInstructions / kernelBench.parallelEventSecs,
 		"approx_sim_ips_pre_reform": matrixInstructions / kernelBench.serialCycleSecs,
 	}
+	if regimeCycles > 0 {
+		payload["regime_breakdown"] = map[string]any{
+			"compute_cycles":   regimes.ComputeCycles,
+			"fill_cycles":      regimes.FillCycles,
+			"drain_cycles":     regimes.DrainCycles,
+			"stall_cycles":     regimes.StallCycles,
+			"stepped_cycles":   regimes.SteppedCycles,
+			"ticks":            regimes.Ticks,
+			"core_cycles":      regimeCycles,
+			"batched_fraction": float64(regimes.BatchedCycles()) / float64(regimeCycles),
+		}
+	}
 	if kernelBench.warmCacheSecs > 0 {
 		payload["warm_cache_seconds"] = kernelBench.warmCacheSecs
 		payload["warm_cache_speedup"] = kernelBench.serialCycleSecs / kernelBench.warmCacheSecs
@@ -367,6 +381,38 @@ func writeKernelBench() {
 		return
 	}
 	os.WriteFile("BENCH_kernel.json", append(data, '\n'), 0o644)
+}
+
+// measureRegimeBreakdown reruns the quick matrix's 24 mitigated cells
+// once on the event kernel and sums the cores' regime counters: which
+// closed-form path replayed how many cycles, and whether anything fell
+// back to per-cycle stepping (the grid tests pin that to zero). The
+// per-run results the timed benchmarks produce are discarded inside
+// report.Fig14, so this is measured separately here.
+func measureRegimeBreakdown() (cpu.RegimeStats, int64) {
+	var total cpu.RegimeStats
+	var coreCycles int64
+	for _, name := range report.QuickWorkloads {
+		w, ok := trace.WorkloadByName(name, 4)
+		if !ok {
+			continue
+		}
+		for _, mit := range []config.Mitigation{
+			config.DefaultRRS(1200),
+			config.DefaultScaleSRS(1200),
+		} {
+			sys := config.Default()
+			sys.Core.Cores = 4
+			sys.Mitigation = mit
+			res, err := sim.Run(w, sys, sim.Options{Instructions: 150_000, Kernel: sim.KernelEvent})
+			if err != nil {
+				continue
+			}
+			total.Add(res.Regimes)
+			coreCycles += res.Cycles * 4
+		}
+	}
+	return total, coreCycles
 }
 
 // --- Ablations (design decisions called out in DESIGN.md) ---

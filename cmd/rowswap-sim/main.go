@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/config"
 	"repro/internal/sim"
@@ -39,7 +41,44 @@ func main() {
 	workers := flag.Int("workers", 0, "baseline/mitigated run concurrency (1 = serial; any other value = concurrent)")
 	cacheDir := flag.String("cache-dir", simcache.DefaultDir(), "persistent simulation-result cache directory")
 	noCache := flag.Bool("no-cache", false, "disable the persistent result cache")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	// Profiling a cached run profiles a file read; force re-simulation
+	// so the profile reflects the kernel (scripts/profile.sh relies on
+	// this). The bench harness needs no equivalent flags: `go test`
+	// already provides -cpuprofile/-memprofile.
+	if *cpuProfile != "" || *memProfile != "" {
+		*noCache = true
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	var cache *simcache.Cache
 	if !*noCache && *cacheDir != "" {

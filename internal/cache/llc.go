@@ -6,16 +6,18 @@
 // activations.
 package cache
 
-import "repro/internal/config"
+import (
+	"sync"
 
-// line is one cache line's metadata.
-type line struct {
-	tag    uint64
-	valid  bool
-	dirty  bool
-	pinned bool
-	lru    uint64
-}
+	"repro/internal/config"
+)
+
+// Per-line state bits (see LLC.flags).
+const (
+	fValid uint8 = 1 << iota
+	fDirty
+	fPinned
+)
 
 // AccessResult describes the outcome of an LLC access.
 type AccessResult struct {
@@ -39,12 +41,33 @@ type Stats struct {
 
 // LLC is a set-associative, LRU, write-back cache with a pin-buffer.
 // It is not safe for concurrent use.
+//
+// Line metadata is stored structure-of-arrays (parallel tag, flag, and
+// LRU-stamp slices indexed set*ways+way) rather than as a slice of line
+// structs: the hit scan then reads 16 contiguous 32-bit tags (one cache
+// line) instead of striding through interleaved metadata, which matters
+// because Access is the hottest single function in kernel-benchmark
+// profiles. Tags are 32-bit: the model works in 48-bit physical
+// addresses (see PinBufferEntryBits) and the tag drops the line-offset
+// and set-index bits, at least 19 for any Table III-sized LLC. LRU
+// stamps are 32-bit because an LLC serves one simulation Run, far
+// fewer than 2^32 accesses.
 type LLC struct {
 	sets      int
 	ways      int
 	lineBytes int
-	data      []line // sets*ways, way-major within set
 	clock     uint64
+
+	tags  []uint32 // sets*ways, way-major within set
+	flags []uint8
+	lru   []uint32
+
+	// lineShift/setShift/setMask enable the shift/mask fast path of
+	// setIndex and tag when lineBytes and sets are powers of two (every
+	// Table III configuration). lineShift < 0 selects the divide path.
+	lineShift int
+	setShift  int
+	setMask   uint64
 
 	// Pin-buffer: rowKey -> index of the reserved set region. Each pinned
 	// 8 KB row occupies linesPerRow lines spread over setsPerPin
@@ -67,9 +90,15 @@ func New(cfg config.LLC, linesPerRow int) *LLC {
 		sets:        sets,
 		ways:        cfg.Ways,
 		lineBytes:   cfg.LineBytes,
-		data:        make([]line, sets*cfg.Ways),
 		pinned:      make(map[uint64]int),
 		linesPerRow: linesPerRow,
+	}
+	l.tags, l.flags, l.lru = takeArrays(sets * cfg.Ways)
+	l.lineShift = -1
+	if isPow2(cfg.LineBytes) && isPow2(sets) {
+		l.lineShift = log2(cfg.LineBytes)
+		l.setShift = log2(sets)
+		l.setMask = uint64(sets - 1)
 	}
 	// A pinned row uses half the ways of enough contiguous sets to hold
 	// linesPerRow lines (the paper's example: 8 KB row, 8 ways used -> 16
@@ -82,22 +111,67 @@ func New(cfg config.LLC, linesPerRow int) *LLC {
 	return l
 }
 
+// arraysPool recycles line-metadata arrays across LLC instances: a
+// figure sweep constructs one LLC per Run, and zeroing ~1 MB of tags
+// and LRU stamps each time showed up as runtime.memclrNoHeapPointers
+// in kernel-benchmark profiles. Only flags must be zero on reuse — an
+// invalid way's tag and stamp are never read before the fill path
+// overwrites them.
+var arraysPool sync.Pool
+
+type llcArrays struct {
+	tags  []uint32
+	flags []uint8
+	lru   []uint32
+}
+
+func takeArrays(n int) ([]uint32, []uint8, []uint32) {
+	if v := arraysPool.Get(); v != nil {
+		a := v.(*llcArrays)
+		if len(a.tags) == n {
+			clear(a.flags)
+			return a.tags, a.flags, a.lru
+		}
+	}
+	return make([]uint32, n), make([]uint8, n), make([]uint32, n)
+}
+
+// Recycle returns the line-metadata arrays to the package pool for the
+// next LLC of the same configuration. The cache must not be used
+// afterwards.
+func (l *LLC) Recycle() {
+	arraysPool.Put(&llcArrays{tags: l.tags, flags: l.flags, lru: l.lru})
+	l.tags, l.flags, l.lru = nil, nil, nil
+}
+
 // Sets returns the number of sets.
 func (l *LLC) Sets() int { return l.sets }
 
 // Stats returns a copy of the event counters.
 func (l *LLC) Stats() Stats { return l.stats }
 
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
 func (l *LLC) setIndex(addr uint64) int {
+	if l.lineShift >= 0 {
+		return int((addr >> l.lineShift) & l.setMask)
+	}
 	return int((addr / uint64(l.lineBytes)) % uint64(l.sets))
 }
 
 func (l *LLC) tag(addr uint64) uint64 {
+	if l.lineShift >= 0 {
+		return addr >> (l.lineShift + l.setShift)
+	}
 	return addr / uint64(l.lineBytes) / uint64(l.sets)
-}
-
-func (l *LLC) set(idx int) []line {
-	return l.data[idx*l.ways : (idx+1)*l.ways]
 }
 
 // Access performs a demand access. rowKey identifies the DRAM row the
@@ -106,19 +180,24 @@ func (l *LLC) set(idx int) []line {
 // victim. Pinned rows always hit.
 func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
 	l.clock++
-	if _, ok := l.pinned[rowKey]; ok {
-		l.stats.Hits++
-		l.stats.PinnedHits++
-		return AccessResult{Hit: true, PinnedHit: true}
+	// The pin-buffer is empty for every non-pinning mitigation (and for
+	// most of a Scale-SRS window), so the len check keeps the per-access
+	// map hash off the hot path.
+	if len(l.pinned) != 0 {
+		if _, ok := l.pinned[rowKey]; ok {
+			l.stats.Hits++
+			l.stats.PinnedHits++
+			return AccessResult{Hit: true, PinnedHit: true}
+		}
 	}
 	setIdx := l.setIndex(addr)
-	tag := l.tag(addr)
-	set := l.set(setIdx)
-	for i := range set {
-		if set[i].valid && !set[i].pinned && set[i].tag == tag {
-			set[i].lru = l.clock
+	tag := uint32(l.tag(addr))
+	base := setIdx * l.ways
+	for i := base; i < base+l.ways; i++ {
+		if l.tags[i] == tag && l.flags[i]&(fValid|fPinned) == fValid {
+			l.lru[i] = uint32(l.clock)
 			if write {
-				set[i].dirty = true
+				l.flags[i] |= fDirty
 			}
 			l.stats.Hits++
 			return AccessResult{Hit: true}
@@ -128,17 +207,18 @@ func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
 	res := AccessResult{}
 	// Fill: choose an invalid way, else LRU among non-pinned ways.
 	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for i := range set {
-		if set[i].pinned {
+	var oldest uint32 = ^uint32(0)
+	for i := base; i < base+l.ways; i++ {
+		f := l.flags[i]
+		if f&fPinned != 0 {
 			continue
 		}
-		if !set[i].valid {
+		if f&fValid == 0 {
 			victim = i
 			break
 		}
-		if set[i].lru < oldest {
-			oldest = set[i].lru
+		if l.lru[i] < oldest {
+			oldest = l.lru[i]
 			victim = i
 		}
 	}
@@ -147,21 +227,29 @@ func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
 		l.stats.Bypasses++
 		return res
 	}
-	if set[victim].valid && set[victim].dirty {
-		res.Writeback = l.victimAddr(setIdx, set[victim].tag)
+	if l.flags[victim]&(fValid|fDirty) == fValid|fDirty {
+		res.Writeback = l.victimAddr(setIdx, l.tags[victim])
 		res.WritebackValid = true
 		l.stats.Writebacks++
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, lru: l.clock}
+	l.tags[victim] = tag
+	l.flags[victim] = fValid
+	if write {
+		l.flags[victim] |= fDirty
+	}
+	l.lru[victim] = uint32(l.clock)
 	return res
 }
 
-func (l *LLC) victimAddr(setIdx int, tag uint64) uint64 {
-	return (tag*uint64(l.sets) + uint64(setIdx)) * uint64(l.lineBytes)
+func (l *LLC) victimAddr(setIdx int, tag uint32) uint64 {
+	return (uint64(tag)*uint64(l.sets) + uint64(setIdx)) * uint64(l.lineBytes)
 }
 
 // IsPinned reports whether a row is currently pinned.
 func (l *LLC) IsPinned(rowKey uint64) bool {
+	if len(l.pinned) == 0 {
+		return false
+	}
 	_, ok := l.pinned[rowKey]
 	return ok
 }
@@ -183,20 +271,21 @@ func (l *LLC) PinRow(rowKey uint64) (writebacks []uint64, ok bool) {
 	// Reserve waysPerPin ways in each set of the region, displacing
 	// whatever lives there.
 	for s := base; s < base+l.setsPerPin; s++ {
-		set := l.set(s)
 		reserved := 0
-		for i := range set {
+		for i := s * l.ways; i < (s+1)*l.ways; i++ {
 			if reserved == l.waysPerPin {
 				break
 			}
-			if set[i].pinned {
+			if l.flags[i]&fPinned != 0 {
 				continue // already reserved by another pinned row
 			}
-			if set[i].valid && set[i].dirty {
-				writebacks = append(writebacks, l.victimAddr(s, set[i].tag))
+			if l.flags[i]&(fValid|fDirty) == fValid|fDirty {
+				writebacks = append(writebacks, l.victimAddr(s, l.tags[i]))
 				l.stats.Writebacks++
 			}
-			set[i] = line{valid: true, pinned: true}
+			l.tags[i] = 0
+			l.flags[i] = fValid | fPinned
+			l.lru[i] = 0
 			reserved++
 		}
 	}
@@ -206,14 +295,21 @@ func (l *LLC) PinRow(rowKey uint64) (writebacks []uint64, ok bool) {
 }
 
 // UnpinAll releases every pin-buffer entry and its reserved lines. The
-// paper clears pinned rows at the end of the refresh interval.
+// paper clears pinned rows at the end of the refresh interval. With no
+// rows pinned there are no reserved lines, so the per-window sweep of
+// the whole line array is skipped entirely.
 func (l *LLC) UnpinAll() {
-	for i := range l.data {
-		if l.data[i].pinned {
-			l.data[i] = line{}
+	if len(l.pinned) == 0 {
+		return
+	}
+	for i := range l.flags {
+		if l.flags[i]&fPinned != 0 {
+			l.tags[i] = 0
+			l.flags[i] = 0
+			l.lru[i] = 0
 		}
 	}
-	l.pinned = make(map[uint64]int)
+	clear(l.pinned)
 }
 
 // PinBufferEntryBits returns the size in bits of one pin-buffer entry:

@@ -132,8 +132,8 @@ func TestPaperPinCapacityFraction(t *testing.T) {
 	l := newLLC()
 	l.PinRow(1)
 	reserved := 0
-	for _, ln := range l.data {
-		if ln.pinned {
+	for _, f := range l.flags {
+		if f&fPinned != 0 {
 			reserved++
 		}
 	}

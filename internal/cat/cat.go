@@ -34,10 +34,14 @@ type entry struct {
 // Table is a two-skew CAT mapping uint64 keys to uint64 values.
 // It is not safe for concurrent use.
 type Table struct {
-	ways  int
-	sets  int // sets per skew (power of two)
-	seed  [2]uint64
-	slots [][]entry // indexed [skew*sets + set][way]
+	ways int
+	sets int // sets per skew (power of two)
+	seed [2]uint64
+	// slots is one contiguous array of 2*sets*ways entries, way-major
+	// within set (index (skew*sets+set)*ways + way): Lookup runs once
+	// per memory access in swap mitigations, and the flat layout spares
+	// it a per-set pointer chase.
+	slots []entry
 	live  int
 
 	rng *stats.RNG
@@ -66,14 +70,11 @@ func New(minEntries, ways int, overprovision float64, rng *stats.RNG) *Table {
 	t := &Table{
 		ways:  ways,
 		sets:  sets,
-		slots: make([][]entry, 2*sets),
+		slots: make([]entry, 2*sets*ways),
 		rng:   rng,
 	}
 	t.seed[0] = rng.Uint64() | 1
 	t.seed[1] = rng.Uint64() | 1
-	for i := range t.slots {
-		t.slots[i] = make([]entry, ways)
-	}
 	return t
 }
 
@@ -87,7 +88,8 @@ func (t *Table) hash(skew int, key uint64) int {
 }
 
 func (t *Table) set(skew int, key uint64) []entry {
-	return t.slots[skew*t.sets+t.hash(skew, key)]
+	o := (skew*t.sets + t.hash(skew, key)) * t.ways
+	return t.slots[o : o+t.ways]
 }
 
 // Len returns the number of live entries.
@@ -222,20 +224,14 @@ func (t *Table) Delete(key uint64) bool {
 // UnlockAll clears every lock bit. The mitigation calls it at the end of
 // an epoch: surviving entries become candidates for lazy eviction.
 func (t *Table) UnlockAll() {
-	for _, s := range t.slots {
-		for i := range s {
-			s[i].locked = false
-		}
+	for i := range t.slots {
+		t.slots[i].locked = false
 	}
 }
 
 // Clear removes all entries.
 func (t *Table) Clear() {
-	for _, s := range t.slots {
-		for i := range s {
-			s[i] = entry{}
-		}
-	}
+	clear(t.slots)
 	t.live = 0
 }
 
@@ -245,11 +241,9 @@ type Pair struct{ Key, Val uint64 }
 // Entries returns all live entries in unspecified order.
 func (t *Table) Entries() []Pair {
 	out := make([]Pair, 0, t.live)
-	for _, s := range t.slots {
-		for i := range s {
-			if s[i].valid {
-				out = append(out, Pair{s[i].key, s[i].val})
-			}
+	for i := range t.slots {
+		if t.slots[i].valid {
+			out = append(out, Pair{t.slots[i].key, t.slots[i].val})
 		}
 	}
 	return out
@@ -259,11 +253,9 @@ func (t *Table) Entries() []Pair {
 // (i.e. entries surviving from the previous epoch, due for lazy eviction).
 func (t *Table) UnlockedEntries() []Pair {
 	var out []Pair
-	for _, s := range t.slots {
-		for i := range s {
-			if s[i].valid && !s[i].locked {
-				out = append(out, Pair{s[i].key, s[i].val})
-			}
+	for i := range t.slots {
+		if e := &t.slots[i]; e.valid && !e.locked {
+			out = append(out, Pair{e.key, e.val})
 		}
 	}
 	return out
@@ -271,11 +263,9 @@ func (t *Table) UnlockedEntries() []Pair {
 
 // AnyUnlocked returns one unlocked live entry, if any exists.
 func (t *Table) AnyUnlocked() (Pair, bool) {
-	for _, s := range t.slots {
-		for i := range s {
-			if s[i].valid && !s[i].locked {
-				return Pair{s[i].key, s[i].val}, true
-			}
+	for i := range t.slots {
+		if e := &t.slots[i]; e.valid && !e.locked {
+			return Pair{e.key, e.val}, true
 		}
 	}
 	return Pair{}, false

@@ -54,8 +54,42 @@ type Core struct {
 	done        bool
 
 	// Stats
-	MemOps int64
+	MemOps  int64
+	regimes RegimeStats
 }
+
+// RegimeStats instruments the event-kernel batching: how many skipped
+// cycles each closed-form regime replayed, how many were replayed by
+// the per-cycle fallback loop (zero under the NextWork contract — the
+// grid tests assert it), and how many Tick invocations the core saw.
+// Purely host-side instrumentation: a cycle-stepped run reports only
+// Ticks, so determinism checks must ignore these counters.
+type RegimeStats struct {
+	ComputeCycles int64 // replayed by advanceComputeStretch
+	FillCycles    int64 // replayed by advanceFill
+	DrainCycles   int64 // replayed by advanceDrain
+	StallCycles   int64 // skipped as no-ops behind a blocked full-ROB head
+	SteppedCycles int64 // replayed one cycle at a time (fallback)
+	Ticks         int64 // Tick invocations
+}
+
+// Add accumulates o into s (used to sum per-core stats into a run total).
+func (s *RegimeStats) Add(o RegimeStats) {
+	s.ComputeCycles += o.ComputeCycles
+	s.FillCycles += o.FillCycles
+	s.DrainCycles += o.DrainCycles
+	s.StallCycles += o.StallCycles
+	s.SteppedCycles += o.SteppedCycles
+	s.Ticks += o.Ticks
+}
+
+// BatchedCycles returns the cycles replayed or skipped in closed form.
+func (s RegimeStats) BatchedCycles() int64 {
+	return s.ComputeCycles + s.FillCycles + s.DrainCycles + s.StallCycles
+}
+
+// Regimes returns the core's batching instrumentation.
+func (c *Core) Regimes() RegimeStats { return c.regimes }
 
 // NewCore returns a core with the given instruction budget.
 func NewCore(id int, cfg config.Core, stream trace.Stream, issue Issuer, budget int64) *Core {
@@ -91,7 +125,9 @@ func (c *Core) IPC() float64 {
 
 func (c *Core) push(e robEntry) {
 	c.rob[c.tail] = e
-	c.tail = (c.tail + 1) % len(c.rob)
+	if c.tail++; c.tail == len(c.rob) {
+		c.tail = 0
+	}
 	c.robCount++
 	c.robInstr += e.count
 }
@@ -103,11 +139,24 @@ func (c *Core) push(e robEntry) {
 // provably core-local, so the replay is exact. Then the core retires
 // from the ROB head and fetches new instructions (issuing memory
 // operations to the memory system) for cycle now itself.
+//
+// Regime map — every closed-form regime, its invariant, and the test
+// that pins it:
+//
+//	ROB-full stall      skipped cycles are no-ops (head incomplete,
+//	                    fetch blocked)            — TestEventTickedCoreMatchesCycleTicked
+//	compute stretch     advanceComputeStretch     — TestComputeStretchIsBatched
+//	fill toward full    advanceFill               — TestFillTowardFullMatchesCycleOracle, TestFillRegimeScheduleIsPinned
+//	post-release drain  advanceDrain              — TestDrainAfterReleaseMatchesCycleOracle, TestDrainRegimeScheduleIsPinned
+//
+// TestGridRegimesNeverStepPerCycle asserts the fallback loop below the
+// closed forms never runs on the oracle-grid workloads.
 func (c *Core) Tick(now Cycles) {
 	if now > c.lastTick+1 {
 		c.replay(c.lastTick+1, now)
 	}
 	c.lastTick = now
+	c.regimes.Ticks++
 	c.retire(now)
 	c.fetch(now)
 }
@@ -134,9 +183,12 @@ func (c *Core) steadyCompute(ref Cycles) bool {
 	if !c.havePend || c.gapLeft < 2*w || c.robInstr > c.cfg.RetireWidth {
 		return false
 	}
-	for k := 0; k < c.robCount; k++ {
-		if c.rob[(c.head+k)%len(c.rob)].done > ref+1 {
+	for k, i := 0, c.head; k < c.robCount; k++ {
+		if c.rob[i].done > ref+1 {
 			return false
+		}
+		if i++; i == len(c.rob) {
+			i = 0
 		}
 	}
 	return true
@@ -158,28 +210,38 @@ func (c *Core) stretchDoneTicks() Cycles {
 // replay reproduces the combined effect of ticking every cycle in
 // [from, to), using a closed form where the regime allows it. The event
 // kernel only skips a cycle when NextWork proved the core cannot touch
-// shared state there, which limits replay to three regimes: a full ROB
+// shared state there, which limits replay to four regimes: a full ROB
 // stalled on its head entry (every skipped tick is a no-op), a steady
-// compute stretch, and a fill-toward-full stretch behind a blocked
-// head.
+// compute stretch, a fill-toward-full stretch behind a blocked head,
+// and a post-release drain streaming through completed entries.
 func (c *Core) replay(from, to Cycles) {
-	if c.robFull() {
+	k := to - from
+	if c.robFull() && c.robCount > 0 && c.rob[c.head].done >= to {
 		// Fetch is blocked and NextWork woke us no later than the head
 		// entry's completion cycle, so retirement was blocked throughout
 		// the skipped range too: nothing to do.
+		c.regimes.StallCycles += k
 		return
 	}
 	if c.steadyCompute(from - 1) {
-		c.advanceComputeStretch(from, to-from)
+		c.regimes.ComputeCycles += k
+		c.advanceComputeStretch(from, k)
 		return
 	}
-	if k := to - from; k > 0 && c.fillCycles(from-1) >= k {
+	if k > 0 && c.fillCycles(from-1) >= k {
+		c.regimes.FillCycles += k
 		c.advanceFill(from, k)
+		return
+	}
+	if k > 0 && c.drainCycles(from-1) >= k {
+		c.regimes.DrainCycles += k
+		c.advanceDrain(from, k)
 		return
 	}
 	// Unreachable under the NextWork contract (it returns now+1 in every
 	// other regime), but keeps Tick cycle-exact for any caller that
 	// skips cycles on its own.
+	c.regimes.SteppedCycles += k
 	for cyc := from; cyc < to; cyc++ {
 		c.retire(cyc)
 		c.fetch(cyc)
@@ -255,6 +317,119 @@ func (c *Core) advanceFill(from, k Cycles) {
 	c.gapLeft -= int(k) * w
 }
 
+// drainCycles returns how many consecutive cycles after ref are pure
+// post-release drain cycles: the ROB head released (its entry is
+// complete), so retirement streams through already-completed entries at
+// full RetireWidth while fetch refills the freed space with full-width
+// runs of gap instructions. Such cycles are provably core-local — no
+// memory issue (a full FetchWidth of gap instructions absorbs the whole
+// fetch bandwidth), no budget crossing (bounded below), and retirement
+// never stalls (bounded by the first entry that could still be
+// incomplete when reached) — so the kernel may skip them and replay in
+// closed form. The regime requires FetchWidth == RetireWidth (the
+// Table III core is 4/4), which makes ROB occupancy invariant across a
+// drain cycle: each cycle retires exactly w instructions and pushes one
+// w-wide gap entry completing the next cycle.
+//
+// The count is bounded by the cycle something observable can happen:
+// the memory operation behind the gap run issuing (gap exhausted below
+// full width), the budget crossing (retired advances w per cycle, so
+// the crossing cycle is exact and must be ticked), or retirement
+// reaching an entry that was not yet complete at ref+1 (conservatively
+// treated as a stall even if it completes earlier — the kernel simply
+// wakes and re-evaluates there).
+func (c *Core) drainCycles(ref Cycles) Cycles {
+	w := c.cfg.FetchWidth
+	if w != c.cfg.RetireWidth || c.cfg.ROBSize < 2*w {
+		return 0
+	}
+	if !c.havePend || c.gapLeft < w || c.robInstr < w || c.robCount == 0 {
+		return 0
+	}
+	if c.rob[c.head].done > ref+1 {
+		return 0 // head still blocked: the fill/stall regimes own this
+	}
+	k := Cycles(c.gapLeft / w)
+	if !c.done {
+		// Stop strictly before the budget-crossing cycle so the kernel
+		// observes Done at exactly the oracle's cycle.
+		need := c.budget - c.retired
+		if crossing := Cycles((need + int64(w) - 1) / int64(w)); crossing-1 < k {
+			k = crossing - 1
+		}
+	}
+	if k <= 0 {
+		return 0
+	}
+	// Entries pushed during the drain complete the cycle after their
+	// push and are reached no earlier than that (retire precedes fetch
+	// within a cycle), so only entries resident now can stall: cap the
+	// drain at the first entry not complete by ref+1. The scan stops as
+	// soon as the accumulated prefix covers k cycles of retirement —
+	// beyond that a stopper cannot bind — keeping the common NextWork
+	// call cheap (memory-bound ROBs hit an in-flight entry within a few
+	// steps; compute-heavy ROBs cover k*w in a few wide entries).
+	prefix, need := int64(0), int64(k)*int64(w)
+	for i, idx := 0, c.head; i < c.robCount && prefix < need; i++ {
+		e := &c.rob[idx]
+		if e.done > ref+1 {
+			k = Cycles(prefix / int64(w))
+			break
+		}
+		prefix += int64(e.count)
+		if idx++; idx == len(c.rob) {
+			idx = 0
+		}
+	}
+	return k
+}
+
+// advanceDrain applies k (>=1) post-release drain ticks at cycles
+// from .. from+k-1 in one pass: k*w instructions are consumed from the
+// front of the ROB (walking entry boundaries exactly as the per-cycle
+// retire would, including a partial head entry) and the k gap entries
+// the per-cycle fetch would have pushed are appended — minus the ones
+// retirement would already have consumed again, which are accounted
+// arithmetically instead of ever being materialized. drainCycles
+// guarantees no budget crossing and no retirement stall inside the
+// window, so retired/gapLeft/ROB state are the only state touched.
+func (c *Core) advanceDrain(from, k Cycles) {
+	w := c.cfg.FetchWidth
+	m := int64(k) * int64(w) // instructions retired across the window
+	c.retired += m
+	c.gapLeft -= int(k) * w
+	for m > 0 && c.robCount > 0 {
+		e := &c.rob[c.head]
+		if int64(e.count) > m {
+			e.count -= int(m)
+			c.robInstr -= int(m)
+			m = 0
+			break
+		}
+		m -= int64(e.count)
+		c.robInstr -= e.count
+		if c.head++; c.head == len(c.rob) {
+			c.head = 0
+		}
+		c.robCount--
+	}
+	pushFrom := Cycles(0)
+	if m > 0 {
+		// Retirement ran through every originally resident entry and
+		// into the gap entries pushed during the window: the first
+		// m/w of those are fully consumed, the next one partially.
+		pushFrom = Cycles(m / int64(w))
+		rem := int(m % int64(w))
+		if rem > 0 {
+			c.push(robEntry{count: w - rem, done: from + pushFrom + 1})
+			pushFrom++
+		}
+	}
+	for i := pushFrom; i < k; i++ {
+		c.push(robEntry{count: w, done: from + i + 1})
+	}
+}
+
 // NextWork returns the next cycle at which Tick can interact with shared
 // state (issue a memory operation to the memory system) or change
 // kernel-visible state (retire instructions, cross the budget). The
@@ -274,10 +449,21 @@ func (c *Core) advanceFill(from, k Cycles) {
 //     blocked head; the kernel may fast-forward to whichever comes
 //     first — the memory issue behind the gap run, the capacity wall,
 //     or the head unblocking (see fillCycles).
+//   - Post-release drain: the head released and retirement streams
+//     through completed entries while fetch refills; the kernel may
+//     fast-forward to whichever comes first — the memory issue behind
+//     the gap run, the budget crossing, or a still-incomplete resident
+//     entry reaching the head (see drainCycles).
 func (c *Core) NextWork(now Cycles) Cycles {
 	if c.robFull() {
 		if head := c.rob[c.head].done; head > now+1 {
 			return head
+		}
+		// Head completes by now+1, so retirement resumes next tick even
+		// though fetch is blocked this instant: the freed width re-opens
+		// fetch within the same cycle, which is the drain regime.
+		if k := c.drainCycles(now); k > 0 {
+			return now + k + 1
 		}
 		return now + 1
 	}
@@ -291,6 +477,9 @@ func (c *Core) NextWork(now Cycles) Cycles {
 		return next
 	}
 	if k := c.fillCycles(now); k > 0 {
+		return now + k + 1
+	}
+	if k := c.drainCycles(now); k > 0 {
 		return now + k + 1
 	}
 	return now + 1
@@ -312,7 +501,9 @@ func (c *Core) retire(now Cycles) {
 		c.robInstr -= n
 		c.retired += int64(n)
 		if e.count == 0 {
-			c.head = (c.head + 1) % len(c.rob)
+			if c.head++; c.head == len(c.rob) {
+				c.head = 0
+			}
 			c.robCount--
 		}
 		if !c.done && c.retired >= c.budget {

@@ -1,0 +1,237 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// This file is the differential fixture for the post-release drain
+// regime: a blocked ROB head releases and retirement streams through
+// completed entries at full RetireWidth while fetch refills the freed
+// space with the remaining gap run. Before this regime had a closed
+// form, the event kernel fell back to advancing such stretches one
+// cycle at a time — the last per-cycle regime. These tests are the
+// safety net the batching landed against: they compare the event-ticked
+// core against the per-cycle oracle on workloads dominated by drains,
+// require that drainCycles actually advertises batched deadlines, and
+// pin one small scenario down to literal cycle numbers.
+
+// drainRegimeCycles counts, on a per-cycle-ticked core, the cycles in
+// which the core sat in the post-release drain regime proper: the head
+// entry is retireable, at least a full retire width is resident, and a
+// full-width run of gap instructions is still waiting behind a pending
+// memory operation. It returns the count alongside the finish cycle.
+func drainRegimeCycles(c *Core, limit Cycles) (Cycles, Cycles) {
+	w := c.cfg.FetchWidth
+	var draining Cycles
+	var now Cycles
+	for !c.Done() {
+		if c.robCount > 0 && c.rob[c.head].done <= now &&
+			c.robInstr >= w && c.havePend && c.gapLeft >= w {
+			draining++
+		}
+		c.Tick(now)
+		now++
+		if now > limit {
+			panic("cycle oracle never finished")
+		}
+	}
+	return draining, now
+}
+
+// TestDrainAfterReleaseMatchesCycleOracle drives the core through
+// alternating long memory stalls and gap bursts larger than the ROB,
+// so every stall ends with a long drain: the released head streams out
+// at full width while the leftover gap refills behind it. The
+// event-ticked run must issue every memory operation at exactly the
+// same cycle as the per-cycle oracle and finish in identical state,
+// and whenever the core sits in the drain regime, NextWork must
+// advertise the full closed-form jump. The (gap, latency, budget) grid
+// covers drains ended by the memory issue, by a still-in-flight entry
+// reaching the head, and by the budget crossing mid-drain.
+func TestDrainAfterReleaseMatchesCycleOracle(t *testing.T) {
+	cfg := config.DefaultCore()
+	cases := []struct {
+		name    string
+		gap     int
+		latency Cycles
+		budget  int64
+	}{
+		{"long-drain-after-release", 500, 1_500, 20_000},
+		{"gap-far-exceeds-rob", 2_000, 1_000, 40_000},
+		{"short-stall-short-drain", 250, 80, 20_000},
+		{"interleaved-memops", 60, 700, 20_000},
+		{"budget-crosses-mid-drain", 500, 1_500, 1_200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cycIss := &logIssuer{lats: []Cycles{tc.latency}}
+			cyc := NewCore(0, cfg, &fillStream{gap: tc.gap}, cycIss, tc.budget)
+			draining, _ := drainRegimeCycles(cyc, 50_000_000)
+			if draining == 0 {
+				t.Fatalf("fixture never entered the post-release drain regime")
+			}
+
+			evtIss := &logIssuer{lats: []Cycles{tc.latency}}
+			evt := NewCore(0, cfg, &fillStream{gap: tc.gap}, evtIss, tc.budget)
+			var now Cycles
+			var drainJumps int64
+			for !evt.Done() {
+				evt.Tick(now)
+				next := evt.NextWork(now)
+				if next <= now {
+					t.Fatalf("NextWork(%d) = %d went backwards", now, next)
+				}
+				// Whenever the core sits in the drain regime, NextWork
+				// must advertise the full closed-form jump — a now+1
+				// answer here means the batching silently disengaged.
+				if k := evt.drainCycles(now); k > 0 {
+					if next != now+k+1 {
+						t.Fatalf("drain regime at cycle %d: NextWork = %d, want %d (k=%d)", now, next, now+k+1, k)
+					}
+					drainJumps++
+				}
+				now = next
+				if now > 50_000_000 {
+					t.Fatal("event-ticked core never finished")
+				}
+			}
+			if drainJumps == 0 {
+				t.Error("event-ticked run never batched a drain stretch")
+			}
+			if evt.Regimes().DrainCycles == 0 {
+				t.Error("no skipped cycles were replayed by advanceDrain")
+			}
+
+			if len(cycIss.log) != len(evtIss.log) {
+				t.Fatalf("issue counts differ: cycle %d, event %d", len(cycIss.log), len(evtIss.log))
+			}
+			for i := range cycIss.log {
+				if cycIss.log[i] != evtIss.log[i] {
+					t.Fatalf("issue %d differs: cycle %+v, event %+v", i, cycIss.log[i], evtIss.log[i])
+				}
+			}
+			if cyc.Retired() != evt.Retired() || cyc.FinishCycle() != evt.FinishCycle() ||
+				cyc.MemOps != evt.MemOps {
+				t.Errorf("final state differs:\ncycle: retired=%d finish=%d memops=%d\nevent: retired=%d finish=%d memops=%d",
+					cyc.Retired(), cyc.FinishCycle(), cyc.MemOps,
+					evt.Retired(), evt.FinishCycle(), evt.MemOps)
+			}
+		})
+	}
+}
+
+// TestDrainRegimeScheduleIsPinned freezes the cycle-exact schedule of
+// one small drain scenario as literal numbers. ROB 8, width 2: each
+// record carries a 40-instruction gap burst, so after the 100-cycle
+// memory op at the head releases, the core drains the full ROB at
+// 2/cycle while the leftover ~25 gap instructions refill behind it —
+// a pure drain stretch the closed form must replay cycle-exactly.
+func TestDrainRegimeScheduleIsPinned(t *testing.T) {
+	cfg := config.Core{Cores: 1, ClockGHz: 3.2, ROBSize: 8, FetchWidth: 2, RetireWidth: 2}
+	iss := &logIssuer{lats: []Cycles{100}}
+	c := NewCore(0, cfg, &fillStream{gap: 40}, iss, 120)
+	var now Cycles
+	for !c.Done() {
+		c.Tick(now)
+		now = c.NextWork(now)
+		if now > 10_000 {
+			t.Fatal("never finished")
+		}
+	}
+	// Issue cycles of the first three memory ops, recorded from the
+	// per-cycle oracle when this fixture was written: the leading
+	// 40-instruction gap burst fetches at 2/cycle (20 cycles), so the
+	// first memory op issues at cycle 20; each later one waits out its
+	// predecessor's 100-cycle latency, then the drain of the full ROB
+	// overlapped with the refill of the next 40-instruction burst
+	// (116 cycles apart).
+	want := []Cycles{20, 136, 252}
+	if len(iss.log) < len(want) {
+		t.Fatalf("only %d issues recorded", len(iss.log))
+	}
+	for i, w := range want {
+		if iss.log[i].cycle != w {
+			t.Errorf("memory op %d issued at cycle %d, want %d", i, iss.log[i].cycle, w)
+		}
+	}
+	if c.FinishCycle() != 255 {
+		t.Errorf("budget of 120 reached at cycle %d, want 255", c.FinishCycle())
+	}
+	if c.Regimes().DrainCycles == 0 {
+		t.Error("pinned scenario never exercised advanceDrain")
+	}
+}
+
+// TestGridRegimesNeverStepPerCycle is the benchmark-mode guard the
+// drain closed form completes: on every oracle-grid workload (the fill
+// grid and the drain grid), an event-ticked core must replay each
+// skipped stretch with one of the closed forms — the per-cycle
+// fallback loop in replay must never run — and must tick far fewer
+// times than the cycles it simulates. A regression that disqualifies
+// any regime (so NextWork degrades to now+1 crawling, or replay falls
+// back to stepping) fails here before it shows up as a throughput
+// loss in BENCH_kernel.json.
+func TestGridRegimesNeverStepPerCycle(t *testing.T) {
+	cfg := config.DefaultCore()
+	cases := []struct {
+		name    string
+		gap     int
+		latency Cycles
+		budget  int64
+	}{
+		// Fill-grid workloads (fill_test.go).
+		{"head-unblocks-after-fill", 170, 2_000, 20_000},
+		{"head-unblocks-mid-fill", 170, 30, 20_000},
+		{"gap-overflows-rob", 500, 1_500, 20_000},
+		{"many-memops-in-rob", 40, 3_000, 20_000},
+		{"budget-crosses-mid-fill", 170, 2_000, 1_000},
+		// Drain-grid workloads (this file).
+		{"long-drain-after-release", 500, 1_500, 20_000},
+		{"gap-far-exceeds-rob", 2_000, 1_000, 40_000},
+		{"short-stall-short-drain", 250, 80, 20_000},
+		{"interleaved-memops", 60, 700, 20_000},
+		{"budget-crosses-mid-drain", 500, 1_500, 1_200},
+	}
+	var total RegimeStats
+	var cycles Cycles
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			iss := &logIssuer{lats: []Cycles{tc.latency}}
+			c := NewCore(0, cfg, &fillStream{gap: tc.gap}, iss, tc.budget)
+			var now Cycles
+			for !c.Done() {
+				c.Tick(now)
+				now = c.NextWork(now)
+				if now > 50_000_000 {
+					t.Fatal("never finished")
+				}
+			}
+			r := c.Regimes()
+			if r.SteppedCycles != 0 {
+				t.Errorf("replay fell back to per-cycle stepping for %d cycles", r.SteppedCycles)
+			}
+			if r.Ticks >= c.FinishCycle() {
+				t.Errorf("event ticking did not skip any cycles: %d ticks over %d cycles", r.Ticks, c.FinishCycle())
+			}
+			total.Add(r)
+			cycles += c.FinishCycle()
+		})
+	}
+	// Across the grid, every closed form must have replayed something —
+	// a regime whose qualifier went dead would silently shift its cycles
+	// into slower regimes (or stepping) without any single case failing.
+	if total.FillCycles == 0 {
+		t.Error("no grid workload engaged advanceFill")
+	}
+	if total.DrainCycles == 0 {
+		t.Error("no grid workload engaged advanceDrain")
+	}
+	if total.StallCycles == 0 {
+		t.Error("no grid workload skipped a ROB-full stall")
+	}
+	if total.Ticks*4 > int64(cycles) {
+		t.Errorf("grid barely batched: %d ticks for %d simulated cycles", total.Ticks, cycles)
+	}
+}

@@ -95,15 +95,17 @@ type Bank struct {
 	// physical slot; location[logical] is the inverse permutation. Both
 	// are nil while the mapping is the identity — only banks that a swap
 	// mitigation actually touches pay for materializing them.
-	content  []RowID
-	location []RowID
+	// displaced counts the slots whose content differs from the identity
+	// (maintained by SwapContents); it lets recycle pool the maps only
+	// when every swap has been unwound, so a reused pair needs no
+	// re-initialization.
+	content   []RowID
+	location  []RowID
+	displaced int
 
 	// Statistics (cumulative, never reset).
 	TotalACTs    uint64
 	TotalRefresh uint64
-
-	maxWindowACT uint32 // highest per-slot count seen in current window
-	hottestSlot  RowID
 }
 
 func newBank(rows int) *Bank {
@@ -125,8 +127,14 @@ func takeCounters(rows int) []uint32 {
 }
 
 // recycle zeroes the counters this window touched and returns the array
-// to the package pool. The bank must not be used afterwards.
+// to the package pool, along with the permutation maps when they are
+// back to the identity (the usual end state: place-back unwinds every
+// swap). The bank must not be used afterwards.
 func (b *Bank) recycle() {
+	if b.content != nil && b.displaced == 0 {
+		permPool.Put(&permPair{content: b.content, location: b.location})
+		b.content, b.location = nil, nil
+	}
 	if b.acts == nil {
 		return
 	}
@@ -138,10 +146,23 @@ func (b *Bank) recycle() {
 	countersPool.Put(&a)
 }
 
+// permPool recycles identity permutation maps across Memory instances;
+// every pooled pair is the identity over its full length.
+var permPool sync.Pool
+
+type permPair struct {
+	content  []RowID
+	location []RowID
+}
+
 // materialize allocates the content/location permutation maps, which are
 // implicitly the identity until the first swap.
 func (b *Bank) materialize() {
 	if b.content != nil {
+		return
+	}
+	if v, ok := permPool.Get().(*permPair); ok && len(v.content) == b.rows {
+		b.content, b.location = v.content, v.location
 		return
 	}
 	b.content = make([]RowID, b.rows)
@@ -168,8 +189,21 @@ func (b *Bank) ACTCount(slot RowID) uint32 {
 }
 
 // MaxWindowACT returns the highest per-slot activation count seen in the
-// current refresh window and the slot that incurred it.
-func (b *Bank) MaxWindowACT() (uint32, RowID) { return b.maxWindowACT, b.hottestSlot }
+// current refresh window and a slot that incurred it. It scans the
+// window's touched list: callers read it once per window roll, while
+// recordACT runs once per activation, so keeping the running maximum
+// out of the per-ACT path is the right trade.
+func (b *Bank) MaxWindowACT() (uint32, RowID) {
+	var count uint32
+	var slot RowID
+	for _, s := range b.touched {
+		if c := b.acts[s]; c > count {
+			count = c
+			slot = s
+		}
+	}
+	return count, slot
+}
 
 // ContentAt returns the logical row stored in a physical slot.
 func (b *Bank) ContentAt(slot RowID) RowID {
@@ -209,13 +243,10 @@ func (b *Bank) recordACT(slot RowID) {
 	if b.acts == nil {
 		b.acts = takeCounters(b.rows)
 	}
-	b.acts[slot]++
-	if b.acts[slot] == 1 {
+	c := b.acts[slot] + 1
+	b.acts[slot] = c
+	if c == 1 {
 		b.touched = append(b.touched, slot)
-	}
-	if b.acts[slot] > b.maxWindowACT {
-		b.maxWindowACT = b.acts[slot]
-		b.hottestSlot = slot
 	}
 }
 
@@ -293,8 +324,19 @@ func (b *Bank) NextACT() Cycles { return b.nextACT }
 func (b *Bank) SwapContents(slotA, slotB RowID) {
 	b.materialize()
 	la, lb := b.content[slotA], b.content[slotB]
+	before := displacedOf(slotA, la) + displacedOf(slotB, lb)
 	b.content[slotA], b.content[slotB] = lb, la
 	b.location[la], b.location[lb] = slotB, slotA
+	b.displaced += displacedOf(slotA, lb) + displacedOf(slotB, la) - before
+}
+
+// displacedOf is 1 when a slot holding the given logical row is away
+// from its home slot, else 0.
+func displacedOf(slot, logical RowID) int {
+	if slot == logical {
+		return 0
+	}
+	return 1
 }
 
 // VerifyPermutation checks that content and location are mutually inverse
@@ -352,8 +394,6 @@ func (b *Bank) StartNewWindow() {
 		b.acts[s] = 0
 	}
 	b.touched = b.touched[:0]
-	b.maxWindowACT = 0
-	b.hottestSlot = 0
 }
 
 // VictimSlots returns, in ascending slot order, the physical slots whose

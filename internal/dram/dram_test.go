@@ -323,3 +323,41 @@ func TestRecycledCountersAreClean(t *testing.T) {
 		}
 	}
 }
+
+func TestRecycledPermutationMapsAreIdentity(t *testing.T) {
+	// A bank whose swaps were fully unwound may donate its permutation
+	// maps to the pool; a bank with displaced rows must not. Either way
+	// every later materialize must observe the identity mapping.
+	unwound := newBank(64)
+	unwound.SwapContents(3, 9)
+	unwound.SwapContents(3, 9)
+	if unwound.displaced != 0 {
+		t.Fatalf("displaced = %d after unwinding, want 0", unwound.displaced)
+	}
+	unwound.recycle()
+
+	dirty := newBank(64)
+	dirty.SwapContents(1, 2)
+	dirty.SwapContents(2, 5)
+	if dirty.displaced != 3 {
+		t.Fatalf("displaced = %d after chained swaps, want 3", dirty.displaced)
+	}
+	dirty.recycle()
+	if dirty.content == nil {
+		t.Fatal("recycle released a non-identity permutation to the pool")
+	}
+
+	for trial := 0; trial < 4; trial++ {
+		b := newBank(64)
+		b.materialize()
+		if !b.IsIdentity() {
+			t.Fatalf("trial %d: materialize produced a non-identity map", trial)
+		}
+		if err := b.VerifyPermutation(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b.SwapContents(7, 8)
+		b.SwapContents(7, 8)
+		b.recycle()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/cpu"
 )
 
 // stripHostInstrumentation zeroes the fields that measure host (not
@@ -14,6 +15,7 @@ func stripHostInstrumentation(r *Result) *Result {
 	c.WallSeconds = 0
 	c.SimIPS = 0
 	c.Kernel = ""
+	c.Regimes = cpu.RegimeStats{}
 	return &c
 }
 

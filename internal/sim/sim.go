@@ -153,6 +153,12 @@ type Result struct {
 	SimIPS      float64
 	// Kernel names the time-advance strategy that produced the run.
 	Kernel string
+	// Regimes sums the cores' event-kernel batching counters: how many
+	// skipped cycles each closed-form regime replayed and how many fell
+	// back to per-cycle stepping. Like WallSeconds, this instruments the
+	// kernel rather than the simulated machine — a cycle-stepped run
+	// reports only Ticks — so determinism checks must ignore it.
+	Regimes cpu.RegimeStats
 }
 
 // issuer adapts the LLC + memory controller to the cpu.Issuer interface.
@@ -291,11 +297,15 @@ func Run(w trace.Workload, sys config.System, opt Options) (*Result, error) {
 	}
 	for i, c := range cores {
 		res.PerCoreIPC[i] = c.IPC()
+		res.Regimes.Add(c.Regimes())
 	}
 	res.MeanIPC = stats.Mean(res.PerCoreIPC)
 	// All statistics have been copied out: return the pooled per-bank
-	// arrays so the next Run skips their allocation and zeroing.
+	// arrays and LLC metadata so the next Run skips their allocation and
+	// zeroing.
 	mem.Recycle()
+	llc.Recycle()
+	ctrl.Recycle()
 	return res, nil
 }
 

@@ -110,6 +110,40 @@ func (r *RNG) Geometric(p float64) float64 {
 	return math.Ceil(math.Log(u) / math.Log1p(-p))
 }
 
+// Geom is a geometric sampler with a fixed success probability. It
+// precomputes log(1-p) once, which Geometric recomputes on every draw —
+// a measurable cost for the trace generators, which sample one gap per
+// memory access with the same p for the whole run. Next consumes the
+// RNG's stream exactly like Geometric(p) and, because the same
+// math.Log1p(-p) value feeds the same division, produces bit-identical
+// samples.
+type Geom struct {
+	rng  *RNG
+	logq float64
+	one  bool
+}
+
+// NewGeom returns a geometric sampler over r with success probability p.
+// Panics if p <= 0 or p > 1, mirroring Geometric.
+func NewGeom(r *RNG, p float64) *Geom {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric probability out of (0,1]")
+	}
+	return &Geom{rng: r, logq: math.Log1p(-p), one: p == 1}
+}
+
+// Next returns the next geometric sample (at least 1).
+func (g *Geom) Next() float64 {
+	if g.one {
+		return 1
+	}
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	return math.Ceil(math.Log(u) / g.logq)
+}
+
 // Poisson returns a sample from the Poisson distribution with mean lambda.
 // For small lambda it uses Knuth's product method; for large lambda a
 // normal approximation with continuity correction (adequate for the

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Zipf samples ranks in [0, n) with probability proportional to
 // 1/(rank+1)^s. The synthetic workload generators use it to model row-
@@ -11,7 +14,34 @@ import "math"
 // is exact and fast for the table sizes used by the trace generators.
 type Zipf struct {
 	cdf []float64
-	rng *RNG
+	// bucket[j] (j in [0,2048]) is the first rank whose cdf entry is
+	// >= j/2048, clamped to len(cdf)-1. Next seeds its binary search with
+	// bucket[floor(2048u)] .. bucket[floor(2048u)+1], which brackets the
+	// answer and cuts the search from log2(n) cold probes over the full
+	// table to a handful within one mostly-resident span. The result is
+	// the same rank the full-range search returns, so sampling stays
+	// bit-identical.
+	bucket []int32
+	rng    *RNG
+}
+
+// cdfCache shares the cumulative tables across samplers: a figure sweep
+// builds the same (s, n) table for every core of every run of every
+// cell, and the O(n) construction is dominated by math.Pow — a visible
+// slice of kernel-benchmark profiles. Tables are immutable after
+// construction (Next and Prob only read), so sharing one slice across
+// concurrently running simulations is safe, and a cached table is
+// bit-identical to a freshly built one by construction.
+var cdfCache sync.Map // cdfKey -> *zipfTable
+
+type cdfKey struct {
+	s float64
+	n int
+}
+
+type zipfTable struct {
+	cdf    []float64
+	bucket []int32
 }
 
 // NewZipf returns a Zipf sampler over n ranks with exponent s >= 0.
@@ -19,6 +49,11 @@ type Zipf struct {
 func NewZipf(rng *RNG, s float64, n int) *Zipf {
 	if n <= 0 {
 		panic("stats: Zipf with non-positive n")
+	}
+	key := cdfKey{s: s, n: n}
+	if cached, ok := cdfCache.Load(key); ok {
+		t := cached.(*zipfTable)
+		return &Zipf{cdf: t.cdf, bucket: t.bucket, rng: rng}
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -29,7 +64,17 @@ func NewZipf(rng *RNG, s float64, n int) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf, rng: rng}
+	bucket := make([]int32, 2049)
+	r := 0
+	for j := range bucket {
+		t := float64(j) / 2048
+		for r < n-1 && cdf[r] < t {
+			r++
+		}
+		bucket[j] = int32(r)
+	}
+	cdfCache.Store(key, &zipfTable{cdf: cdf, bucket: bucket})
+	return &Zipf{cdf: cdf, bucket: bucket, rng: rng}
 }
 
 // N returns the number of ranks.
@@ -38,8 +83,13 @@ func (z *Zipf) N() int { return len(z.cdf) }
 // Next returns the next sampled rank in [0, N()).
 func (z *Zipf) Next() int {
 	u := z.rng.Float64()
-	// Binary search for the first cdf entry >= u.
-	lo, hi := 0, len(z.cdf)-1
+	// Binary search for the first cdf entry >= u, bracketed by the
+	// bucket index (see the field comment for why this is exact).
+	j := int(u * 2048)
+	if j > 2047 {
+		j = 2047
+	}
+	lo, hi := int(z.bucket[j]), int(z.bucket[j+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

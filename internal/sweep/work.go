@@ -69,10 +69,17 @@ type WorkStats struct {
 	Claimed, Simulated, Hits int
 }
 
-// maxClaimWait bounds how long a worker sleeps between claim attempts
-// while every remaining job is leased elsewhere, whatever retry the
-// server suggests.
-const maxClaimWait = 2 * time.Second
+// Claim-poll backoff bounds. A worker that finds every remaining job
+// leased elsewhere starts polling at minClaimWait and doubles up to the
+// server's suggested retry (capped by maxClaimWait, whatever the server
+// says). Sleeping the server's full suggestion immediately serialized
+// the queue tail: the last jobs of a sweep finish in a few milliseconds,
+// and a worker parked for a fixed 200 ms missed them by an order of
+// magnitude (visible as the work-stealing gap in BENCH_sweep.json).
+const (
+	minClaimWait = time.Millisecond
+	maxClaimWait = 2 * time.Second
+)
 
 // RunWork is the work-stealing worker entry point: claim a job from
 // the daemon's queue, simulate it, push the result, complete the
@@ -120,6 +127,7 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			backoff := minClaimWait
 			for {
 				if fail(nil) {
 					return
@@ -133,13 +141,20 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 				case objstore.ClaimDone:
 					return
 				case objstore.ClaimWait:
-					wait := time.Duration(resp.RetryMS) * time.Millisecond
-					if wait <= 0 || wait > maxClaimWait {
-						wait = maxClaimWait
+					limit := time.Duration(resp.RetryMS) * time.Millisecond
+					if limit <= 0 || limit > maxClaimWait {
+						limit = maxClaimWait
 					}
-					time.Sleep(wait)
+					if backoff > limit {
+						backoff = limit
+					}
+					time.Sleep(backoff)
+					if backoff < limit {
+						backoff *= 2
+					}
 					continue
 				}
+				backoff = minClaimWait
 				claim := resp.Claim
 				if claim.Job < 0 || claim.Job >= len(m.Jobs) || m.Jobs[claim.Job].Key != claim.Key {
 					fail(fmt.Errorf("sweep: worker %s: claimed job %d (key %.12s…) does not match the manifest — the daemon was started with a different plan", worker, claim.Job, claim.Key))

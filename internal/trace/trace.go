@@ -101,6 +101,7 @@ type generator struct {
 	geo  config.Geometry
 	rng  *stats.RNG
 	zipf *stats.Zipf
+	gap  *stats.Geom // gap sampler (nil when AvgGap == 0)
 
 	// rowOf maps Zipf rank -> (bank, row) so popular ranks are scattered
 	// deterministically across banks.
@@ -110,6 +111,10 @@ type generator struct {
 	hotBank []uint8
 	hotRow  []int32
 	hotCol  int
+
+	// Geometry constants hoisted out of the per-record path.
+	banksPerCh int
+	lpr        int
 
 	curBank uint8
 	curRow  int32
@@ -121,12 +126,21 @@ type generator struct {
 // geometry, seeded independently per (workload, core).
 func NewGenerator(prof Profile, geo config.Geometry, seed uint64) Stream {
 	rng := stats.NewRNG(seed)
-	g := &generator{prof: prof, geo: geo, rng: rng}
+	g := &generator{
+		prof:       prof,
+		geo:        geo,
+		rng:        rng,
+		banksPerCh: geo.RanksPerCh * geo.BanksPerRnk,
+		lpr:        geo.LinesPerRow(),
+	}
 	n := prof.FootprintRows
 	if n <= 0 {
 		n = 1
 	}
 	g.zipf = stats.NewZipf(rng.Split(), prof.RowZipf, n)
+	if prof.AvgGap > 0 {
+		g.gap = stats.NewGeom(rng, 1/float64(prof.AvgGap+1))
+	}
 	g.rowBank = make([]uint8, n)
 	g.rowID = make([]int32, n)
 	layout := rng.Split()
@@ -152,8 +166,8 @@ func (g *generator) Name() string { return g.prof.Name }
 func (g *generator) place(bankIdx uint8, row int32, col int) (uint64, dram.Location) {
 	geo := g.geo
 	b := int(bankIdx)
-	ch := b / (geo.RanksPerCh * geo.BanksPerRnk)
-	rem := b % (geo.RanksPerCh * geo.BanksPerRnk)
+	ch := b / g.banksPerCh
+	rem := b % g.banksPerCh
 	rank := rem / geo.BanksPerRnk
 	bank := rem % geo.BanksPerRnk
 	loc := dram.Location{
@@ -167,7 +181,7 @@ func (g *generator) Next() Record {
 	gap := 0
 	if p.AvgGap > 0 {
 		// Geometric-ish gap with the configured mean.
-		gap = int(g.rng.Geometric(1/float64(p.AvgGap+1))) - 1
+		gap = int(g.gap.Next()) - 1
 	}
 	write := g.rng.Float64() < p.WriteFrac
 
@@ -176,7 +190,7 @@ func (g *generator) Next() Record {
 	// fresh activation).
 	if p.HotRows > 0 && g.rng.Float64() < p.HotFrac {
 		i := g.hotCol % p.HotRows
-		col := (g.hotCol / p.HotRows) % g.geo.LinesPerRow()
+		col := (g.hotCol / p.HotRows) % g.lpr
 		g.hotCol++
 		addr, loc := g.place(g.hotBank[i], g.hotRow[i], col)
 		return Record{
@@ -191,11 +205,11 @@ func (g *generator) Next() Record {
 
 	// Regular stream: continue a sequential run within the current row,
 	// or start a new row drawn from the Zipf popularity distribution.
-	if g.runLeft <= 0 || g.curCol >= g.geo.LinesPerRow() {
+	if g.runLeft <= 0 || g.curCol >= g.lpr {
 		rank := g.zipf.Next()
 		g.curBank = g.rowBank[rank]
 		g.curRow = g.rowID[rank]
-		g.curCol = g.rng.Intn(g.geo.LinesPerRow())
+		g.curCol = g.rng.Intn(g.lpr)
 		run := 1
 		if p.SeqRun > 1 {
 			run = 1 + g.rng.Intn(2*p.SeqRun-1) // mean ~= SeqRun

@@ -1,6 +1,6 @@
 package tracker
 
-import "container/heap"
+import "sync"
 
 // MisraGries is a per-bank frequent-item tracker with the Space-Saving
 // eviction rule, the practical realization of the Misra-Gries guarantee
@@ -18,11 +18,16 @@ func NewMisraGries(numBanks, capacity int) *MisraGries {
 	if capacity < 1 {
 		capacity = 1
 	}
-	t := &MisraGries{banks: make([]ssBank, numBanks), cap: capacity}
+	return &MisraGries{banks: make([]ssBank, numBanks), cap: capacity}
+}
+
+// Recycle returns the per-bank row-index arrays to a package pool so the
+// next simulation run skips their allocation and zeroing. The tracker
+// must not be used afterwards.
+func (t *MisraGries) Recycle() {
 	for i := range t.banks {
-		t.banks[i].index = make(map[int32]int)
+		t.banks[i].recycle()
 	}
-	return t
 }
 
 // Name implements Tracker.
@@ -52,17 +57,93 @@ func (t *MisraGries) Reset() {
 // Count returns the current estimate for a row (0 if untracked).
 func (t *MisraGries) Count(bankIdx int, row int32) int {
 	b := &t.banks[bankIdx]
-	if i, ok := b.index[row]; ok {
-		return b.entries[i].count
+	if id, ok := b.lookup(row); ok {
+		return b.nodes[id].count
 	}
 	return 0
 }
 
-// ssBank is one bank's Space-Saving structure: a min-heap on counts with
-// a row->heap-position index.
+// ssBank is one bank's Space-Saving structure: a min-heap on counts.
+//
+// The tracker records one update per DRAM activation, so this is one of
+// the hottest structures in the simulator. The heap is hand-rolled with
+// one level of indirection: entry data lives in stable node slots
+// (nodes), and the heap permutes only node ids (heapArr/pos). Sifting
+// therefore swaps two int32s per step instead of moving entries and
+// rewriting the row->position map. The sift order replicates
+// container/heap's up/down/Fix exactly — same comparisons, same swap
+// sequence — so the heap reaches the same permutation and evicts the
+// same victims as the previous container/heap implementation, keeping
+// simulation results bit-identical.
+//
+// Row membership (ids) is a direct array indexed by row number rather
+// than a hash map: one update per DRAM activation made map hashing a
+// visible profile cost. The array stores node id + 1 (0 = absent), is
+// grown on demand to cover the largest row seen, and its nonzero
+// entries are at all times exactly the resident rows (evict and remove
+// zero the departing row's entry immediately), which is what lets
+// recycle return it to the pool after zeroing at most cap entries.
 type ssBank struct {
-	entries []ssEntry
-	index   map[int32]int
+	nodes   []ssEntry // node id -> entry (stable while resident)
+	heapArr []int32   // heap position -> node id
+	pos     []int32   // node id -> heap position
+	ids     []int32   // row -> node id + 1, 0 = absent
+}
+
+// idsPool recycles the row-index arrays across trackers; pooled slices
+// are fully zero.
+var idsPool sync.Pool
+
+func (b *ssBank) lookup(row int32) (int32, bool) {
+	if int(row) < len(b.ids) {
+		if v := b.ids[row]; v != 0 {
+			return v - 1, true
+		}
+	}
+	return 0, false
+}
+
+func (b *ssBank) setID(row, id int32) {
+	if int(row) >= len(b.ids) {
+		b.grow(row)
+	}
+	b.ids[row] = id + 1
+}
+
+// grow extends ids to cover row, preferring a pooled array. The
+// outgrown array is dropped rather than pooled: it holds nonzero
+// entries for this bank's residents, and only fully-zero arrays may
+// enter the pool.
+func (b *ssBank) grow(row int32) {
+	if v, ok := idsPool.Get().(*[]int32); ok {
+		if a := *v; cap(a) > int(row) {
+			a = a[:cap(a)]
+			copy(a, b.ids)
+			b.ids = a
+			return
+		}
+		idsPool.Put(v)
+	}
+	n := 1 << 10
+	for n <= int(row) {
+		n <<= 1
+	}
+	a := make([]int32, n)
+	copy(a, b.ids)
+	b.ids = a
+}
+
+// recycle zeroes the resident rows' index entries and pools the array.
+func (b *ssBank) recycle() {
+	if len(b.ids) == 0 {
+		return
+	}
+	for i := range b.nodes {
+		b.ids[b.nodes[i].row] = 0
+	}
+	ids := b.ids
+	b.ids = nil
+	idsPool.Put(&ids)
 }
 
 type ssEntry struct {
@@ -70,60 +151,117 @@ type ssEntry struct {
 	count int
 }
 
+func (b *ssBank) less(i, j int32) bool {
+	return b.nodes[b.heapArr[i]].count < b.nodes[b.heapArr[j]].count
+}
+
+func (b *ssBank) swap(i, j int32) {
+	b.heapArr[i], b.heapArr[j] = b.heapArr[j], b.heapArr[i]
+	b.pos[b.heapArr[i]] = i
+	b.pos[b.heapArr[j]] = j
+}
+
+func (b *ssBank) up(j int32) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !b.less(j, i) {
+			break
+		}
+		b.swap(i, j)
+		j = i
+	}
+}
+
+func (b *ssBank) down(i0, n int32) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && b.less(j2, j1) {
+			j = j2
+		}
+		if !b.less(j, i) {
+			break
+		}
+		b.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (b *ssBank) fix(i int32) {
+	if !b.down(i, int32(len(b.heapArr))) {
+		b.up(i)
+	}
+}
+
 func (b *ssBank) record(row int32, capacity int) int {
-	if i, ok := b.index[row]; ok {
-		c := b.entries[i].count + 1
-		b.entries[i].count = c
-		heap.Fix(b, i) // may move the entry; c is captured beforehand
+	if id, ok := b.lookup(row); ok {
+		c := b.nodes[id].count + 1
+		b.nodes[id].count = c
+		b.fix(b.pos[id]) // may move the entry; c is captured beforehand
 		return c
 	}
-	if len(b.entries) < capacity {
-		heap.Push(b, ssEntry{row: row, count: 1})
+	if len(b.nodes) < capacity {
+		id := int32(len(b.nodes))
+		b.nodes = append(b.nodes, ssEntry{row: row, count: 1})
+		b.heapArr = append(b.heapArr, id)
+		b.pos = append(b.pos, id)
+		b.setID(row, id)
+		b.up(id)
 		return 1
 	}
 	// Space-Saving: replace the minimum entry; the newcomer inherits
 	// min+1 (an overestimate bounded by the evicted count).
-	min := &b.entries[0]
-	delete(b.index, min.row)
+	id := b.heapArr[0]
+	min := &b.nodes[id]
+	b.ids[min.row] = 0
 	min.row = row
 	min.count++
 	c := min.count
-	b.index[row] = 0
-	heap.Fix(b, 0)
+	b.setID(row, id)
+	b.fix(0)
 	return c
 }
 
 func (b *ssBank) remove(row int32) {
-	if i, ok := b.index[row]; ok {
-		heap.Remove(b, i)
+	id, ok := b.lookup(row)
+	if !ok {
+		return
 	}
+	b.ids[row] = 0
+	// Detach from the heap (container/heap.Remove semantics: move the
+	// last element into the hole, then fix).
+	n := int32(len(b.heapArr)) - 1
+	if i := b.pos[id]; i != n {
+		b.swap(i, n)
+		b.heapArr = b.heapArr[:n]
+		if !b.down(i, n) {
+			b.up(i)
+		}
+	} else {
+		b.heapArr = b.heapArr[:n]
+	}
+	// Free the node slot by moving the last node into it.
+	last := int32(len(b.nodes)) - 1
+	if id != last {
+		b.nodes[id] = b.nodes[last]
+		b.heapArr[b.pos[last]] = id
+		b.pos[id] = b.pos[last]
+		b.ids[b.nodes[id].row] = id + 1
+	}
+	b.nodes = b.nodes[:last]
+	b.pos = b.pos[:last]
 }
 
 func (b *ssBank) clear() {
-	b.entries = b.entries[:0]
-	for k := range b.index {
-		delete(b.index, k)
+	for i := range b.nodes {
+		b.ids[b.nodes[i].row] = 0
 	}
-}
-
-// heap.Interface implementation.
-
-func (b *ssBank) Len() int           { return len(b.entries) }
-func (b *ssBank) Less(i, j int) bool { return b.entries[i].count < b.entries[j].count }
-func (b *ssBank) Swap(i, j int) {
-	b.entries[i], b.entries[j] = b.entries[j], b.entries[i]
-	b.index[b.entries[i].row] = i
-	b.index[b.entries[j].row] = j
-}
-func (b *ssBank) Push(x any) {
-	e := x.(ssEntry)
-	b.index[e.row] = len(b.entries)
-	b.entries = append(b.entries, e)
-}
-func (b *ssBank) Pop() any {
-	n := len(b.entries) - 1
-	e := b.entries[n]
-	delete(b.index, e.row)
-	b.entries = b.entries[:n]
-	return e
+	b.nodes = b.nodes[:0]
+	b.heapArr = b.heapArr[:0]
+	b.pos = b.pos[:0]
 }

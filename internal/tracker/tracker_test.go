@@ -77,20 +77,25 @@ func TestMisraGriesHeapInvariant(t *testing.T) {
 			mg.RecordACT(0, int32(r%32))
 		}
 		b := &mg.banks[0]
-		// Heap order: parent <= children; index consistent.
-		for i := range b.entries {
+		// Heap order: parent <= children; id indirection and row index
+		// consistent.
+		at := func(i int) ssEntry { return b.nodes[b.heapArr[i]] }
+		for i := range b.heapArr {
 			l, r := 2*i+1, 2*i+2
-			if l < len(b.entries) && b.entries[l].count < b.entries[i].count {
+			if l < len(b.heapArr) && at(l).count < at(i).count {
 				return false
 			}
-			if r < len(b.entries) && b.entries[r].count < b.entries[i].count {
+			if r < len(b.heapArr) && at(r).count < at(i).count {
 				return false
 			}
-			if b.index[b.entries[i].row] != i {
+			if b.pos[b.heapArr[i]] != int32(i) {
+				return false
+			}
+			if b.ids[at(i).row] != b.heapArr[i]+1 {
 				return false
 			}
 		}
-		return len(b.entries) <= 8
+		return len(b.heapArr) <= 8 && len(b.nodes) == len(b.heapArr) && len(b.pos) == len(b.heapArr)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

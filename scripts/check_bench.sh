@@ -1,0 +1,27 @@
+#!/bin/sh
+# Kernel-throughput regression gate, enforced by CI's bench job (see
+# .github/workflows/ci.yml): compare a freshly measured BENCH_kernel.json
+# against the committed baseline and fail when approx_sim_ips regressed
+# by more than the tolerance (default 15%, generous because CI runners
+# are shared and noisy — the gate catches algorithmic regressions, not
+# jitter).
+#
+# Usage: ./scripts/check_bench.sh BASELINE.json FRESH.json [tolerance]
+set -u
+
+baseline=${1:?usage: check_bench.sh BASELINE.json FRESH.json [tolerance]}
+fresh=${2:?usage: check_bench.sh BASELINE.json FRESH.json [tolerance]}
+tolerance=${3:-0.15}
+
+python3 - "$baseline" "$fresh" "$tolerance" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(baseline_path))["approx_sim_ips"]
+new = json.load(open(fresh_path))["approx_sim_ips"]
+floor = base * (1 - tolerance)
+verdict = "OK" if new >= floor else "REGRESSION"
+print(f"bench gate: baseline {base:,.0f} sim-IPS, fresh {new:,.0f} sim-IPS, "
+      f"floor {floor:,.0f} ({tolerance:.0%} tolerance): {verdict}")
+sys.exit(0 if new >= floor else 1)
+EOF

@@ -1,0 +1,29 @@
+#!/bin/sh
+# One-shot simulator profile: run a memory-intensive workload through
+# rowswap-sim with -cpuprofile (which forces re-simulation so the
+# kernel, not a cache read, is what gets sampled) and render the pprof
+# call graph as SVG. See ARCHITECTURE.md ("How to profile the kernel")
+# for reading the result; the bench harness accepts go test's built-in
+# -cpuprofile/-memprofile for profiling BenchmarkQuickMatrix instead.
+#
+# Usage: ./scripts/profile.sh [output-dir] [extra rowswap-sim flags...]
+set -eu
+
+out=${1:-/tmp/rowswap-profile}
+[ $# -gt 0 ] && shift
+mkdir -p "$out"
+
+go build -o "$out/rowswap-sim" ./cmd/rowswap-sim
+"$out/rowswap-sim" -workload gups -mitigation scale-srs -trh 1200 \
+    -cores 4 -instructions 1000000 \
+    -cpuprofile "$out/cpu.out" -memprofile "$out/mem.out" "$@" >"$out/run.txt"
+
+go tool pprof -top -nodecount=25 "$out/rowswap-sim" "$out/cpu.out" | tee "$out/cpu_top.txt"
+if go tool pprof -svg -output "$out/cpu.svg" "$out/rowswap-sim" "$out/cpu.out" 2>/dev/null; then
+    echo "profile: $out/cpu.svg"
+else
+    # pprof's SVG renderer shells out to graphviz; fall back to the
+    # self-contained text report when dot is not installed.
+    echo "profile: graphviz (dot) not found, skipping SVG; see $out/cpu_top.txt"
+fi
+echo "heap profile: $out/mem.out (go tool pprof $out/rowswap-sim $out/mem.out)"
