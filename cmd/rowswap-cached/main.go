@@ -13,15 +13,29 @@
 //	rowswap-sweep  merge -server http://COORD:8344 \
 //	               -manifest manifest.json -merged-dir merged   # coordinator
 //
+// The daemon is a long-lived, multi-tenant evaluation service:
+// -manifest is optional, and any number of manifests can be registered
+// over HTTP (POST /v1/register; rowswap-sweep work -manifest does it
+// automatically), each getting its own queue namespaced by the
+// manifest's content fingerprint under /m/<fp>/. Registered manifests
+// are persisted in the store directory, and a restarted daemon
+// re-registers them and rebuilds each queue's done-ness from the
+// results already stored — kill it mid-sweep and the restart resumes
+// where the store left off. Workers heartbeat their leases while a job
+// runs, so only silent (dead) workers are requeued, never slow ones.
+//
 // Results live in an ordinary simcache directory (-store-dir), so the
 // store can be merged, packed, or planned against like any local
 // cache; measured costs are folded into EWMA estimates across all
-// workers. A claimed job not completed within -lease is handed to the
-// next claimer, so a worker killed mid-run delays its job by one lease
-// instead of stalling the sweep. The daemon never simulates and never
-// interprets a job beyond its content-addressed key, which is why one
-// daemon binary serves workers of any build that matches the
-// manifest's planner.
+// workers (normalized into reference-host seconds, so a heterogeneous
+// fleet agrees on them). A claimed job not completed or heartbeated
+// within -lease is handed to the next claimer, so a worker killed
+// mid-run delays its job by one lease instead of stalling the sweep.
+// The daemon never simulates and never interprets a job beyond its
+// content-addressed key, which is why one daemon binary serves workers
+// of any build that matches the manifest's planner. GET /v1/service
+// and GET /v1/metrics expose consolidated progress, per-worker
+// liveness, and queue counters.
 //
 // See README.md for a two-machine walkthrough.
 package main
@@ -41,7 +55,7 @@ import (
 )
 
 func main() {
-	manifest := flag.String("manifest", "", "evaluation manifest (rowswap-sweep plan) whose jobs feed the work queue")
+	manifest := flag.String("manifest", "", "evaluation manifest (rowswap-sweep plan) whose jobs feed the work queue (optional: manifests can also be registered over HTTP, and persisted ones reload on restart)")
 	storeDir := flag.String("store-dir", "store", "simcache directory results and measured costs are persisted in")
 	addr := flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free port; use 0.0.0.0 to serve other machines)")
 	lease := flag.Duration("lease", objstore.DefaultLease, "job lease: a claimed job not completed within this window is requeued for other workers")
@@ -55,22 +69,24 @@ func main() {
 }
 
 func run(manifestPath, storeDir, addr string, lease time.Duration, progress bool) error {
-	if manifestPath == "" {
-		return fmt.Errorf("missing -manifest (plan one with: rowswap-sweep plan -all -out manifest.json)")
-	}
-	raw, err := os.ReadFile(manifestPath)
-	if err != nil {
-		return err
-	}
-	m, err := sweep.LoadManifest(manifestPath)
-	if err != nil {
-		return err
-	}
-	// Structure only: the daemon is a different executable than the
-	// planner by design, so the binary-fingerprint gate belongs to the
-	// workers and the merge stage, which do interpret the jobs.
-	if err := m.ValidateStructure(); err != nil {
-		return err
+	opts := objstore.ServerOptions{Lease: lease}
+	if manifestPath != "" {
+		raw, err := os.ReadFile(manifestPath)
+		if err != nil {
+			return err
+		}
+		m, err := sweep.LoadManifest(manifestPath)
+		if err != nil {
+			return err
+		}
+		// Structure only: the daemon is a different executable than the
+		// planner by design, so the binary-fingerprint gate belongs to
+		// the workers and the merge stage, which do interpret the jobs.
+		if err := m.ValidateStructure(); err != nil {
+			return err
+		}
+		opts.Manifest = raw
+		opts.Jobs = m.QueueJobs()
 	}
 	cache, err := simcache.Open(storeDir)
 	if err != nil {
@@ -80,12 +96,15 @@ func run(manifestPath, storeDir, addr string, lease time.Duration, progress bool
 	if progress {
 		logw = os.Stderr
 	}
-	srv := objstore.NewServer(cache, objstore.ServerOptions{
-		Manifest: raw,
-		Jobs:     m.QueueJobs(),
-		Lease:    lease,
-		Log:      logIfSet(logw),
-	})
+	opts.Log = logIfSet(logw)
+	srv := objstore.NewServer(cache, opts)
+	// Restart recovery: manifests registered in earlier daemon lives are
+	// persisted under the store directory; re-registering them rebuilds
+	// each queue's done-ness from the results already in the store, so a
+	// restarted daemon resumes the sweep instead of re-running it.
+	if n := srv.LoadPersisted(); n > 0 && logw != nil {
+		fmt.Fprintf(logw, "rowswap-cached: recovered %d persisted manifest(s) from %s\n", n, storeDir)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -94,7 +113,7 @@ func run(manifestPath, storeDir, addr string, lease time.Duration, progress bool
 	// e2e tests) can parse the actual address, including an
 	// OS-assigned port.
 	fmt.Printf("rowswap-cached: serving %d jobs on http://%s (store %s, lease %s)\n",
-		len(m.Jobs), ln.Addr(), storeDir, lease)
+		srv.Jobs(), ln.Addr(), storeDir, lease)
 	return http.Serve(ln, srv.Handler())
 }
 

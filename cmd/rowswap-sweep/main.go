@@ -56,10 +56,12 @@ func usage() {
   rowswap-sweep work      -server URL [-manifest manifest.json] [-name NAME] [-workers N] [-progress]
   rowswap-sweep merge     -manifest manifest.json (-dirs DIR0,DIR1,... | -server URL) -merged-dir DIR [-out results.json] [-no-pack] [-progress]
 
-run-shard executes a plan-time shard; work claims jobs from a
-rowswap-cached daemon's work-stealing queue until the evaluation is
-done. With -server, results are pushed to / pulled from the daemon and
-no cache directories change hands.
+run-shard executes a plan-time shard; work registers its manifest with
+a rowswap-cached daemon (idempotent — the daemon keys each evaluation
+by manifest fingerprint) and claims jobs from that manifest's
+work-stealing queue until the evaluation is done. With -server,
+results are pushed to / pulled from the daemon and no cache
+directories change hands.
 `)
 	os.Exit(2)
 }
@@ -210,16 +212,29 @@ func runWork(args []string) error {
 		return fmt.Errorf("missing -server (start one with: rowswap-cached -manifest manifest.json)")
 	}
 	client := objstore.NewClient(*server)
-	var m *sweep.Manifest
+	var raw []byte
 	var err error
 	if *manifest != "" {
-		m, err = sweep.LoadManifest(*manifest)
-	} else {
-		m, err = fetchManifest(client)
+		raw, err = os.ReadFile(*manifest)
+		if err != nil {
+			return err
+		}
+	} else if raw, err = client.ManifestJSON(); err != nil {
+		return fmt.Errorf("fetching manifest from %s: %w (daemon has no default manifest; pass -manifest to register one)", client.Base(), err)
 	}
+	var m sweep.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	// Registration is idempotent and names the tenant: the daemon keys
+	// each evaluation by the manifest's content fingerprint, so this
+	// worker claims only from its own sweep's queue even when the daemon
+	// serves several manifests at once.
+	reg, err := client.Register(raw)
 	if err != nil {
-		return err
+		return fmt.Errorf("registering manifest with %s: %w", client.Base(), err)
 	}
+	client = client.ForManifest(reg.Fingerprint)
 	var prog *os.File
 	if *progress {
 		prog = os.Stderr
@@ -228,24 +243,9 @@ func runWork(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("worker %s: claimed %d jobs (%d simulated, %d served from store) -> %s\n",
-		*name, stats.Claimed, stats.Simulated, stats.Hits, client.Base())
+	fmt.Printf("worker %s: claimed %d jobs (%d simulated, %d served from store) -> %s (manifest %.12s…)\n",
+		*name, stats.Claimed, stats.Simulated, stats.Hits, client.Base(), reg.Fingerprint)
 	return nil
-}
-
-// fetchManifest pulls the manifest from the daemon, so a worker
-// machine needs nothing but the binary and the server URL. RunWork
-// still validates it against this build before simulating anything.
-func fetchManifest(client *objstore.Client) (*sweep.Manifest, error) {
-	data, err := client.ManifestJSON()
-	if err != nil {
-		return nil, fmt.Errorf("fetching manifest from %s: %w", client.Base(), err)
-	}
-	var m sweep.Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("manifest from %s: %w", client.Base(), err)
-	}
-	return &m, nil
 }
 
 func runMerge(args []string) error {

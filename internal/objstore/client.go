@@ -32,13 +32,20 @@ type Client struct {
 	base string
 	hc   *http.Client
 
+	// fingerprint, when non-empty, namespaces the control plane: claim,
+	// complete, heartbeat, status, and manifest go to /m/{fp}/... so one
+	// daemon serves many concurrent sweeps. The data plane (entries,
+	// costs) is content-addressed and therefore shared across tenants.
+	fingerprint string
+
 	// attempts and backoff tune the retry loop; tests shrink them.
 	attempts int
 	backoff  time.Duration
 }
 
 // NewClient returns a client for the server at base (host:port or a
-// full http:// URL).
+// full http:// URL), addressing the daemon's default manifest via the
+// legacy /v1/* queue routes. Use ForManifest for a namespaced client.
 func NewClient(base string) *Client {
 	base = strings.TrimRight(base, "/")
 	if !strings.Contains(base, "://") {
@@ -52,13 +59,40 @@ func NewClient(base string) *Client {
 	}
 }
 
+// ForManifest returns a client whose queue control plane is namespaced
+// to the manifest with the given fingerprint (ManifestFingerprint of
+// its JSON, as returned by Register). The derived client shares the
+// retry tuning and the shared data plane of its parent.
+func (c *Client) ForManifest(fingerprint string) *Client {
+	derived := *c
+	derived.fingerprint = fingerprint
+	return &derived
+}
+
 // Base returns the normalized server URL.
 func (c *Client) Base() string { return c.base }
 
-// errStatus is a non-2xx response with the server's decoded reason.
+// Fingerprint returns the manifest fingerprint the client's control
+// plane is namespaced to ("" = the daemon's default manifest).
+func (c *Client) Fingerprint() string { return c.fingerprint }
+
+// ctl maps a queue control-plane operation ("claim", "complete",
+// "heartbeat", "status", "manifest") to its route: the legacy
+// single-manifest /v1/* surface, or the /m/{fp}/* namespace when the
+// client is bound to a fingerprint.
+func (c *Client) ctl(op string) string {
+	if c.fingerprint == "" {
+		return "/v1/" + op
+	}
+	return "/m/" + c.fingerprint + "/" + op
+}
+
+// errStatus is a non-2xx response with the server's decoded reason and
+// machine-readable code, if any.
 type errStatus struct {
-	code   int
-	reason string
+	code    int
+	errCode string
+	reason  string
 }
 
 func (e *errStatus) Error() string {
@@ -68,15 +102,17 @@ func (e *errStatus) Error() string {
 	return fmt.Sprintf("server returned %d", e.code)
 }
 
-// decodeReason extracts the server's {"error": ...} body, if any.
-func decodeReason(data []byte) string {
+// decodeStatusErr extracts the server's {"error": ..., "code": ...}
+// body, if any.
+func decodeStatusErr(status int, data []byte) *errStatus {
 	var body struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	if json.Unmarshal(data, &body) == nil {
-		return body.Error
+		return &errStatus{code: status, errCode: body.Code, reason: body.Error}
 	}
-	return strings.TrimSpace(string(data))
+	return &errStatus{code: status, reason: strings.TrimSpace(string(data))}
 }
 
 // do performs one request with the retry policy, returning the
@@ -113,10 +149,10 @@ func (c *Client) do(method, path string, body []byte) ([]byte, error) {
 		case resp.StatusCode >= 200 && resp.StatusCode < 300:
 			return data, nil
 		case resp.StatusCode >= 500:
-			lastErr = &errStatus{code: resp.StatusCode, reason: decodeReason(data)}
+			lastErr = decodeStatusErr(resp.StatusCode, data)
 			continue
 		default:
-			return nil, &errStatus{code: resp.StatusCode, reason: decodeReason(data)}
+			return nil, decodeStatusErr(resp.StatusCode, data)
 		}
 	}
 	return nil, fmt.Errorf("objstore: %s %s failed after %d attempts: %w", method, path, c.attempts, lastErr)
@@ -210,10 +246,30 @@ func (c *Client) CostsJSONL() ([]byte, error) {
 	return c.do(http.MethodGet, "/v1/costs", nil)
 }
 
-// ManifestJSON fetches the manifest the server was started with, so a
-// worker machine needs only the binary and the server URL.
+// ManifestJSON fetches the manifest behind the client's namespace (the
+// daemon's default manifest for an unbound client), so a worker
+// machine needs only the binary and the server URL.
 func (c *Client) ManifestJSON() ([]byte, error) {
-	return c.do(http.MethodGet, "/v1/manifest", nil)
+	return c.do(http.MethodGet, c.ctl("manifest"), nil)
+}
+
+// Register registers raw manifest JSON with the service (idempotent:
+// re-registering an already-known manifest is a no-op that reports
+// Existing). The returned fingerprint names the sweep's namespace —
+// chain with ForManifest to get the namespaced client.
+func (c *Client) Register(raw []byte) (RegisterResponse, error) {
+	data, err := c.do(http.MethodPost, "/v1/register", raw)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	var resp RegisterResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return RegisterResponse{}, fmt.Errorf("objstore: register response does not decode: %w", err)
+	}
+	if resp.Fingerprint == "" {
+		return RegisterResponse{}, fmt.Errorf("objstore: register response carries no fingerprint")
+	}
+	return resp, nil
 }
 
 // ClaimJob asks the queue for work on behalf of worker.
@@ -222,7 +278,7 @@ func (c *Client) ClaimJob(worker string) (ClaimResponse, error) {
 	if err != nil {
 		return ClaimResponse{}, err
 	}
-	data, err := c.do(http.MethodPost, "/v1/claim", body)
+	data, err := c.do(http.MethodPost, c.ctl("claim"), body)
 	if err != nil {
 		return ClaimResponse{}, err
 	}
@@ -248,19 +304,69 @@ func (c *Client) Complete(job int, lease, worker string) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.do(http.MethodPost, "/v1/complete", body)
+	_, err = c.do(http.MethodPost, c.ctl("complete"), body)
 	return err
 }
 
-// Status fetches a queue snapshot.
+// Heartbeat renews the lease on a claimed job. Transient failures
+// (transport errors, 5xx) are retried with backoff like every other
+// request, so a daemon hiccup does not cost the worker its lease. A
+// lease the daemon no longer holds — expired and requeued, or wiped by
+// a restart — surfaces as an error wrapping ErrLeaseLost: the worker
+// should stop renewing and let completion fall back to the
+// stored-result proof (or re-claim). So does an unknown-manifest 404,
+// which is what a namespaced heartbeat hits when the daemon restarted
+// without reloading this sweep.
+func (c *Client) Heartbeat(job int, lease, worker string) error {
+	body, err := json.Marshal(heartbeatRequest{Job: job, Lease: lease, Worker: worker})
+	if err != nil {
+		return err
+	}
+	_, err = c.do(http.MethodPost, c.ctl("heartbeat"), body)
+	var se *errStatus
+	if errors.As(err, &se) && (se.errCode == codeLeaseLost || se.code == http.StatusNotFound) {
+		return fmt.Errorf("%w: %s", ErrLeaseLost, se.reason)
+	}
+	return err
+}
+
+// Status fetches a queue snapshot of the client's namespace.
 func (c *Client) Status() (QueueStats, error) {
-	data, err := c.do(http.MethodGet, "/v1/status", nil)
+	data, err := c.do(http.MethodGet, c.ctl("status"), nil)
 	if err != nil {
 		return QueueStats{}, err
 	}
+	return DecodeQueueStats(data)
+}
+
+// DecodeQueueStats decodes one queue snapshot as served by /v1/status
+// and /m/{fp}/status. Exported (with DecodeServiceStatus) so the
+// decoders that parse daemon answers can be fuzzed directly.
+func DecodeQueueStats(data []byte) (QueueStats, error) {
 	var st QueueStats
 	if err := json.Unmarshal(data, &st); err != nil {
 		return QueueStats{}, fmt.Errorf("objstore: status response does not decode: %w", err)
+	}
+	return st, nil
+}
+
+// ServiceStatus fetches the consolidated multi-manifest snapshot
+// (GET /v1/service): per-manifest progress, per-worker liveness, and
+// store counters.
+func (c *Client) ServiceStatus() (ServiceStatus, error) {
+	data, err := c.do(http.MethodGet, "/v1/service", nil)
+	if err != nil {
+		return ServiceStatus{}, err
+	}
+	return DecodeServiceStatus(data)
+}
+
+// DecodeServiceStatus decodes a consolidated service snapshot as
+// served by GET /v1/service.
+func DecodeServiceStatus(data []byte) (ServiceStatus, error) {
+	var st ServiceStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return ServiceStatus{}, fmt.Errorf("objstore: service status does not decode: %w", err)
 	}
 	return st, nil
 }

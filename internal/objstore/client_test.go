@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -70,6 +71,7 @@ func TestClientRetryTable(t *testing.T) {
 		wantOK   bool
 		wantErr  string // substring of the expected error ("" = success)
 		wantHits int    // exact request count, 0 = don't check
+		wantLost bool   // error must satisfy errors.Is(err, ErrLeaseLost)
 	}{
 		{
 			name: "5xx then success is retried",
@@ -149,6 +151,73 @@ func TestClientRetryTable(t *testing.T) {
 			},
 			wantErr: "unknown status",
 		},
+		{
+			// A daemon mid-restart answers 5xx; the worker's renewal must
+			// ride it out, not treat it as a lost lease and stop renewing.
+			name: "heartbeat retries through a 5xx without dropping the lease",
+			steps: []flakyStep{
+				{status: 503, body: []byte(`{"error":"restarting"}`)},
+				{status: 200, body: []byte(`{"ok":true,"lease_seconds":60}`)},
+			},
+			op: func(c *Client) (bool, error) {
+				return true, c.Heartbeat(0, "lease-1", "w0")
+			},
+			wantOK:   true,
+			wantHits: 2,
+		},
+		{
+			// The coded 409 is the queue saying "this lease no longer
+			// exists" — a protocol answer, surfaced as the typed sentinel
+			// and never retried (re-asserting a dead lease is spam).
+			name:  "heartbeat 409 lease-lost is typed and not retried",
+			steps: []flakyStep{{status: 409, body: []byte(`{"error":"lease was requeued","code":"lease-lost"}`)}},
+			op: func(c *Client) (bool, error) {
+				return false, c.Heartbeat(0, "lease-1", "w0")
+			},
+			wantErr:  "requeued",
+			wantLost: true,
+			wantHits: 1,
+		},
+		{
+			// A restarted daemon that has not (or cannot) reload this
+			// manifest answers 404: same worker reaction as a lost lease —
+			// stop renewing, finish, complete on the stored proof (or
+			// re-register and re-claim) — so the client folds it into the
+			// same sentinel rather than panicking on an unknown lease.
+			name:  "heartbeat 404 after a daemon restart is a re-claim signal",
+			steps: []flakyStep{{status: 404, body: []byte(`{"error":"no manifest with fingerprint deadbeef' is registered"}`)}},
+			op: func(c *Client) (bool, error) {
+				return false, c.Heartbeat(0, "lease-1", "w0")
+			},
+			wantErr:  "no manifest",
+			wantLost: true,
+			wantHits: 1,
+		},
+		{
+			// An uncoded 4xx (malformed request) is a plain client bug,
+			// not a lease signal: it must NOT masquerade as ErrLeaseLost.
+			name:  "heartbeat 400 is a plain error, not lease-lost",
+			steps: []flakyStep{{status: 400, body: []byte(`{"error":"heartbeat body is not JSON"}`)}},
+			op: func(c *Client) (bool, error) {
+				return false, c.Heartbeat(0, "lease-1", "w0")
+			},
+			wantErr:  "not JSON",
+			wantHits: 1,
+		},
+		{
+			// Completion after a lost lease: the stored-result proof makes
+			// it a success on the daemon, and the client treats the 200
+			// like any other completion.
+			name: "complete succeeds after heartbeat loss via stored proof",
+			steps: []flakyStep{
+				{status: 200, body: []byte(`{"ok":true}`)},
+			},
+			op: func(c *Client) (bool, error) {
+				return true, c.Complete(0, "stale-lease", "w0")
+			},
+			wantOK:   true,
+			wantHits: 1,
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -159,12 +228,18 @@ func TestClientRetryTable(t *testing.T) {
 			c.backoff = time.Millisecond
 
 			ok, err := tc.op(c)
+			if tc.wantLost != errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("errors.Is(err, ErrLeaseLost) = %v, want %v (err: %v)", !tc.wantLost, tc.wantLost, err)
+			}
 			if tc.wantErr != "" {
 				if err == nil {
 					t.Fatalf("want error containing %q, got success", tc.wantErr)
 				}
 				if !strings.Contains(err.Error(), tc.wantErr) {
 					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				if tc.wantHits > 0 && stub.count() != tc.wantHits {
+					t.Errorf("server saw %d requests, want %d", stub.count(), tc.wantHits)
 				}
 				return
 			}

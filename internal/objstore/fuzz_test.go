@@ -124,3 +124,144 @@ func FuzzClaimDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzHeartbeatDecode fuzzes the heartbeat decoder (POST /v1/heartbeat
+// and its namespaced twin) with arbitrary bodies: the answer is always
+// 200/400/409 — never a panic, never a 5xx — a 409 always carries the
+// lease-lost code (it is the route's only conflict), and no body of
+// any shape can corrupt the queue's job accounting or mark a job done.
+func FuzzHeartbeatDecode(f *testing.F) {
+	f.Add([]byte(`{"job":0,"lease":"x","worker":"w"}`))
+	f.Add([]byte(`{"job":0,"lease":"","worker":"w"}`))
+	f.Add([]byte(`{"job":-1,"lease":"x","worker":"w"}`))
+	f.Add([]byte(`{"job":5,"lease":"x","worker":"w"}`))
+	f.Add([]byte(`{"worker":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"job":1e300,"lease":"x","worker":"w"}`))
+	f.Add(bytes.Repeat([]byte("b"), 2048))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cache, err := simcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := testJobs(2)
+		srv := NewServer(cache, ServerOptions{Jobs: jobs, Lease: time.Minute})
+		h := srv.Handler()
+		// One held lease, so a lucky fuzz input can land a legal renewal.
+		claimReq := httptest.NewRequest(http.MethodPost, "/v1/claim", bytes.NewReader([]byte(`{"worker":"holder"}`)))
+		h.ServeHTTP(httptest.NewRecorder(), claimReq)
+
+		for _, path := range []string{"/v1/heartbeat", "/m/" + testKey(0) + "/heartbeat"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusOK, http.StatusBadRequest, http.StatusConflict, http.StatusNotFound:
+			default:
+				t.Fatalf("POST %s answered %d for body %q", path, rec.Code, data)
+			}
+			if rec.Code == http.StatusConflict {
+				var body struct {
+					Code string `json:"code"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Code != codeLeaseLost {
+					t.Fatalf("heartbeat 409 without the lease-lost code: %q", rec.Body.Bytes())
+				}
+			}
+		}
+		st := srv.Stats()
+		if st.Pending+st.Leased+st.Done != st.Jobs {
+			t.Fatalf("queue accounting broken: %+v", st)
+		}
+		if st.Done != 0 {
+			t.Fatalf("a heartbeat completed a job: %+v", st)
+		}
+	})
+}
+
+// FuzzRegisterDecode fuzzes manifest registration (POST /v1/register)
+// with arbitrary bodies: 200 or 400, never a panic. Every accepted
+// registration must yield a well-formed fingerprint whose namespaced
+// status route immediately works and whose queue accounting is sound —
+// a hostile manifest can be rejected, but a half-registered tenant must
+// never exist.
+func FuzzRegisterDecode(f *testing.F) {
+	f.Add(testManifest(1, 2))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{"jobs":[{"key":"zz"}]}`))
+	f.Add([]byte(`{"jobs":[{"key":"` + testKey(3) + `"},{"key":"` + testKey(3) + `"}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"jobs":42}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cache, err := simcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(cache, ServerOptions{})
+		h := srv.Handler()
+		req := httptest.NewRequest(http.MethodPost, "/v1/register", bytes.NewReader(data))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			var resp RegisterResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("register 200 with undecodable body: %v", err)
+			}
+			if !validKey(resp.Fingerprint) || resp.Jobs <= 0 {
+				t.Fatalf("accepted registration is inconsistent: %+v", resp)
+			}
+			streq := httptest.NewRequest(http.MethodGet, "/m/"+resp.Fingerprint+"/status", nil)
+			strec := httptest.NewRecorder()
+			h.ServeHTTP(strec, streq)
+			if strec.Code != http.StatusOK {
+				t.Fatalf("registered tenant's status answers %d", strec.Code)
+			}
+			st, err := DecodeQueueStats(strec.Body.Bytes())
+			if err != nil {
+				t.Fatalf("registered tenant's status undecodable: %v", err)
+			}
+			if st.Jobs != resp.Jobs || st.Pending+st.Leased+st.Done != st.Jobs {
+				t.Fatalf("fresh tenant accounting broken: %+v vs %+v", st, resp)
+			}
+		case http.StatusBadRequest:
+			if srv.Jobs() != 0 {
+				t.Fatalf("rejected registration left a tenant behind: %d jobs", srv.Jobs())
+			}
+		default:
+			t.Fatalf("POST /v1/register answered %d for body %q", rec.Code, data)
+		}
+	})
+}
+
+// FuzzStatusDecoders fuzzes the client-side status decoders with
+// arbitrary bytes: whatever a broken proxy or mismatched daemon sends,
+// DecodeQueueStats and DecodeServiceStatus must return a value or an
+// error — never panic.
+func FuzzStatusDecoders(f *testing.F) {
+	f.Add([]byte(`{"jobs":3,"pending":1,"leased":1,"done":1}`))
+	f.Add([]byte(`{"workers":{"w0":{"claimed":1,"idle_seconds":0.5}}}`))
+	f.Add([]byte(`{"manifests":[{"fingerprint":"ff","jobs":1}],"workers":null}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"jobs":"three"}`))
+	f.Add([]byte(`{"manifests":42}`))
+	f.Add([]byte{0xff, 0xfe})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeQueueStats(data); err != nil {
+			_ = err
+		}
+		if _, err := DecodeServiceStatus(data); err != nil {
+			_ = err
+		}
+	})
+}

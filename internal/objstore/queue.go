@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -28,10 +29,20 @@ const (
 )
 
 // DefaultLease bounds how long a claimed job stays invisible to other
-// workers. It must comfortably exceed one simulation's wall time (a
-// full-budget cell runs seconds, not minutes); a worker that dies
-// mid-job forfeits the job to the next claimer after this long.
+// workers. Heartbeats renew it, so it only needs to exceed one
+// heartbeat interval — but a generous default keeps a worker whose
+// heartbeats are delayed (GC pause, loaded host) from losing work; a
+// worker that dies mid-job forfeits the job to the next claimer after
+// at most this long past its last heartbeat.
 const DefaultLease = 2 * time.Minute
+
+// ErrLeaseLost reports that a lease no longer exists in the queue: it
+// expired and the job was requeued, the job is already done, or the
+// daemon restarted and rebuilt its queues. A worker receiving it from
+// a heartbeat should stop renewing and rely on the stored-result proof
+// at completion time (or re-claim); it is a protocol signal, never a
+// reason to panic or to discard finished work.
+var ErrLeaseLost = errors.New("objstore: lease is no longer held")
 
 // Queue is the work-stealing core of the store daemon: workers claim
 // the next pending job, run it, push the result, and complete the
@@ -39,7 +50,9 @@ const DefaultLease = 2 * time.Minute
 // queue absorbs stragglers and heterogeneous machines by construction
 // — a fast worker simply claims more jobs — and a worker killed
 // mid-job only delays its jobs by one lease, because an expired lease
-// returns the job to the pending pool.
+// returns the job to the pending pool. Live workers renew their leases
+// with Heartbeat, so the lease can sit far below the longest job's
+// wall time without slow-but-alive workers losing work.
 //
 // Completion is idempotent and tolerant of lease races: results are
 // content-addressed, so when a requeued job is finished by two workers
@@ -49,6 +62,11 @@ type Queue struct {
 	lease time.Duration
 	now   func() time.Time // injectable for lease-expiry tests
 
+	// epoch prefixes every lease id issued by this queue instance, so
+	// a lease granted before a daemon restart can never collide with
+	// one granted after (the restarted queue's counter starts over).
+	epoch string
+
 	jobs    []QueueJob
 	state   []jobState
 	leaseID []string
@@ -57,8 +75,18 @@ type Queue struct {
 	next    int64
 
 	requeues  int
-	claimed   map[string]int
-	completed map[string]int
+	stale     int
+	recovered int
+	workers   map[string]*workerInfo
+}
+
+// workerInfo accumulates one worker's lifetime interaction with the
+// queue; lastSeen feeds the liveness column of the status endpoint.
+type workerInfo struct {
+	claimed    int
+	completed  int
+	heartbeats int
+	lastSeen   time.Time
 }
 
 // NewQueue builds a queue over the given jobs (manifest order: a
@@ -69,16 +97,52 @@ func NewQueue(jobs []QueueJob, lease time.Duration) *Queue {
 		lease = DefaultLease
 	}
 	return &Queue{
-		lease:     lease,
-		now:       time.Now,
-		jobs:      jobs,
-		state:     make([]jobState, len(jobs)),
-		leaseID:   make([]string, len(jobs)),
-		holder:    make([]string, len(jobs)),
-		expires:   make([]time.Time, len(jobs)),
-		claimed:   map[string]int{},
-		completed: map[string]int{},
+		lease:   lease,
+		now:     time.Now,
+		epoch:   strconv.FormatInt(time.Now().UnixNano(), 36),
+		jobs:    jobs,
+		state:   make([]jobState, len(jobs)),
+		leaseID: make([]string, len(jobs)),
+		holder:  make([]string, len(jobs)),
+		expires: make([]time.Time, len(jobs)),
+		workers: map[string]*workerInfo{},
 	}
+}
+
+// worker returns (creating if needed) the bookkeeping record for name
+// and stamps its liveness. Callers must hold q.mu.
+func (q *Queue) worker(name string) *workerInfo {
+	w := q.workers[name]
+	if w == nil {
+		w = &workerInfo{}
+		q.workers[name] = w
+	}
+	w.lastSeen = q.now()
+	return w
+}
+
+// RecoverStored marks every pending job whose result the store already
+// holds as done, returning how many were recovered. It is the restart
+// path of a persistent daemon: lease and done bookkeeping live only in
+// memory, but results are content-addressed files, so a queue rebuilt
+// over a warm store re-derives done-ness instead of re-running the
+// whole sweep. The count is exposed as QueueStats.Recovered so a
+// restarted daemon can prove it resumed rather than forgot.
+func (q *Queue) RecoverStored(stored func(key string) bool) int {
+	if stored == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for i := range q.jobs {
+		if q.state[i] == jobPending && stored(q.jobs[i].Key) {
+			q.state[i] = jobDone
+			n++
+		}
+	}
+	q.recovered += n
+	return n
 }
 
 // Claim states returned to workers.
@@ -101,7 +165,8 @@ type Claim struct {
 	Label    string `json:"label"`
 	Lease    string `json:"lease"`
 	// LeaseSeconds tells the worker how long it holds the job before
-	// the queue may hand it to someone else.
+	// the queue may hand it to someone else — and therefore how often
+	// to heartbeat (comfortably more than once per lease).
 	LeaseSeconds float64 `json:"lease_seconds"`
 }
 
@@ -112,12 +177,9 @@ type ClaimResponse struct {
 	RetryMS int    `json:"retry_ms,omitempty"`
 }
 
-// Claim hands the next available job to worker. Expired leases are
-// swept first, so a job orphaned by a dead worker is re-claimable the
-// moment its lease runs out.
-func (q *Queue) Claim(worker string) ClaimResponse {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+// sweepExpiredLocked requeues every job whose lease has run out.
+// Callers must hold q.mu.
+func (q *Queue) sweepExpiredLocked() {
 	now := q.now()
 	for i := range q.jobs {
 		if q.state[i] == jobLeased && now.After(q.expires[i]) {
@@ -125,16 +187,26 @@ func (q *Queue) Claim(worker string) ClaimResponse {
 			q.requeues++
 		}
 	}
+}
+
+// Claim hands the next available job to worker. Expired leases are
+// swept first, so a job orphaned by a dead worker is re-claimable the
+// moment its lease runs out.
+func (q *Queue) Claim(worker string) ClaimResponse {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepExpiredLocked()
+	now := q.now()
 	anyLeased := false
 	for i := range q.jobs {
 		switch q.state[i] {
 		case jobPending:
 			q.next++
 			q.state[i] = jobLeased
-			q.leaseID[i] = strconv.FormatInt(q.next, 10)
+			q.leaseID[i] = q.epoch + "." + strconv.FormatInt(q.next, 10)
 			q.holder[i] = worker
 			q.expires[i] = now.Add(q.lease)
-			q.claimed[worker]++
+			q.worker(worker).claimed++
 			return ClaimResponse{Status: ClaimJob, Claim: &Claim{
 				Job:          i,
 				Key:          q.jobs[i].Key,
@@ -153,12 +225,45 @@ func (q *Queue) Claim(worker string) ClaimResponse {
 	return ClaimResponse{Status: ClaimDone}
 }
 
+// Heartbeat renews the lease on a claimed job: a worker still on the
+// job keeps it for another full lease window from now, however long
+// the simulation takes. A heartbeat whose lease the queue no longer
+// holds — expired and requeued, already completed, out-of-range, or
+// issued by a queue instance that has since been restarted — returns
+// ErrLeaseLost (wrapped, with the reason), telling the worker to stop
+// renewing; the finished result still completes via the stored-result
+// proof. Expired leases are swept first, so a heartbeat that arrives
+// after its own expiry is told the truth instead of resurrecting a
+// lease another worker may already hold.
+func (q *Queue) Heartbeat(job int, lease, worker string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if job < 0 || job >= len(q.jobs) {
+		return fmt.Errorf("%w: no job %d in a %d-job queue", ErrLeaseLost, job, len(q.jobs))
+	}
+	q.sweepExpiredLocked()
+	if q.state[job] == jobDone {
+		return fmt.Errorf("%w: job %d is already done", ErrLeaseLost, job)
+	}
+	if q.state[job] != jobLeased || q.leaseID[job] != lease {
+		return fmt.Errorf("%w: lease %q on job %d was requeued or issued before a restart", ErrLeaseLost, lease, job)
+	}
+	q.expires[job] = q.now().Add(q.lease)
+	q.worker(worker).heartbeats++
+	return nil
+}
+
 // Complete marks a job done. A matching lease always completes; a
-// mismatched one (the lease expired and the job was requeued, or the
-// claim response never reached the worker) completes only when stored
-// confirms the job's result actually exists — results are
-// content-addressed, so an existing entry proves the work happened,
-// whoever pushed it. Completing an already-done job is a no-op.
+// mismatched one (the lease expired and the job was requeued, the
+// claim response never reached the worker, or the daemon restarted
+// under the worker) completes only when stored confirms the job's
+// result actually exists — results are content-addressed, so an
+// existing entry proves the work happened, whoever pushed it. Those
+// proof-based completions are counted as QueueStats.StaleCompletions:
+// each one is a lease that outlived its bookkeeping, which is
+// operationally interesting (lease too short for the fleet, or a
+// daemon restart mid-sweep) even though the result is sound.
+// Completing an already-done job is a no-op.
 func (q *Queue) Complete(job int, lease, worker string, stored func(key string) bool) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -170,27 +275,50 @@ func (q *Queue) Complete(job int, lease, worker string, stored func(key string) 
 	}
 	if q.state[job] == jobLeased && q.leaseID[job] == lease {
 		q.state[job] = jobDone
-		q.completed[worker]++
+		q.worker(worker).completed++
 		return nil
 	}
 	if stored != nil && stored(q.jobs[job].Key) {
 		q.state[job] = jobDone
-		q.completed[worker]++
+		q.stale++
+		q.worker(worker).completed++
 		return nil
 	}
 	return fmt.Errorf("objstore: lease %q on job %d is stale (the job was requeued after lease expiry) and no result entry exists for key %.12s… — push the entry, then complete again", lease, job, q.jobs[job].Key)
 }
 
+// WorkerStats is one worker's row in a queue snapshot: lifetime
+// counters plus liveness (seconds since the queue last heard from it —
+// a claim, a heartbeat, or a completion).
+type WorkerStats struct {
+	Claimed      int     `json:"claimed"`
+	Completed    int     `json:"completed"`
+	Heartbeats   int     `json:"heartbeats"`
+	IdleSeconds  float64 `json:"idle_seconds"`
+	ActiveLeases int     `json:"active_leases"`
+}
+
 // QueueStats is a queue snapshot: totals plus per-worker claim and
-// completion counts (the networked sweep's BENCH row).
+// completion counts (the networked sweep's BENCH row). Claimed and
+// Complete duplicate the per-worker counters of Workers for
+// compatibility with pre-heartbeat consumers.
 type QueueStats struct {
-	Jobs     int            `json:"jobs"`
-	Pending  int            `json:"pending"`
-	Leased   int            `json:"leased"`
-	Done     int            `json:"done"`
-	Requeues int            `json:"requeues"`
-	Claimed  map[string]int `json:"claimed"`
-	Complete map[string]int `json:"completed"`
+	Jobs     int `json:"jobs"`
+	Pending  int `json:"pending"`
+	Leased   int `json:"leased"`
+	Done     int `json:"done"`
+	Requeues int `json:"requeues"`
+	// Recovered counts jobs marked done from the store's existing
+	// entries at registration time (daemon restart over a warm store).
+	Recovered int `json:"recovered"`
+	// StaleCompletions counts completions accepted on the
+	// stored-result proof rather than a live lease.
+	StaleCompletions int `json:"stale_completions"`
+	// Heartbeats is the total lease renewals the queue has granted.
+	Heartbeats int                    `json:"heartbeats"`
+	Claimed    map[string]int         `json:"claimed"`
+	Complete   map[string]int         `json:"completed"`
+	Workers    map[string]WorkerStats `json:"workers,omitempty"`
 }
 
 // Stats snapshots the queue. Expired leases are swept first so the
@@ -199,30 +327,39 @@ type QueueStats struct {
 func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.sweepExpiredLocked()
 	now := q.now()
-	for i := range q.jobs {
-		if q.state[i] == jobLeased && now.After(q.expires[i]) {
-			q.state[i] = jobPending
-			q.requeues++
-		}
-	}
 	st := QueueStats{Jobs: len(q.jobs), Requeues: q.requeues,
-		Claimed: map[string]int{}, Complete: map[string]int{}}
+		Recovered: q.recovered, StaleCompletions: q.stale,
+		Claimed: map[string]int{}, Complete: map[string]int{},
+		Workers: map[string]WorkerStats{}}
+	leases := map[string]int{}
 	for i := range q.jobs {
 		switch q.state[i] {
 		case jobPending:
 			st.Pending++
 		case jobLeased:
 			st.Leased++
+			leases[q.holder[i]]++
 		case jobDone:
 			st.Done++
 		}
 	}
-	for w, n := range q.claimed {
-		st.Claimed[w] = n
-	}
-	for w, n := range q.completed {
-		st.Complete[w] = n
+	for name, w := range q.workers {
+		st.Heartbeats += w.heartbeats
+		if w.claimed > 0 {
+			st.Claimed[name] = w.claimed
+		}
+		if w.completed > 0 {
+			st.Complete[name] = w.completed
+		}
+		st.Workers[name] = WorkerStats{
+			Claimed:      w.claimed,
+			Completed:    w.completed,
+			Heartbeats:   w.heartbeats,
+			IdleSeconds:  now.Sub(w.lastSeen).Seconds(),
+			ActiveLeases: leases[name],
+		}
 	}
 	return st
 }

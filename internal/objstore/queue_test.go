@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -140,5 +141,194 @@ func TestQueueCompleteBounds(t *testing.T) {
 	}
 	if err := q.Complete(0, "bogus-lease", "w", func(string) bool { return false }); err == nil {
 		t.Error("pending job completed with a bogus lease and no stored proof")
+	}
+}
+
+func TestQueueHeartbeatKeepsSlowWorkerAlive(t *testing.T) {
+	// A slow-but-alive worker heartbeats inside every lease window and
+	// must never be requeued, however long the job takes: here the job
+	// runs 2.5x the lease.
+	q, clk := newTestQueue(1, time.Minute)
+	slow := q.Claim("slow")
+	if slow.Status != ClaimJob {
+		t.Fatalf("claim: %+v", slow)
+	}
+	if slow.Claim.LeaseSeconds != 60 {
+		t.Errorf("LeaseSeconds = %g, want 60", slow.Claim.LeaseSeconds)
+	}
+	for i := 0; i < 3; i++ {
+		clk.advance(50 * time.Second) // inside the window, past 1/2 of it
+		if err := q.Heartbeat(slow.Claim.Job, slow.Claim.Lease, "slow"); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		// The renewed lease keeps the job invisible to thieves.
+		if resp := q.Claim("thief"); resp.Status != ClaimWait {
+			t.Fatalf("job visible to thief after heartbeat %d: %+v", i, resp)
+		}
+	}
+	if err := q.Complete(slow.Claim.Job, slow.Claim.Lease, "slow", nil); err != nil {
+		t.Fatalf("complete after 150s on a 60s lease: %v", err)
+	}
+	st := q.Stats()
+	if st.Requeues != 0 || st.StaleCompletions != 0 {
+		t.Errorf("heartbeating worker was requeued: %+v", st)
+	}
+	if st.Heartbeats != 3 || st.Workers["slow"].Heartbeats != 3 {
+		t.Errorf("heartbeat counters: total=%d per-worker=%+v", st.Heartbeats, st.Workers["slow"])
+	}
+}
+
+func TestQueueSilentWorkerRequeued(t *testing.T) {
+	// The counterpart: a worker that stops heartbeating loses the job
+	// one lease after its last sign of life — and its own late
+	// heartbeat is answered with ErrLeaseLost, not a resurrection.
+	q, clk := newTestQueue(1, time.Minute)
+	dead := q.Claim("dead")
+	clk.advance(50 * time.Second)
+	if err := q.Heartbeat(dead.Claim.Job, dead.Claim.Lease, "dead"); err != nil {
+		t.Fatalf("live heartbeat: %v", err)
+	}
+	clk.advance(time.Minute + time.Second) // silence past the renewed lease
+	err := q.Heartbeat(dead.Claim.Job, dead.Claim.Lease, "dead")
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("late heartbeat: got %v, want ErrLeaseLost", err)
+	}
+	if resp := q.Claim("rescuer"); resp.Status != ClaimJob {
+		t.Fatalf("expired job not stealable: %+v", resp)
+	}
+	if st := q.Stats(); st.Requeues != 1 {
+		t.Errorf("requeues = %d, want 1", st.Requeues)
+	}
+}
+
+func TestQueueHeartbeatLeaseLostCases(t *testing.T) {
+	// Every way a lease can be gone answers the same typed signal.
+	q, _ := newTestQueue(2, time.Minute)
+	c := q.Claim("w0")
+	for _, tc := range []struct {
+		name  string
+		job   int
+		lease string
+	}{
+		{"job out of range (negative)", -1, c.Claim.Lease},
+		{"job out of range (high)", 2, c.Claim.Lease},
+		{"foreign lease id (pre-restart epoch)", c.Claim.Job, "deadbeef.1"},
+		{"unclaimed job", 1, c.Claim.Lease},
+	} {
+		if err := q.Heartbeat(tc.job, tc.lease, "w0"); !errors.Is(err, ErrLeaseLost) {
+			t.Errorf("%s: got %v, want ErrLeaseLost", tc.name, err)
+		}
+	}
+	if err := q.Complete(c.Claim.Job, c.Claim.Lease, "w0", nil); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if err := q.Heartbeat(c.Claim.Job, c.Claim.Lease, "w0"); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("heartbeat on done job: want ErrLeaseLost")
+	}
+}
+
+func TestQueueCompletionMatrix(t *testing.T) {
+	// The accept/reject matrix for completions, including what each
+	// outcome does to the stale_completions counter.
+	stored := func(string) bool { return true }
+	missing := func(string) bool { return false }
+	for _, tc := range []struct {
+		name   string
+		setup  func(q *Queue, clk *fakeClock) (job int, lease string)
+		proof  func(string) bool
+		accept bool
+		stale  int
+	}{
+		{
+			name: "valid live lease",
+			setup: func(q *Queue, clk *fakeClock) (int, string) {
+				c := q.Claim("w")
+				return c.Claim.Job, c.Claim.Lease
+			},
+			proof: missing, accept: true, stale: 0,
+		},
+		{
+			name: "expired and re-leased, result stored",
+			setup: func(q *Queue, clk *fakeClock) (int, string) {
+				c := q.Claim("w")
+				clk.advance(2 * time.Minute)
+				q.Claim("thief")
+				return c.Claim.Job, c.Claim.Lease
+			},
+			proof: stored, accept: true, stale: 1,
+		},
+		{
+			name: "expired and re-leased, result missing",
+			setup: func(q *Queue, clk *fakeClock) (int, string) {
+				c := q.Claim("w")
+				clk.advance(2 * time.Minute)
+				q.Claim("thief")
+				return c.Claim.Job, c.Claim.Lease
+			},
+			proof: missing, accept: false, stale: 0,
+		},
+		{
+			name: "wrong worker's forged lease, result missing",
+			setup: func(q *Queue, clk *fakeClock) (int, string) {
+				c := q.Claim("honest")
+				return c.Claim.Job, "forged-lease"
+			},
+			proof: missing, accept: false, stale: 0,
+		},
+		{
+			name: "wrong lease but result stored (claim response lost in transit)",
+			setup: func(q *Queue, clk *fakeClock) (int, string) {
+				c := q.Claim("w")
+				return c.Claim.Job, "lost-in-transit"
+			},
+			proof: stored, accept: true, stale: 1,
+		},
+	} {
+		q, clk := newTestQueue(1, time.Minute)
+		job, lease := tc.setup(q, clk)
+		err := q.Complete(job, lease, "w", tc.proof)
+		if tc.accept && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.accept && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		st := q.Stats()
+		if st.StaleCompletions != tc.stale {
+			t.Errorf("%s: stale_completions = %d, want %d", tc.name, st.StaleCompletions, tc.stale)
+		}
+		if wantDone := 0; tc.accept {
+			wantDone = 1
+			if st.Done != wantDone {
+				t.Errorf("%s: done = %d, want %d", tc.name, st.Done, wantDone)
+			}
+		}
+	}
+}
+
+func TestQueueRecoverStored(t *testing.T) {
+	// Restart path: a queue rebuilt over a warm store marks already
+	// stored jobs done up front, and only the genuinely missing ones
+	// are ever claimed.
+	q, _ := newTestQueue(3, time.Minute)
+	storedKeys := map[string]bool{testKey(0): true, testKey(2): true}
+	n := q.RecoverStored(func(key string) bool { return storedKeys[key] })
+	if n != 2 {
+		t.Fatalf("recovered %d jobs, want 2", n)
+	}
+	st := q.Stats()
+	if st.Done != 2 || st.Pending != 1 || st.Recovered != 2 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	resp := q.Claim("w")
+	if resp.Status != ClaimJob || resp.Claim.Job != 1 {
+		t.Fatalf("claim after recovery: %+v (want the one unstored job)", resp)
+	}
+	// Recovery is idempotent and never resurrects leased or done jobs.
+	if n := q.RecoverStored(func(string) bool { return true }); n != 0 {
+		t.Errorf("re-recovery touched %d non-pending jobs", n)
+	}
+	if n := q.RecoverStored(nil); n != 0 {
+		t.Errorf("nil store recovered %d jobs", n)
 	}
 }

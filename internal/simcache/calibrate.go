@@ -1,0 +1,102 @@
+package simcache
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file implements per-host cost calibration. Measured simulation
+// costs (wall-seconds, see costs.go) steer LPT sharding and the
+// work-stealing queue's planning — but on a heterogeneous fleet the
+// same cell measures 2x on a laptop vs a server, and an EWMA that
+// mixes both converges on a value that mispredicts everywhere.
+// Calibration normalizes every observation into reference-host
+// seconds before it is recorded: each host times a fixed, deterministic
+// CPU microbenchmark once per process, derives its speed relative to a
+// baked-in reference, and scales its wall-clock observations by that
+// factor. Relative job costs — all LPT needs — then agree across the
+// fleet regardless of who measured them.
+
+// calibrationRefNanos is the reference host's wall time for one
+// calibrationProbe run. The constant's absolute value only anchors the
+// unit ("reference seconds"); any fixed value keeps the fleet
+// consistent, which is all load balancing needs. It approximates the
+// repository's CI/dev baseline so locally measured sidecars stay in a
+// familiar range.
+const calibrationRefNanos = 40_000_000
+
+// calibrationEnv overrides the measured factor (a float, e.g. "1.0"),
+// pinning calibration for reproducible tests and for operators who
+// prefer a fleet-wide table over per-process probes. Invalid or
+// non-positive values are ignored.
+const calibrationEnv = "ROWSWAP_COST_CALIBRATION"
+
+// calibrationProbe is the fixed microbenchmark: a pure-integer mixing
+// loop long enough (~tens of ms on current hardware) to dominate timer
+// granularity and scheduler noise, short enough to be free at process
+// start. It deliberately exercises the same resource the simulator is
+// bound by — single-core integer throughput with cache-resident state —
+// so the derived factor transfers to simulation wall times.
+func calibrationProbe() time.Duration {
+	const iters = 1 << 24
+	start := time.Now()
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		x += uint64(i)
+	}
+	elapsed := time.Since(start)
+	probeSink = x // defeat dead-code elimination
+	return elapsed
+}
+
+var probeSink uint64
+
+// measureCalibration derives the host speed factor: reference probe
+// time over this host's probe time, so a host twice as fast as the
+// reference gets factor 2 and its (halved) wall times scale back up to
+// reference seconds. The probe runs three times and takes the minimum
+// — the least-interfered-with run is the best estimate of the host's
+// actual speed.
+func measureCalibration(probe func() time.Duration) float64 {
+	best := probe()
+	for i := 0; i < 2; i++ {
+		if d := probe(); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		return 1
+	}
+	return float64(calibrationRefNanos) / float64(best.Nanoseconds())
+}
+
+var hostCalibration = sync.OnceValue(func() float64 {
+	if v := os.Getenv(calibrationEnv); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return measureCalibration(calibrationProbe)
+})
+
+// HostCalibration returns this host's speed factor relative to the
+// reference host (> 1: faster than reference), measured lazily once
+// per process or pinned via ROWSWAP_COST_CALIBRATION.
+func HostCalibration() float64 { return hostCalibration() }
+
+// NormalizeCost converts a wall-seconds observation measured on this
+// host into reference-host seconds — the unit every measured-cost
+// sidecar and the daemon's centralized EWMA estimates live in.
+// Non-positive observations pass through untouched (they are rejected
+// downstream anyway).
+func NormalizeCost(seconds float64) float64 {
+	if seconds <= 0 {
+		return seconds
+	}
+	return seconds * hostCalibration()
+}

@@ -1,0 +1,95 @@
+package simcache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureCalibrationFactor pins the normalization arithmetic with
+// injected probe timings: a host that runs the probe exactly at the
+// reference speed gets factor 1, a half-speed host gets factor 0.5 (so
+// its doubled wall times halve back to reference seconds), and a
+// double-speed host gets factor 2.
+func TestMeasureCalibrationFactor(t *testing.T) {
+	mk := func(d time.Duration) func() time.Duration {
+		return func() time.Duration { return d }
+	}
+	for _, tc := range []struct {
+		name  string
+		probe time.Duration
+		want  float64
+	}{
+		{"reference host", calibrationRefNanos * time.Nanosecond, 1.0},
+		{"half-speed host", 2 * calibrationRefNanos * time.Nanosecond, 0.5},
+		{"double-speed host", calibrationRefNanos / 2 * time.Nanosecond, 2.0},
+	} {
+		if got := measureCalibration(mk(tc.probe)); got != tc.want {
+			t.Errorf("%s: factor = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	// A degenerate (zero-time) probe must fall back to neutral, never
+	// divide by zero or produce an infinite factor.
+	if got := measureCalibration(mk(0)); got != 1 {
+		t.Errorf("zero-duration probe: factor = %g, want neutral 1", got)
+	}
+}
+
+// TestMeasureCalibrationTakesBestRun: the factor comes from the
+// fastest of the probe runs — the least-interfered-with measurement —
+// not the first or an average a noisy neighbor can inflate.
+func TestMeasureCalibrationTakesBestRun(t *testing.T) {
+	runs := []time.Duration{ // first run hit by scheduler noise
+		4 * calibrationRefNanos * time.Nanosecond,
+		calibrationRefNanos * time.Nanosecond,
+		3 * calibrationRefNanos * time.Nanosecond,
+	}
+	i := 0
+	probe := func() time.Duration {
+		d := runs[i%len(runs)]
+		i++
+		return d
+	}
+	if got := measureCalibration(probe); got != 1.0 {
+		t.Errorf("factor = %g, want 1.0 from the best (reference-speed) run", got)
+	}
+}
+
+// TestNormalizeCostCrossHostAgreement is the heterogeneous-fleet
+// invariant the daemon's centralized cost EWMA depends on: the same
+// job measured on hosts of different speeds normalizes to the same
+// reference-seconds value.
+func TestNormalizeCostCrossHostAgreement(t *testing.T) {
+	const refSeconds = 3.0 // the job's true cost on the reference host
+	for _, speed := range []float64{0.25, 0.5, 1, 2, 8} {
+		factor := measureCalibration(func() time.Duration {
+			return time.Duration(float64(calibrationRefNanos) / speed)
+		})
+		observed := refSeconds / speed // what this host's clock sees
+		got := observed * factor
+		if diff := got - refSeconds; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("speed %gx host normalizes %gs to %gs, want %gs", speed, observed, got, refSeconds)
+		}
+	}
+}
+
+// TestNormalizeCostRejectsNonPositive: invalid observations pass
+// through unscaled so the sidecar's own seconds<=0 gate rejects them.
+func TestNormalizeCostRejectsNonPositive(t *testing.T) {
+	for _, s := range []float64{0, -1} {
+		if got := NormalizeCost(s); got != s {
+			t.Errorf("NormalizeCost(%g) = %g, want unchanged", s, got)
+		}
+	}
+}
+
+// TestHostCalibrationSane: the real, measured factor must be a
+// positive finite number — whatever hardware CI lands on.
+func TestHostCalibrationSane(t *testing.T) {
+	f := HostCalibration()
+	if !(f > 0) || f != f || f > 1e6 {
+		t.Fatalf("host calibration factor %g is not a sane positive number", f)
+	}
+	if g := HostCalibration(); g != f {
+		t.Errorf("calibration not stable across calls: %g then %g", f, g)
+	}
+}

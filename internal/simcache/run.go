@@ -42,9 +42,11 @@ func RunCached(c *Cache, w trace.Workload, sys config.System, opt sim.Options) (
 	}
 	// Storing is best-effort: a full disk or read-only cache directory
 	// must not fail a successful simulation. The measured wall time goes
-	// to the cost sidecar so later sweep plans can shard by it.
+	// to the cost sidecar — normalized into reference-host seconds so
+	// estimates from heterogeneous machines stay comparable — so later
+	// sweep plans can shard by it.
 	_ = c.Put(key, res)
-	c.Costs().Record(CostKey(w, sys, opt), res.WallSeconds)
+	c.Costs().Record(CostKey(w, sys, opt), NormalizeCost(res.WallSeconds))
 	return res, false, nil
 }
 

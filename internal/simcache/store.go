@@ -65,7 +65,10 @@ func RunCachedStore(s Store, w trace.Workload, sys config.System, opt sim.Option
 	if err := s.Put(key, res); err != nil {
 		return nil, false, fmt.Errorf("simcache: store result for key %.12s…: %w", key, err)
 	}
-	s.RecordCost(CostKey(w, sys, opt), res.WallSeconds)
+	// Costs cross host boundaries here (the store may be a remote
+	// daemon fed by a heterogeneous fleet), so the observation is
+	// normalized into reference-host seconds before it leaves.
+	s.RecordCost(CostKey(w, sys, opt), NormalizeCost(res.WallSeconds))
 	return res, false, nil
 }
 

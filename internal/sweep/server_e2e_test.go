@@ -11,9 +11,11 @@ import (
 	"path/filepath"
 	"reflect"
 	"regexp"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/objstore"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -52,6 +54,13 @@ var servingURL = regexp.MustCompile(`http://[0-9.]+:[0-9]+`)
 // URL (parsed from the serving line, so -addr can use port 0). The
 // daemon is killed when the test ends.
 func startCached(t *testing.T, bin string, args ...string) string {
+	url, _ := startCachedCmd(t, bin, args...)
+	return url
+}
+
+// startCachedCmd is startCached exposing the daemon process, for tests
+// that kill the daemon mid-sweep themselves.
+func startCachedCmd(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
@@ -76,17 +85,28 @@ func startCached(t *testing.T, bin string, args ...string) string {
 	}
 	// Drain any further output so the daemon never blocks on a full pipe.
 	go io.Copy(io.Discard, stdout)
-	return url
+	return url, cmd
 }
 
-// queueStatus polls the daemon's status endpoint.
+// queueStatus polls the daemon's default-tenant status endpoint.
 func queueStatus(t *testing.T, url string) map[string]any {
 	t.Helper()
-	resp, err := http.Get(url + "/v1/status")
+	return queueStatusPath(t, url, "/v1/status")
+}
+
+// queueStatusPath polls any status route (namespaced tenants use
+// /m/<fingerprint>/status).
+func queueStatusPath(t *testing.T, url, path string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + path)
 	if err != nil {
 		t.Fatalf("status: %v", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %s: HTTP %d: %s", path, resp.StatusCode, body)
+	}
 	var st map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatalf("status decode: %v", err)
@@ -330,5 +350,399 @@ func TestServerSweepSurvivesKilledWorker(t *testing.T) {
 	want := singleProcessFig14(t, workloads, instructions)
 	if !reflect.DeepEqual(want, gotRows) {
 		t.Errorf("post-kill merged rows differ from single-process rows:\nwant: %+v\ngot:  %+v", want, gotRows)
+	}
+}
+
+// TestServerSweepDaemonRestartMidSweep is the restartable-service
+// acceptance test: a real daemon is SIGKILLed in the middle of a sweep
+// — leases in flight, results half-pushed — and a fresh daemon process
+// over the same store directory must recover the finished jobs from
+// the store (recovered > 0, never re-simulated), let a fresh worker
+// drain the remainder, and merge figures bit-identical to a
+// single-process run. The restarted daemon is started WITHOUT
+// -manifest: the manifest must come back from the store directory's
+// persisted copy alone. It also records the BENCH service row:
+// restart-recovery wall time vs a cold re-run of the same sweep, and
+// heartbeat overhead per worker (the lease sits well below one job's
+// wall time, so live workers demonstrably renew).
+func TestServerSweepDaemonRestartMidSweep(t *testing.T) {
+	dir := t.TempDir()
+	sweepBin := buildCLI(t, dir, "rowswap-sweep")
+	cachedBin := buildCLI(t, dir, "rowswap-cached")
+
+	const instructions = 3_000_000
+	workloads := []string{"gcc", "gups"}
+	const jobs = 6 // 2 workloads × (baseline + 2 configs)
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(sweepBin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	manifest := filepath.Join(dir, "manifest.json")
+	run("plan", "-fig", "14",
+		"-workloads", "gcc,gups", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "1", "-out", manifest)
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := objstore.ManifestFingerprint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := filepath.Join(dir, "store")
+	url1, daemon1 := startCachedCmd(t, cachedBin,
+		"-manifest", manifest, "-store-dir", store,
+		"-addr", "127.0.0.1:0", "-lease", "250ms")
+
+	// The pre-restart worker: one goroutine so progress is gradual
+	// enough to catch mid-sweep. It will die with the daemon — that
+	// failure is the point, not a test error.
+	wA := exec.Command(sweepBin, "work", "-server", url1, "-name", "pre-restart", "-workers", "1", "-manifest", manifest)
+	wA.Dir = dir
+	if err := wA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		wA.Process.Kill()
+		wA.Wait()
+	}()
+
+	// Wait until the sweep is demonstrably mid-flight: some jobs done,
+	// some not.
+	deadline := time.Now().Add(60 * time.Second)
+	var doneAtKill float64
+	for {
+		st := queueStatus(t, url1)
+		doneAtKill = st["done"].(float64)
+		if doneAtKill >= 1 && doneAtKill < jobs {
+			break
+		}
+		if doneAtKill >= jobs {
+			t.Fatal("sweep finished before the daemon could be killed; raise -instructions")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no job completed in time: %v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// SIGKILL the daemon: no shutdown handler runs, every lease and every
+	// done-bit lives only in the store directory now.
+	if err := daemon1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon1.Wait()
+	wA.Wait() // dies on its next daemon round-trip; exit status irrelevant
+
+	// Restart over the same store, WITHOUT -manifest: recovery must come
+	// from the persisted manifest and the stored entries alone.
+	recoverStart := time.Now()
+	url2 := startCached(t, cachedBin,
+		"-store-dir", store, "-addr", "127.0.0.1:0", "-lease", "250ms")
+	st := queueStatusPath(t, url2, "/m/"+fp+"/status")
+	recovered := st["recovered"].(float64)
+	if recovered < 1 {
+		t.Fatalf("restarted daemon recovered %v jobs from the warm store, want > 0 (status %v)", recovered, st)
+	}
+	if recovered < doneAtKill {
+		t.Errorf("recovered %v < %v jobs done at kill time: finished work was forgotten", recovered, doneAtKill)
+	}
+
+	// A fresh worker drains the remainder against the restarted daemon.
+	rescueOut := run("work", "-server", url2, "-name", "post-restart", "-manifest", manifest)
+	recoverSecs := time.Since(recoverStart).Seconds()
+	t.Logf("rescue: %s", rescueOut)
+
+	st = queueStatusPath(t, url2, "/m/"+fp+"/status")
+	if done := st["done"].(float64); done != jobs {
+		t.Errorf("queue reports %v done after restart+rescue, want %d", done, jobs)
+	}
+	heartbeats := st["heartbeats"].(float64)
+	if heartbeats < 1 {
+		t.Errorf("no heartbeats recorded with lease (250ms) far below job wall time; renewal is dead")
+	}
+
+	// Merged figures must be bit-identical to a single-process run —
+	// entries from before the kill, after the restart, and from the
+	// doomed worker's final push all assemble into the same rows.
+	results := filepath.Join(dir, "results.json")
+	run("merge", "-server", url2, "-manifest", manifest,
+		"-merged-dir", filepath.Join(dir, "merged"), "-out", results)
+	gotRows := loadFigureRows(t, results, "14")
+	want := singleProcessFig14(t, workloads, instructions)
+	if !reflect.DeepEqual(want, gotRows) {
+		t.Errorf("post-restart merged rows differ from single-process rows:\nwant: %+v\ngot:  %+v", want, gotRows)
+	}
+
+	// The comparison row for the BENCH file: the same sweep cold, in a
+	// fresh daemon over an empty store.
+	coldStart := time.Now()
+	urlCold := startCached(t, cachedBin,
+		"-manifest", manifest, "-store-dir", filepath.Join(dir, "store-cold"),
+		"-addr", "127.0.0.1:0", "-lease", "250ms")
+	run("work", "-server", urlCold, "-name", "cold", "-manifest", manifest)
+	coldSecs := time.Since(coldStart).Seconds()
+
+	perWorkerHB := map[string]any{}
+	if workers, ok := st["workers"].(map[string]any); ok {
+		for name, row := range workers {
+			if m, ok := row.(map[string]any); ok {
+				perWorkerHB[name] = m["heartbeats"]
+			}
+		}
+	}
+	writeBenchSection(t, "service", map[string]any{
+		"benchmark":                     "ServerSweepDaemonRestart",
+		"jobs":                          jobs,
+		"jobs_done_at_kill":             doneAtKill,
+		"jobs_recovered_on_restart":     recovered,
+		"restart_recovery_wall_seconds": recoverSecs,
+		"cold_rerun_wall_seconds":       coldSecs,
+		"lease_seconds":                 0.25,
+		"heartbeats_total":              heartbeats,
+		"heartbeats_per_worker":         perWorkerHB,
+		"instructions_per_core":         instructions,
+	})
+}
+
+// TestServerTwoManifestsConcurrently is the multi-tenant acceptance
+// test: one daemon, started with no manifest at all, serves two
+// different sweeps at once. Each worker registers its own manifest and
+// must only ever be handed its own jobs; each namespace's status
+// reports only its own progress; and each sweep's merge is
+// bit-identical to its own single-process run.
+func TestServerTwoManifestsConcurrently(t *testing.T) {
+	dir := t.TempDir()
+	sweepBin := buildCLI(t, dir, "rowswap-sweep")
+	cachedBin := buildCLI(t, dir, "rowswap-cached")
+
+	const instructions = 200_000
+	wlA, wlB := []string{"gcc", "mcf"}, []string{"gups"}
+	const jobsA, jobsB = 6, 3
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(sweepBin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	manifestA := filepath.Join(dir, "manifest-a.json")
+	manifestB := filepath.Join(dir, "manifest-b.json")
+	run("plan", "-fig", "14", "-workloads", "gcc,mcf", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "1", "-out", manifestA)
+	run("plan", "-fig", "14", "-workloads", "gups", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "1", "-out", manifestB)
+	fpOf := func(path string) string {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := objstore.ManifestFingerprint(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	fpA, fpB := fpOf(manifestA), fpOf(manifestB)
+	if fpA == fpB {
+		t.Fatal("distinct plans share a fingerprint")
+	}
+
+	// One manifest-less daemon; each worker registers its own sweep.
+	url := startCached(t, cachedBin,
+		"-store-dir", filepath.Join(dir, "store"), "-addr", "127.0.0.1:0")
+	workerA := exec.Command(sweepBin, "work", "-server", url, "-name", "wa", "-manifest", manifestA, "-workers", "2")
+	workerB := exec.Command(sweepBin, "work", "-server", url, "-name", "wb", "-manifest", manifestB, "-workers", "2")
+	for i, w := range []*exec.Cmd{workerA, workerB} {
+		w.Dir = dir
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+	}
+	for i, w := range []*exec.Cmd{workerA, workerB} {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d failed: %v", i, err)
+		}
+	}
+
+	// Per-namespace status: each sweep fully done, by its own worker
+	// only — a single cross-manifest claim would show up here as a
+	// foreign worker name or a wrong total.
+	stA := queueStatusPath(t, url, "/m/"+fpA+"/status")
+	stB := queueStatusPath(t, url, "/m/"+fpB+"/status")
+	if done := stA["done"].(float64); done != jobsA {
+		t.Errorf("manifest A: %v done, want %d", done, jobsA)
+	}
+	if done := stB["done"].(float64); done != jobsB {
+		t.Errorf("manifest B: %v done, want %d", done, jobsB)
+	}
+	claimedA := stA["claimed"].(map[string]any)
+	claimedB := stB["claimed"].(map[string]any)
+	if len(claimedA) != 1 || claimedA["wa"] == nil || claimedA["wa"].(float64) != jobsA {
+		t.Errorf("manifest A claims crossed namespaces: %v", claimedA)
+	}
+	if len(claimedB) != 1 || claimedB["wb"] == nil || claimedB["wb"].(float64) != jobsB {
+		t.Errorf("manifest B claims crossed namespaces: %v", claimedB)
+	}
+
+	// The consolidated service view sees both tenants and both workers.
+	svc, err := objstore.NewClient(url).ServiceStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.Manifests) != 2 {
+		t.Errorf("service status sees %d manifests, want 2", len(svc.Manifests))
+	}
+	if len(svc.Workers) != 2 {
+		t.Errorf("service status sees %d workers, want 2: %v", len(svc.Workers), svc.Workers)
+	}
+
+	// Each sweep merges bit-identically to its own single-process run.
+	for _, tc := range []struct {
+		name, manifest string
+		workloads      []string
+	}{
+		{"a", manifestA, wlA},
+		{"b", manifestB, wlB},
+	} {
+		results := filepath.Join(dir, "results-"+tc.name+".json")
+		run("merge", "-server", url, "-manifest", tc.manifest,
+			"-merged-dir", filepath.Join(dir, "merged-"+tc.name), "-out", results)
+		gotRows := loadFigureRows(t, results, "14")
+		want := singleProcessFig14(t, tc.workloads, instructions)
+		if !reflect.DeepEqual(want, gotRows) {
+			t.Errorf("manifest %s: merged rows differ from single-process rows:\nwant: %+v\ngot:  %+v", tc.name, want, gotRows)
+		}
+	}
+}
+
+// TestServerSweepShortLeaseHeartbeats is the heartbeat stress variant:
+// the lease (150ms) sits far below one job's wall time, so without
+// renewal every lease would expire mid-job and the sweep would thrash
+// through requeues and stale completions. With heartbeats, a
+// single live worker must drain the queue with zero requeues and zero
+// stale completions.
+func TestServerSweepShortLeaseHeartbeats(t *testing.T) {
+	dir := t.TempDir()
+	sweepBin := buildCLI(t, dir, "rowswap-sweep")
+	cachedBin := buildCLI(t, dir, "rowswap-cached")
+
+	const instructions = 3_000_000
+	const jobs = 3 // 1 workload × (baseline + 2 configs)
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(sweepBin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	manifest := filepath.Join(dir, "manifest.json")
+	run("plan", "-fig", "14", "-workloads", "gcc", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "1", "-out", manifest)
+
+	url := startCached(t, cachedBin,
+		"-manifest", manifest, "-store-dir", filepath.Join(dir, "store"),
+		"-addr", "127.0.0.1:0", "-lease", "150ms")
+
+	// One worker, one goroutine: every job must survive on heartbeats
+	// alone — no second claimer exists to paper over a lost lease.
+	out := run("work", "-server", url, "-name", "slow-and-steady", "-workers", "1", "-manifest", manifest)
+	t.Logf("worker: %s", out)
+
+	st := queueStatus(t, url)
+	if done := st["done"].(float64); done != jobs {
+		t.Errorf("queue reports %v done, want %d", done, jobs)
+	}
+	if requeues := st["requeues"].(float64); requeues != 0 {
+		t.Errorf("requeues = %v with a live heartbeating worker, want 0", requeues)
+	}
+	if stale := st["stale_completions"].(float64); stale != 0 {
+		t.Errorf("stale_completions = %v, want 0: some completion lost its lease", stale)
+	}
+	if hb := st["heartbeats"].(float64); hb < jobs {
+		t.Errorf("heartbeats = %v, want >= %d (every job outlives several lease windows)", hb, jobs)
+	}
+}
+
+// TestServerSweepWarmStoreDifferential is the differential proof that
+// done-ness comes from the store, not from daemon memory: after a full
+// sweep, a brand-new daemon process over the same store directory must
+// answer a second run of the same manifest entirely from Cache.Has —
+// the second worker claims zero jobs and simulates nothing.
+func TestServerSweepWarmStoreDifferential(t *testing.T) {
+	dir := t.TempDir()
+	sweepBin := buildCLI(t, dir, "rowswap-sweep")
+	cachedBin := buildCLI(t, dir, "rowswap-cached")
+
+	const instructions = 150_000
+	const jobs = 3
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(sweepBin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rowswap-sweep %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	manifest := filepath.Join(dir, "manifest.json")
+	run("plan", "-fig", "14", "-workloads", "gcc", "-cores", "2",
+		"-instructions", fmt.Sprint(instructions), "-window", "200000",
+		"-shards", "1", "-out", manifest)
+
+	store := filepath.Join(dir, "store")
+	url1, daemon1 := startCachedCmd(t, cachedBin,
+		"-manifest", manifest, "-store-dir", store, "-addr", "127.0.0.1:0")
+	firstOut := run("work", "-server", url1, "-name", "first", "-manifest", manifest)
+	if !strings.Contains(firstOut, fmt.Sprintf("claimed %d jobs (%d simulated", jobs, jobs)) {
+		t.Fatalf("first run did not simulate all %d jobs: %s", jobs, firstOut)
+	}
+	daemon1.Process.Kill()
+	daemon1.Wait()
+
+	// Fresh daemon, same store: registration recovers every job.
+	url2 := startCached(t, cachedBin,
+		"-manifest", manifest, "-store-dir", store, "-addr", "127.0.0.1:0")
+	st := queueStatus(t, url2)
+	if recovered := st["recovered"].(float64); recovered != jobs {
+		t.Fatalf("restarted daemon recovered %v jobs, want %d", recovered, jobs)
+	}
+
+	secondOut := run("work", "-server", url2, "-name", "second", "-manifest", manifest)
+	if !strings.Contains(secondOut, "claimed 0 jobs (0 simulated") {
+		t.Errorf("second run against the warm store re-executed work: %s", secondOut)
+	}
+	st = queueStatus(t, url2)
+	if done := st["done"].(float64); done != jobs {
+		t.Errorf("done = %v after warm re-run, want %d", done, jobs)
+	}
+	if requeues := st["requeues"].(float64); requeues != 0 {
+		t.Errorf("warm re-run caused %v requeues, want 0", requeues)
 	}
 }

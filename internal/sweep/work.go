@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -80,6 +81,39 @@ const (
 	minClaimWait = time.Millisecond
 	maxClaimWait = 2 * time.Second
 )
+
+// minHeartbeat floors the lease-renewal interval so a test daemon
+// configured with a millisecond lease cannot make workers spin on
+// heartbeats.
+const minHeartbeat = 25 * time.Millisecond
+
+// heartbeatLease renews the given lease every leaseSeconds/3 until
+// stop is closed, so a job that runs longer than the daemon's lease is
+// never requeued while its worker is alive and making progress. A
+// definitive lease-lost answer ends renewal early — the lease is gone
+// and re-asserting it would only spam the daemon; the worker's
+// Complete then succeeds anyway iff the result reached the store
+// (stale-completion proof). Transient errors (daemon restarting, net
+// blips) are ignored: the next tick retries, and the stored-result
+// path covers the worst case.
+func heartbeatLease(client *objstore.Client, job int, lease, worker string, leaseSeconds float64, stop <-chan struct{}) {
+	interval := time.Duration(leaseSeconds / 3 * float64(time.Second))
+	if interval < minHeartbeat {
+		interval = minHeartbeat
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if err := client.Heartbeat(job, lease, worker); errors.Is(err, objstore.ErrLeaseLost) {
+				return
+			}
+		}
+	}
+}
 
 // RunWork is the work-stealing worker entry point: claim a job from
 // the daemon's queue, simulate it, push the result, complete the
@@ -161,7 +195,19 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 					return
 				}
 				cell := eval.Cells[claim.Job]
+				// Renew the lease while the job runs: simulation time is
+				// unbounded (and uncalibrated across hosts), the lease is
+				// not. Stopped before Complete — a completed job needs no
+				// lease.
+				stopHB := make(chan struct{})
+				hbDone := make(chan struct{})
+				go func() {
+					defer close(hbDone)
+					heartbeatLease(client, claim.Job, claim.Lease, worker, claim.LeaseSeconds, stopHB)
+				}()
 				_, hit, err := simcache.RunCachedStore(client, cell.Workload, cell.System, eval.Sim)
+				close(stopHB)
+				<-hbDone
 				if err != nil {
 					fail(fmt.Errorf("sweep: worker %s: %s: %w", worker, m.Jobs[claim.Job].desc(), err))
 					return

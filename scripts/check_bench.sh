@@ -1,10 +1,20 @@
 #!/bin/sh
-# Kernel-throughput regression gate, enforced by CI's bench job (see
-# .github/workflows/ci.yml): compare a freshly measured BENCH_kernel.json
-# against the committed baseline and fail when approx_sim_ips regressed
-# by more than the tolerance (default 15%, generous because CI runners
-# are shared and noisy — the gate catches algorithmic regressions, not
-# jitter).
+# Benchmark-file gate, enforced by CI (see .github/workflows/ci.yml).
+#
+# Two file shapes are understood:
+#
+#   BENCH_kernel.json — flat, with approx_sim_ips. The gate compares a
+#   freshly measured file against the committed baseline and fails when
+#   approx_sim_ips regressed by more than the tolerance (default 15%,
+#   generous because CI runners are shared and noisy — the gate catches
+#   algorithmic regressions, not jitter).
+#
+#   BENCH_sweep.json — sectioned ({evaluation, work_stealing, service,
+#   ...}), each section written by one e2e test. Sections hold
+#   machine-dependent wall times, so there is no regression threshold;
+#   the gate instead validates structure: the file is a JSON object of
+#   objects, every known section carries its required keys, and unknown
+#   sections are tolerated (a future e2e may add one).
 #
 # Usage: ./scripts/check_bench.sh BASELINE.json FRESH.json [tolerance]
 set -u
@@ -17,11 +27,47 @@ python3 - "$baseline" "$fresh" "$tolerance" <<'EOF'
 import json, sys
 
 baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
-base = json.load(open(baseline_path))["approx_sim_ips"]
-new = json.load(open(fresh_path))["approx_sim_ips"]
-floor = base * (1 - tolerance)
-verdict = "OK" if new >= floor else "REGRESSION"
-print(f"bench gate: baseline {base:,.0f} sim-IPS, fresh {new:,.0f} sim-IPS, "
-      f"floor {floor:,.0f} ({tolerance:.0%} tolerance): {verdict}")
-sys.exit(0 if new >= floor else 1)
+base_doc = json.load(open(baseline_path))
+new_doc = json.load(open(fresh_path))
+
+if "approx_sim_ips" in base_doc:
+    # Kernel-throughput regression gate.
+    base = base_doc["approx_sim_ips"]
+    new = new_doc["approx_sim_ips"]
+    floor = base * (1 - tolerance)
+    verdict = "OK" if new >= floor else "REGRESSION"
+    print(f"bench gate: baseline {base:,.0f} sim-IPS, fresh {new:,.0f} sim-IPS, "
+          f"floor {floor:,.0f} ({tolerance:.0%} tolerance): {verdict}")
+    sys.exit(0 if new >= floor else 1)
+
+# Sectioned sweep-bench structure gate. Wall times are machine noise;
+# what must hold is that each e2e wrote a complete section.
+REQUIRED = {
+    "evaluation": {"benchmark", "jobs_per_figure_sum", "jobs_deduplicated",
+                   "dedupe_savings_frac", "merge_wall_seconds"},
+    "work_stealing": {"benchmark", "jobs", "jobs_claimed_per_worker",
+                      "work_stealing_wall_seconds", "lpt_presharded_wall_seconds"},
+    "service": {"benchmark", "jobs", "jobs_recovered_on_restart",
+                "restart_recovery_wall_seconds", "cold_rerun_wall_seconds",
+                "heartbeats_total", "heartbeats_per_worker"},
+}
+problems = []
+if not isinstance(new_doc, dict) or not new_doc:
+    problems.append("file is not a non-empty JSON object of sections")
+else:
+    for name, section in sorted(new_doc.items()):
+        if not isinstance(section, dict):
+            problems.append(f"section {name!r} is not an object")
+            continue
+        missing = REQUIRED.get(name, set()) - set(section)
+        if missing:
+            problems.append(f"section {name!r} lacks keys {sorted(missing)}")
+        else:
+            tag = "known" if name in REQUIRED else "tolerated (unknown)"
+            print(f"bench gate: section {name!r} OK ({tag}, {len(section)} keys)")
+if problems:
+    for p in problems:
+        print(f"bench gate: {p}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench gate: {len(new_doc)} section(s) structurally valid")
 EOF
