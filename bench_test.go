@@ -97,10 +97,9 @@ func BenchmarkFig06JuggernautTimeToBreak(b *testing.B) {
 func BenchmarkFig06MonteCarlo(b *testing.B) {
 	m := attack.NewJuggernautRRS(4800, 6)
 	n, _ := m.BestRounds()
-	rng := stats.NewRNG(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		attack.MonteCarlo(m, n, 10, rng)
+		attack.MonteCarlo(m, n, 10, 1)
 	}
 }
 

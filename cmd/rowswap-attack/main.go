@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/config"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -28,8 +27,10 @@ func main() {
 	banks := flag.Int("banks", 1, "banks attacked simultaneously (§III-C)")
 	openPage := flag.Bool("openpage", false, "open-page controller policy (§VIII-3)")
 	ddr5 := flag.Bool("ddr5", false, "DDR5 timing: 2x refresh rate (§VIII-5)")
-	mcIters := flag.Int("mc", 0, "validate with Monte-Carlo iterations")
-	seed := flag.Uint64("seed", 42, "Monte-Carlo seed")
+	mcIters := flag.Int("mc", 0, "validate with this exact Monte-Carlo trial count")
+	trialsMult := flag.Int("trials", 0,
+		fmt.Sprintf("Monte-Carlo trial multiplier: run N x %d trials (overrides -mc)", attack.DefaultTrials))
+	seed := flag.Uint64("seed", 42, "Monte-Carlo root seed")
 	flag.Parse()
 
 	var m attack.Model
@@ -67,13 +68,21 @@ func main() {
 	fmt.Printf("per-window success prob    : %.3g\n", m.EpochSuccessProb(n))
 	fmt.Printf("expected time-to-break     : %s\n", fmtTime(tt))
 
-	if *mcIters > 0 {
-		res := attack.MonteCarlo(m, n, *mcIters, stats.NewRNG(*seed))
-		if res.Skipped {
-			fmt.Println("monte-carlo: skipped (success probability too small to simulate)")
-		} else {
-			fmt.Printf("monte-carlo (%d iters)     : %s (%.0f epochs avg)\n",
-				res.Iterations, fmtTime(res.MeanTimeNS), res.MeanEpochs)
+	trials := *mcIters
+	if *trialsMult > 0 {
+		trials = *trialsMult * attack.DefaultTrials
+	}
+	if trials > 0 {
+		res := attack.MonteCarlo(m, n, trials, *seed)
+		switch {
+		case res.Skipped:
+			fmt.Println("monte-carlo: skipped (attack infeasible: fewer guesses than required hits)")
+		case res.Tail:
+			fmt.Printf("monte-carlo (%d trials)    : %s (closed-form tail sample)\n",
+				res.Iterations, fmtTime(res.MeanTimeNS))
+		default:
+			fmt.Printf("monte-carlo (%d trials)    : %s (%.0f epochs avg, stderr %s)\n",
+				res.Iterations, fmtTime(res.MeanTimeNS), res.MeanEpochs, fmtTime(res.StdErrTimeNS))
 		}
 	}
 }

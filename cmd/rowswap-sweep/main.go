@@ -18,18 +18,22 @@
 //	rowswap-sweep merge -server http://COORD:8344 -manifest manifest.json -merged-dir merged
 //
 // plan expands one figure (-fig 14), several (-fig 4,14), or the whole
-// evaluation (-all) into one deterministic, content-addressed job
-// manifest; cells shared between figures — every unprotected baseline,
-// mitigation configs that recur across figures — are deduplicated at
-// plan time, so the whole evaluation is strictly fewer simulations
-// than the figures planned one by one. run-shard is the worker entry
+// paper (-all: every performance AND security figure) into one
+// deterministic, content-addressed job manifest. Performance figures
+// contribute deduplicated simulation jobs; security figures (6, 10,
+// and the closed-form 1a/7/13/t1/t4/t5) contribute seeded Monte-Carlo
+// trial batches (-trials scales the per-cell trial count, -mc-seed
+// roots the RNG derivation). Both job kinds flow through the same
+// shard / work-steal / merge pipeline. run-shard is the worker entry
 // point (stateless and idempotent: re-running redoes only missing
-// cells); merge unions the worker cache directories, audits
-// completeness, folds the merged entries into a packed shard index,
-// renders every covered figure, and writes a results file that
-// rowswap-figures -manifest can re-render without simulating. All
-// stages must run the same build of this binary — the manifest records
-// the binary fingerprint and every stage verifies it.
+// jobs); merge unions the worker cache directories, audits
+// completeness, folds batch tallies into each security figure's
+// Monte-Carlo rows — bit-identical to a single-process run of the same
+// seeded trials, in any completion order — folds the merged entries
+// into a packed shard index, renders every covered figure, and writes
+// a results file that rowswap-figures -manifest can re-render without
+// simulating. All stages must run the same build of this binary — the
+// manifest records the binary fingerprint and every stage verifies it.
 //
 // See README.md for a whole-evaluation two-worker walkthrough.
 package main
@@ -42,6 +46,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/objstore"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -91,9 +96,14 @@ func main() {
 
 func runPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
-	fig := fs.String("fig", "", "performance figure(s) to sweep, comma-separated (4, 12, 14, 15, 16, cmp)")
-	all := fs.Bool("all", false, "plan the whole evaluation: every performance figure in one deduplicated manifest")
+	fig := fs.String("fig", "", "figure(s) to sweep, comma-separated: performance (4, 12, 14, 15, 16, cmp) and/or security (1a, 6, 7, 10, 13, t1, t4, t5)")
+	all := fs.Bool("all", false, "plan the whole paper: every performance and security figure in one deduplicated manifest")
 	shards := fs.Int("shards", 2, "number of worker shards")
+	trials := fs.Int("trials", 1,
+		fmt.Sprintf("Monte-Carlo trial multiplier: each security cell runs N x %d trials", attack.DefaultTrials))
+	mcSeed := fs.Uint64("mc-seed", report.DefaultSecuritySeed, "Monte-Carlo root seed")
+	mcBatch := fs.Int("mc-batch", 0,
+		fmt.Sprintf("Monte-Carlo trials per batch job (0 = %d)", attack.DefaultBatch))
 	strategy := fs.String("strategy", sweep.StrategyRoundRobin, "job assignment: round-robin or cost")
 	costDir := fs.String("cost-dir", simcache.DefaultDir(), "cache directory whose measured-cost sidecar feeds -strategy cost (empty = static heuristic only)")
 	quick := fs.Bool("quick", false, "use the 12-workload subset")
@@ -109,7 +119,7 @@ func runPlan(args []string) error {
 	case *all && *fig != "":
 		return fmt.Errorf("-all and -fig are mutually exclusive")
 	case *all:
-		figIDs = report.PerfFigureIDs()
+		figIDs = append(report.PerfFigureIDs(), report.SecurityFigureIDs()...)
 	case *fig != "":
 		figIDs = strings.Split(*fig, ",")
 	default:
@@ -125,7 +135,14 @@ func runPlan(args []string) error {
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
-	po := sweep.PlanOptions{Shards: *shards, Strategy: *strategy, Log: os.Stderr}
+	po := sweep.PlanOptions{
+		Shards:   *shards,
+		Strategy: *strategy,
+		Log:      os.Stderr,
+		MCTrials: *trials * attack.DefaultTrials,
+		MCBatch:  *mcBatch,
+		MCSeed:   *mcSeed,
+	}
 	if *strategy == sweep.StrategyCost {
 		// Only the cost strategy consults measured costs; round-robin
 		// plans skip the sidecar read entirely.
@@ -142,8 +159,19 @@ func runPlan(args []string) error {
 	for _, f := range m.Figures {
 		perFigure += len(f.Cells)
 	}
-	fmt.Printf("planned %d figure(s) (%s): %d deduplicated jobs (%d before dedupe) over %d shards (%s) -> %s\n",
-		len(m.Figures), strings.Join(figIDs, ","), len(m.Jobs), perFigure, m.Shards, m.Strategy, *out)
+	nSim := 0
+	for _, j := range m.Jobs {
+		if j.Kind == "" || j.Kind == sweep.JobKindSim {
+			nSim++
+		}
+	}
+	summary := fmt.Sprintf("planned %d figure(s) (%s): %d simulation jobs (%d figure cells before dedupe)",
+		len(m.Figures), strings.Join(figIDs, ","), nSim, perFigure)
+	if m.Security != nil {
+		summary += fmt.Sprintf(" + %d Monte-Carlo batch jobs (%d security figure(s), %d cells x %d trials, seed %#x)",
+			len(m.Jobs)-nSim, len(m.Security.Figures), len(m.Security.Cells), m.Security.Trials, m.Security.Seed)
+	}
+	fmt.Printf("%s over %d shards (%s) -> %s\n", summary, m.Shards, m.Strategy, *out)
 	return nil
 }
 

@@ -30,7 +30,7 @@ func main() {
 		attack.NewRandomGuessRRS(4800, 6).TimeToBreakDays(0))
 	fmt.Printf("RRS, Juggernaut (N=%4d)   : %7.2f hours  <- broken in under a day\n",
 		n, ttRRS/config.Hour)
-	res := attack.MonteCarlo(rrs, n, 300, stats.NewRNG(7))
+	res := attack.MonteCarlo(rrs, n, 300, 7)
 	fmt.Printf("  Monte-Carlo validation   : %7.2f hours (%d iterations)\n",
 		res.MeanTimeNS/config.Hour, res.Iterations)
 	srs := attack.NewJuggernautSRS(4800, 6)

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/config"
-	"repro/internal/stats"
 )
 
 // --- Model plumbing ---
@@ -202,10 +201,9 @@ func TestMultiBankMuchSlower(t *testing.T) {
 
 func TestMonteCarloMatchesAnalyticalModel(t *testing.T) {
 	m := NewJuggernautRRS(4800, 6)
-	rng := stats.NewRNG(1234)
 	for _, n := range []int{1100, 1200} {
 		want := m.TimeToBreakNS(n)
-		res := MonteCarlo(m, n, 400, rng)
+		res := MonteCarlo(m, n, 400, 1234)
 		if res.Skipped {
 			t.Fatalf("MC skipped at N=%d (p=%g)", n, m.EpochSuccessProb(n))
 		}
@@ -218,15 +216,44 @@ func TestMonteCarloMatchesAnalyticalModel(t *testing.T) {
 
 func TestMonteCarloLatentOnlyRegime(t *testing.T) {
 	m := NewJuggernautRRS(1200, 6)
-	res := MonteCarlo(m, 600, 10, stats.NewRNG(1))
+	res := MonteCarlo(m, 600, 10, 1)
 	if res.MeanEpochs != 1 || res.MeanTimeNS != m.Timing.RefreshWindow {
 		t.Errorf("latent-only attack should take exactly one window: %+v", res)
 	}
 }
 
+// SRS at swap rate 10 has a per-window success probability around
+// 1e-18 — far below MinDirectProb — so the engine switches to the
+// closed-form tail sampler instead of skipping (the old behaviour).
+// The tail estimate must still track the analytic model: this is the
+// regime Fig. 10's 10^13-day points live in.
+func TestMonteCarloTailRegimeMatchesAnalyticalModel(t *testing.T) {
+	m := NewJuggernautSRS(4800, 10)
+	want := m.TimeToBreakNS(0)
+	res := MonteCarlo(m, 0, 400, 99)
+	if res.Skipped {
+		t.Fatalf("tail regime should not skip (p=%g)", m.EpochSuccessProb(0))
+	}
+	if !res.Tail {
+		t.Fatalf("expected tail-regime estimate at p=%g: %+v", m.EpochSuccessProb(0), res)
+	}
+	ratio := res.MeanTimeNS / want
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("tail MC %.3g vs analytical %.3g (ratio %.2f)", res.MeanTimeNS, want, ratio)
+	}
+}
+
+// Skipped is reserved for truly infeasible cells: fewer guesses per
+// window than required hits, success probability exactly zero. SRS
+// with thousands of (useless) biasing rounds exhausts the window and
+// leaves no time to guess.
 func TestMonteCarloSkipsInfeasible(t *testing.T) {
-	m := NewJuggernautSRS(4800, 10) // astronomically small p
-	res := MonteCarlo(m, 0, 10, stats.NewRNG(2))
+	m := NewJuggernautSRS(4800, 10)
+	const rounds = 5000 // round time alone exceeds the refresh window
+	if g, k := m.Guesses(rounds), m.RequiredGuesses(rounds); g >= k {
+		t.Fatalf("test premise broken: G=%d >= k=%d", g, k)
+	}
+	res := MonteCarlo(m, rounds, 10, 2)
 	if !res.Skipped || !math.IsInf(res.MeanTimeNS, 1) {
 		t.Errorf("MC should skip infeasible regimes: %+v", res)
 	}

@@ -8,6 +8,28 @@
 // All probabilities are computed in log space (see internal/stats), so
 // time-to-break values up to 10^13 days (Fig. 10's y-axis) are exact
 // rather than underflowed.
+//
+// # Monte-Carlo seeding scheme
+//
+// The Monte-Carlo engine is batchable for distribution: an experiment
+// cell (TrialSpec) runs `trials` trials as a sequence of fixed-size
+// batches, and each batch is an independent, relocatable unit of work.
+// Randomness is derived strictly top-down — root seed → per-batch
+// sub-stream — with no RNG state shared between batches:
+//
+//	batch seed b = BatchSeed(root, b) = stats.SubSeed(root, b)
+//	batch RNG    = stats.NewRNG(batch seed), threaded sequentially
+//	               through the batch's trials
+//
+// (A distributed sweep adds one more derivation level: the manifest's
+// root seed spawns a per-cell root via stats.SubSeed(manifestSeed,
+// cellIndex), and batches derive from the cell root.) Because a batch's
+// tally is a pure function of (spec, root, batch index, batch size),
+// and tallies merge exactly (see Tally), running the batches in one
+// process or sharding them across machines in any completion order
+// yields bit-identical results. The per-(seed, batch) tally bytes are
+// pinned by a golden fixture, so any refactor that silently reorders
+// RNG draws fails loudly.
 package attack
 
 import (

@@ -17,7 +17,6 @@ import (
 	"repro/internal/attack"
 	"repro/internal/config"
 	"repro/internal/power"
-	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -85,23 +84,49 @@ func Table1(w io.Writer) {
 
 // Fig6 reproduces Figure 6: time-to-break RRS with Juggernaut vs. attack
 // rounds, analytical model validated by Monte-Carlo simulation.
-// mcIters=0 skips the Monte-Carlo points.
+// mcIters=0 skips the Monte-Carlo points. The Monte-Carlo cells run
+// in-process here, seeded from DefaultSecuritySeed; a distributed sweep
+// renders the same figure from stored tallies via SecurityFigureByID.
 func Fig6(w io.Writer, mcIters int) []Series {
+	var results []attack.MonteCarloResult
+	if mcIters > 0 {
+		results = RunSecurityCells(fig6Cells(), DefaultSecuritySeed, mcIters, attack.DefaultBatch)
+	}
+	return fig6Render(w, results)
+}
+
+// fmtMC renders one Monte-Carlo result cell: "-" for infeasible
+// (skipped) points, otherwise the mean time-to-break with a tail-regime
+// marker for points estimated by the closed-form tail sampler.
+func fmtMC(res attack.MonteCarloResult) string {
+	if res.Skipped {
+		return "-"
+	}
+	s := fmtDays(res.MeanTimeNS / config.Day)
+	if res.Tail {
+		s += "*"
+	}
+	return s
+}
+
+// fig6Render draws Figure 6 from per-cell Monte-Carlo results parallel
+// to fig6Cells (nil skips the Monte-Carlo column).
+func fig6Render(w io.Writer, results []attack.MonteCarloResult) []Series {
 	fmt.Fprintln(w, "Figure 6: Time-to-break RRS with Juggernaut (swap rate 6)")
 	fmt.Fprintf(w, "%-8s", "N")
 	trhs := []int{4800, 2400, 1200}
 	for _, trh := range trhs {
 		fmt.Fprintf(w, "%16s", fmt.Sprintf("TRH=%d", trh))
 	}
-	if mcIters > 0 {
-		fmt.Fprintf(w, "%20s", "MC@4800 (iters)")
+	if results != nil {
+		fmt.Fprintf(w, "%20s", "MC@4800")
 	}
 	fmt.Fprintln(w)
-	rng := stats.NewRNG(0xf16)
 	out := make([]Series, len(trhs))
 	for i, trh := range trhs {
 		out[i].Label = fmt.Sprintf("TRH=%d", trh)
 	}
+	cell := 0
 	for n := 0; n <= 1400; n += 100 {
 		fmt.Fprintf(w, "%-8d", n)
 		for i, trh := range trhs {
@@ -111,16 +136,14 @@ func Fig6(w io.Writer, mcIters int) []Series {
 			out[i].Y = append(out[i].Y, d)
 			fmt.Fprintf(w, "%16s", fmtDays(d))
 		}
-		if mcIters > 0 {
-			m := attack.NewJuggernautRRS(4800, 6)
-			res := attack.MonteCarlo(m, n, mcIters, rng)
-			if res.Skipped {
-				fmt.Fprintf(w, "%20s", "-")
-			} else {
-				fmt.Fprintf(w, "%20s", fmtDays(res.MeanTimeNS/config.Day))
-			}
+		if cell < len(results) {
+			fmt.Fprintf(w, "%20s", fmtMC(results[cell]))
 		}
+		cell++
 		fmt.Fprintln(w)
+	}
+	if results != nil {
+		fmt.Fprintln(w, "(* = closed-form tail sample; per-window success probability < 2e-6)")
 	}
 	for _, trh := range trhs {
 		m := attack.NewJuggernautRRS(trh, 6)
@@ -158,8 +181,16 @@ func Fig7(w io.Writer) []Series {
 }
 
 // Fig10 reproduces Figure 10: time-to-break SRS vs. RRS under Juggernaut
-// across swap rates 6-10.
+// across swap rates 6-10 (analytic curves only; a sweep adds the
+// Monte-Carlo validation block via SecurityFigureByID("10")).
 func Fig10(w io.Writer) []Series {
+	return fig10Render(w, nil)
+}
+
+// fig10Render draws Figure 10 and, when per-cell results parallel to
+// fig10Cells are present, a Monte-Carlo validation block quoting each
+// point's simulated time-to-break next to the analytic value.
+func fig10Render(w io.Writer, results []attack.MonteCarloResult) []Series {
 	fmt.Fprintln(w, "Figure 10: Time-to-break under Juggernaut, SRS vs RRS")
 	fmt.Fprintf(w, "%-22s", "defense/TRH\\rate")
 	for rate := 6; rate <= 10; rate++ {
@@ -187,6 +218,18 @@ func Fig10(w io.Writer) []Series {
 			fmt.Fprintln(w)
 			out = append(out, s)
 		}
+	}
+	if results != nil {
+		fmt.Fprintln(w, "Monte-Carlo validation (each point at its optimal N):")
+		for i, c := range fig10Cells() {
+			if i >= len(results) {
+				break
+			}
+			_, tt := c.Spec.Model.BestRounds()
+			fmt.Fprintf(w, "  %-26s analytic=%-12s mc=%s\n",
+				c.Label, fmtDays(tt/config.Day), fmtMC(results[i]))
+		}
+		fmt.Fprintln(w, "(* = closed-form tail sample; per-window success probability < 2e-6)")
 	}
 	return out
 }

@@ -1,0 +1,99 @@
+package stats
+
+import "math"
+
+// This file holds the log-space accumulation primitives behind the
+// distributed Monte-Carlo tallies (internal/attack): the security
+// figures quote attack times out to 10^13 days, whose per-window
+// success probabilities are far below the smallest positive float64, so
+// sums of trial outcomes and tail probabilities must be carried as
+// logarithms end to end. Accumulation order is part of each function's
+// contract — callers that need bit-reproducible results feed values in
+// a canonical order and get the identical float64 back every time.
+
+// LogAddExp returns log(e^a + e^b) without intermediate overflow or
+// underflow. Either argument may be -Inf (an empty accumulator).
+func LogAddExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogSumExp returns log(sum of e^x over xs), folding left-to-right in
+// slice order. An empty slice yields -Inf. Because every partial sum is
+// kept in log space, 10^6 terms of magnitude e^-750 — each of which
+// underflows to exactly 0 under naive math.Exp-and-add — accumulate to
+// the correct log(n) + x.
+func LogSumExp(xs []float64) float64 {
+	acc := math.Inf(-1)
+	for _, x := range xs {
+		acc = LogAddExp(acc, x)
+	}
+	return acc
+}
+
+// LogPoissonTail returns log P[X >= k] for X ~ Poisson(lambda), exact in
+// log space where PoissonTail would underflow to 0 (deep tails: k far
+// above lambda). The attack model's per-window success probability is a
+// Poisson tail with lambda < 1 and k up to ~10, which underflows float64
+// near k=13 — exactly the 10^13-day regime of Figs. 6/10.
+func LogPoissonTail(k int, lambda float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return math.Inf(-1)
+	}
+	// Moderate tails: the linear-space sum is exact enough and agrees
+	// with PoissonTail bit-for-bit. The cutoff is NOT float64's
+	// underflow bound: PoissonTail computes 1 - sum(PMF), whose
+	// cancellation noise floor is ~k*eps (~1e-13 for k up to ~500) — a
+	// deep tail can come back as a few ulps of pure noise instead of 0.
+	// Trust the linear value only well above that floor; below it, the
+	// log-space series is exact.
+	if p := PoissonTail(k, lambda); p > 1e-9 {
+		return math.Log(p)
+	}
+	// Deep tail: sum PMF terms upward from k in log space. Terms decay
+	// by lambda/(i+1) < 1 per step (k > lambda here, or the tail could
+	// not be tiny), so the series converges in a handful of terms.
+	acc := math.Inf(-1)
+	for i := k; ; i++ {
+		term := LogPoissonPMF(i, lambda)
+		acc = LogAddExp(acc, term)
+		if term < acc-40 { // remaining mass < e^-40 of the sum
+			return acc
+		}
+	}
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche over uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SubSeed derives a child seed from a root seed and an index path,
+// mixing each part through the SplitMix64 finalizer. It is the basis of
+// the repository's RNG sub-stream scheme: a distributed experiment
+// carries one root seed, every independent unit of work (a Monte-Carlo
+// cell, a trial batch within a cell) derives its own seed as
+// SubSeed(root, path...), and NewRNG over that seed gives a stream
+// statistically independent of every sibling — with no shared RNG state
+// to thread between units, so work order and placement cannot change
+// any draw.
+func SubSeed(root uint64, path ...uint64) uint64 {
+	x := mix64(root + 0x9e3779b97f4a7c15)
+	for _, p := range path {
+		x = mix64(x ^ mix64(p+0x9e3779b97f4a7c15))
+	}
+	return x
+}

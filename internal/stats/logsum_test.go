@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogAddExpBasics(t *testing.T) {
+	negInf := math.Inf(-1)
+	if got := LogAddExp(negInf, negInf); !math.IsInf(got, -1) {
+		t.Errorf("LogAddExp(-Inf, -Inf) = %g, want -Inf", got)
+	}
+	// -Inf is the identity on either side.
+	if got := LogAddExp(negInf, -3.5); got != -3.5 {
+		t.Errorf("LogAddExp(-Inf, x) = %g, want -3.5", got)
+	}
+	if got := LogAddExp(-3.5, negInf); got != -3.5 {
+		t.Errorf("LogAddExp(x, -Inf) = %g, want -3.5", got)
+	}
+	// log(e^0 + e^0) = log 2, and the arguments commute bit-for-bit.
+	if got := LogAddExp(0, 0); math.Abs(got-math.Ln2) > 1e-15 {
+		t.Errorf("LogAddExp(0, 0) = %g, want ln 2", got)
+	}
+	if LogAddExp(-1, -9) != LogAddExp(-9, -1) {
+		t.Error("LogAddExp is not commutative")
+	}
+}
+
+// The underflow pin behind the tail-regime tallies: a million terms of
+// magnitude e^-750 each underflow to exactly 0 in linear space (the
+// naive sum is identically zero), but accumulate in log space to
+// -750 + log(n) with full precision. This is the regime Figs. 6/10's
+// 10^13-day points live in — per-window success probabilities far below
+// the smallest positive float64.
+func TestLogSumExpManyTinyTermsNoUnderflow(t *testing.T) {
+	const n = 1_200_000
+	const x = -750.0
+	if math.Exp(x) != 0 {
+		t.Fatalf("test premise broken: e^%g = %g should underflow to 0", x, math.Exp(x))
+	}
+	xs := make([]float64, n)
+	naive := 0.0
+	for i := range xs {
+		xs[i] = x
+		naive += math.Exp(x)
+	}
+	if naive != 0 {
+		t.Fatalf("naive linear-space sum = %g, premise is that it underflows", naive)
+	}
+	got := LogSumExp(xs)
+	want := x + math.Log(n)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogSumExp of %d terms at %g = %.15g, want %.15g", n, x, got, want)
+	}
+}
+
+func TestLogSumExpEmptyAndSingle(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %g, want -Inf", got)
+	}
+	if got := LogSumExp([]float64{-42}); got != -42 {
+		t.Errorf("LogSumExp([x]) = %g, want -42", got)
+	}
+}
+
+// LogSumExp's contract fixes left-to-right fold order, so the same
+// slice always yields the identical float64 — the determinism the
+// tally Result fold relies on.
+func TestLogSumExpDeterministicOverSameOrder(t *testing.T) {
+	xs := []float64{-700, -1.5, -350.25, -699.999, -2}
+	first := LogSumExp(xs)
+	for i := 0; i < 100; i++ {
+		if got := LogSumExp(xs); math.Float64bits(got) != math.Float64bits(first) {
+			t.Fatalf("run %d: LogSumExp changed bits: %x vs %x", i, math.Float64bits(got), math.Float64bits(first))
+		}
+	}
+}
+
+func TestLogPoissonTailMatchesLinearRegime(t *testing.T) {
+	// Where PoissonTail is comfortably representable the log version is
+	// its exact logarithm (passthrough branch).
+	for _, c := range []struct {
+		k      int
+		lambda float64
+	}{{1, 0.5}, {3, 0.2}, {8, 1.0}, {0, 2.0}} {
+		want := math.Log(PoissonTail(c.k, c.lambda))
+		if c.k == 0 {
+			want = 0
+		}
+		if got := LogPoissonTail(c.k, c.lambda); got != want {
+			t.Errorf("LogPoissonTail(%d, %g) = %g, want %g", c.k, c.lambda, got, want)
+		}
+	}
+}
+
+// Deep tail: PoissonTail's 1-minus-sum collapses to cancellation noise
+// (a few ulps of 1, or exactly 0) long before the true tail reaches
+// float64's underflow bound — at k=150, lambda=0.1 the true tail is
+// ~e^-600 but the linear computation returns ~2e-16 of pure noise.
+// LogPoissonTail must ignore that noise and stay finite, strictly
+// decreasing in k, and consistent with the leading PMF term (which
+// dominates the tail when k >> lambda).
+func TestLogPoissonTailDeepTail(t *testing.T) {
+	const lambda = 0.1
+	if p := PoissonTail(150, lambda); p > 1e-13 {
+		t.Fatalf("test premise broken: PoissonTail(150, %g) = %g, want noise-floor value below 1e-13", lambda, p)
+	}
+	if lp := LogPoissonTail(150, lambda); lp > -500 {
+		t.Fatalf("LogPoissonTail(150, %g) = %g: trusted the linear noise floor instead of the log-space series", lambda, lp)
+	}
+	prev := 0.0
+	for k := 20; k <= 150; k += 10 {
+		lp := LogPoissonTail(k, lambda)
+		if math.IsInf(lp, 0) || math.IsNaN(lp) {
+			t.Fatalf("LogPoissonTail(%d, %g) = %g, want finite", k, lambda, lp)
+		}
+		if lp >= prev {
+			t.Errorf("tail not decreasing: LogPoissonTail(%d) = %g >= %g", k, lp, prev)
+		}
+		// The first term dominates: log P[X >= k] is within a few percent
+		// of log P[X = k] out here.
+		pmf := LogPoissonPMF(k, lambda)
+		if lp < pmf || lp > pmf+0.01 {
+			t.Errorf("LogPoissonTail(%d) = %g not dominated by PMF term %g", k, lp, pmf)
+		}
+		prev = lp
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	// Distinct paths from one root must give distinct seeds, and the
+	// derivation is pure.
+	seen := map[uint64]bool{}
+	const root = 0xf16
+	for i := uint64(0); i < 1000; i++ {
+		s := SubSeed(root, i)
+		if seen[s] {
+			t.Fatalf("SubSeed collision at index %d", i)
+		}
+		seen[s] = true
+		if s != SubSeed(root, i) {
+			t.Fatalf("SubSeed not deterministic at index %d", i)
+		}
+	}
+	// Nested paths (cell then batch) differ from flat ones.
+	if SubSeed(root, 1, 2) == SubSeed(root, 1) || SubSeed(root, 1, 2) == SubSeed(root, 2) {
+		t.Error("nested SubSeed path collides with flat path")
+	}
+}

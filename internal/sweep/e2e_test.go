@@ -133,12 +133,14 @@ func TestSweepEndToEndTwoWorkerProcesses(t *testing.T) {
 
 // TestEvaluationSweepEndToEndTwoWorkerProcesses is the acceptance test
 // of evaluation-wide planning: `rowswap-sweep plan -all` must produce
-// ONE manifest covering every performance figure whose deduplicated
-// job count is strictly below the sum of the per-figure plans, and
-// after two real worker processes and one merge, every figure's rows
-// must be bit-identical to that figure's own single-process run. It
-// also emits BENCH_sweep.json (jobs planned vs deduplicated, merge
-// wall time) so the dedupe win is tracked across PRs.
+// ONE manifest covering every performance figure — with a deduplicated
+// simulation-job count strictly below the sum of the per-figure plans
+// — plus every security figure's Monte-Carlo trial batches, and after
+// two real worker processes and one merge, every performance figure's
+// rows must be bit-identical to that figure's own single-process run
+// and both Monte-Carlo figures' row sets must be complete. It also
+// emits BENCH_sweep.json (jobs planned vs deduplicated, merge wall
+// time) so the dedupe win is tracked across PRs.
 func TestEvaluationSweepEndToEndTwoWorkerProcesses(t *testing.T) {
 	dir := t.TempDir()
 	run := buildSweepCLI(t, dir)
@@ -171,10 +173,12 @@ func TestEvaluationSweepEndToEndTwoWorkerProcesses(t *testing.T) {
 		t.Fatalf("evaluation manifest covers %d figures, want %d", got, want)
 	}
 
-	// The acceptance criterion: strictly fewer jobs than the figures
-	// planned one by one (shared baselines and recurring comparator
-	// configs deduplicated). The per-figure counts come from in-process
-	// plans — job counts are build-independent even though keys differ.
+	// The acceptance criterion: strictly fewer simulation jobs than the
+	// figures planned one by one (shared baselines and recurring
+	// comparator configs deduplicated). The per-figure counts come from
+	// in-process plans — job counts are build-independent even though
+	// keys differ. Monte-Carlo batch jobs (schema 3) are counted apart:
+	// `plan -all` also spans the security figures.
 	perFigure := 0
 	for _, id := range report.PerfFigureIDs() {
 		fm, err := Plan(id, opt, 2, StrategyRoundRobin)
@@ -183,8 +187,19 @@ func TestEvaluationSweepEndToEndTwoWorkerProcesses(t *testing.T) {
 		}
 		perFigure += len(fm.Jobs)
 	}
-	if len(m.Jobs) >= perFigure {
-		t.Fatalf("evaluation manifest has %d jobs, per-figure manifests total %d: nothing deduplicated", len(m.Jobs), perFigure)
+	simJobs, mcJobs := 0, 0
+	for _, j := range m.Jobs {
+		if j.Kind == JobKindMC {
+			mcJobs++
+		} else {
+			simJobs++
+		}
+	}
+	if simJobs >= perFigure {
+		t.Fatalf("evaluation manifest has %d simulation jobs, per-figure manifests total %d: nothing deduplicated", simJobs, perFigure)
+	}
+	if m.Security == nil || mcJobs == 0 {
+		t.Fatalf("plan -all carries no Monte-Carlo security jobs (security=%v, mc jobs=%d); one manifest must span the whole paper", m.Security, mcJobs)
 	}
 
 	w0 := filepath.Join(dir, "w0")
@@ -253,25 +268,37 @@ func TestEvaluationSweepEndToEndTwoWorkerProcesses(t *testing.T) {
 		t.Error("every normalized value across the evaluation is exactly 1.0; the comparison is vacuous")
 	}
 
-	writeSweepBench(t, len(report.PerfFigureIDs()), perFigure, len(m.Jobs), mergeSecs)
+	// The security side of `plan -all` came through the same pipeline:
+	// both Monte-Carlo figures' rows are present and complete (their
+	// bit-identity to the single-process oracle is pinned by
+	// TestDistributedSecurityMatchesOracle and the mc e2e).
+	for fig, cells := range map[string]int{"6": 15, "10": 30} {
+		rows, ok := got.SecurityRows(fig)
+		if !ok || len(rows) != cells {
+			t.Errorf("merged results carry %d Monte-Carlo rows for security figure %s, want %d", len(rows), fig, cells)
+		}
+	}
+
+	writeSweepBench(t, len(report.PerfFigureIDs()), perFigure, simJobs, mcJobs, mergeSecs)
 }
 
 // writeSweepBench serializes the evaluation e2e's scale numbers into
 // the "evaluation" section of BENCH_sweep.json: the dedupe win (jobs
 // planned per-figure vs deduplicated) and the merge wall time are the
 // sweep layer's trackable trajectory.
-func writeSweepBench(t *testing.T, figures, perFigure, deduped int, mergeSecs float64) {
+func writeSweepBench(t *testing.T, figures, perFigure, deduped, mcJobs int, mergeSecs float64) {
 	t.Helper()
 	writeBenchSection(t, "evaluation", map[string]any{
-		"benchmark":             "EvaluationSweep",
-		"figures":               figures,
-		"jobs_per_figure_sum":   perFigure,
-		"jobs_deduplicated":     deduped,
-		"dedupe_savings_frac":   1 - float64(deduped)/float64(perFigure),
-		"merge_wall_seconds":    mergeSecs,
-		"worker_processes":      2,
-		"workloads":             2,
-		"instructions_per_core": 150_000,
+		"benchmark":              "EvaluationSweep",
+		"figures":                figures,
+		"jobs_per_figure_sum":    perFigure,
+		"jobs_deduplicated":      deduped,
+		"monte_carlo_batch_jobs": mcJobs,
+		"dedupe_savings_frac":    1 - float64(deduped)/float64(perFigure),
+		"merge_wall_seconds":     mergeSecs,
+		"worker_processes":       2,
+		"workloads":              2,
+		"instructions_per_core":  150_000,
 	})
 }
 

@@ -16,6 +16,18 @@
 // fingerprint — the merged rows are bit-identical to a single-process
 // run of each figure, and re-running any stage is idempotent.
 //
+// Since schema 3 the manifest is generic over job kinds: "run a
+// simulation" and "run a batch of Monte-Carlo attack trials" are two
+// implementations of the same plan → shard → work-steal → merge
+// pipeline. A manifest may therefore span the whole paper — the
+// performance figures' simulation cells and the security figures'
+// seeded trial batches — as one deduplicated, content-addressed job
+// set. Monte-Carlo results are mergeable tally envelopes
+// (attack.Tally) stored alongside simulation entries; merge folds them
+// associatively into MonteCarloResult rows, so the distributed run is
+// bit-identical to a single-process oracle regardless of completion
+// order.
+//
 // cmd/rowswap-sweep exposes the three stages as plan / run-shard /
 // merge subcommands; see its README for a whole-evaluation walkthrough.
 package sweep
@@ -31,6 +43,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/attack"
 	"repro/internal/config"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -38,10 +51,22 @@ import (
 )
 
 // ManifestSchema invalidates manifests written by incompatible versions
-// of this package. Schema 2 is the evaluation-wide format: a manifest
-// spans any set of figures, carries one deduplicated job per unique
-// simulation, and maps each figure's cells onto the job set.
-const ManifestSchema = 2
+// of this package. Schema 3 adds generic job kinds and the security
+// section; schema-2 manifests (perf-only, every job a simulation) are
+// still accepted unchanged — see validateStructure.
+const ManifestSchema = 3
+
+// Job kinds. An empty Kind means JobKindSim: schema-2 manifests carry
+// no kind field, and schema-3 perf jobs omit it for the same bytes.
+const (
+	// JobKindSim: the job is one deduplicated simulation cell of the
+	// performance evaluation, keyed by simcache.RunKey.
+	JobKindSim = "sim"
+	// JobKindMC: the job is one seeded Monte-Carlo trial batch of a
+	// security cell, keyed by simcache.MCKey; its result is a mergeable
+	// tally envelope (attack.Tally), not a simulation result.
+	JobKindMC = "mc"
+)
 
 // Sharding strategies.
 const (
@@ -76,15 +101,23 @@ const (
 // baseline, any config recurring across figures — appears exactly once,
 // with Workload and Label taken from its first occurrence.
 type Job struct {
-	// Workload names the trace workload (row of the matrix).
+	// Kind is the job kind: JobKindSim (or "", its schema-2 spelling)
+	// or JobKindMC.
+	Kind string `json:"kind,omitempty"`
+	// Workload names the trace workload (row of the matrix). Monte-
+	// Carlo jobs carry the fixed pseudo-workload "monte-carlo" so
+	// per-workload worker stats stay meaningful.
 	Workload string `json:"workload"`
 	// Label names the mitigation config of the job's first occurrence
 	// ("" = unprotected baseline). Figures referencing the same job may
-	// spell the config differently; the simulation is identical.
+	// spell the config differently; the simulation is identical. For
+	// Monte-Carlo jobs it names the security cell and batch.
 	Label string `json:"label"`
 	// Key is the simcache key the job's result is stored under —
 	// SHA-256 over the workload description, full system config,
-	// normalized options, and binary fingerprint.
+	// normalized options, and binary fingerprint for simulations; over
+	// the trial spec, root seed, batch index, batch size, and binary
+	// fingerprint for Monte-Carlo batches (simcache.MCKey).
 	Key string `json:"key"`
 	// Cost is the deterministic cost used by StrategyCost's LPT
 	// assignment: measured wall-seconds when the planning cache had
@@ -92,6 +125,30 @@ type Job struct {
 	Cost float64 `json:"cost"`
 	// Shard is the worker index this job is assigned to.
 	Shard int `json:"shard"`
+	// MC locates a Monte-Carlo job's batch within the manifest's
+	// security section; nil for simulation jobs.
+	MC *MCRef `json:"mc,omitempty"`
+}
+
+// MCRef addresses one trial batch of a security cell.
+type MCRef struct {
+	// Cell indexes Manifest.Security.Cells.
+	Cell int `json:"cell"`
+	// Batch is the batch index within the cell's trial stream; the
+	// batch RNG seed is attack.BatchSeed(cell root seed, Batch).
+	Batch int `json:"batch"`
+	// Trials is this batch's trial count (the last batch of a cell may
+	// be short).
+	Trials int `json:"trials"`
+}
+
+// kind resolves the job's kind, treating the empty string as
+// JobKindSim (the schema-2 spelling).
+func (j Job) kind() string {
+	if j.Kind == "" {
+		return JobKindSim
+	}
+	return j.Kind
 }
 
 // desc names a job for error and progress messages.
@@ -143,10 +200,46 @@ type Manifest struct {
 	Shards     int    `json:"shards"`
 	Strategy   string `json:"strategy"`
 	CostSource string `json:"cost_source,omitempty"`
-	// Figures lists the covered figures with their fan-out maps; Jobs is
-	// the deduplicated job set they fan out over.
+	// Figures lists the covered performance figures with their fan-out
+	// maps; Jobs is the deduplicated job set they fan out over
+	// (simulation jobs first, in evaluation order, then Monte-Carlo
+	// batches in security-cell order).
 	Figures []Figure `json:"figures"`
 	Jobs    []Job    `json:"jobs"`
+	// Security describes the manifest's security side (schema 3);
+	// nil for perf-only manifests.
+	Security *Security `json:"security,omitempty"`
+}
+
+// SecurityFigureRef is one security figure's slice of the manifest:
+// its ID plus the fan-out map from its cells to the shared cell set.
+type SecurityFigureRef struct {
+	// Fig is the security-figure identifier (report.SecurityFigureByID);
+	// merge uses it to render the figure from its result rows.
+	Fig string `json:"fig"`
+	// Cells maps the figure's cell index (report.SecurityFigure.Cells
+	// order) to an index into Security.Cells. Empty for closed-form
+	// figures, which render without Monte-Carlo results.
+	Cells []int `json:"cells,omitempty"`
+}
+
+// Security is the manifest's security section: the deduplicated
+// Monte-Carlo cell set the security figures fan out over, and the
+// trial-stream parameters every cell runs with. Cell ci's root seed is
+// report.SecurityCellSeed(Seed, ci); batch b of that cell is seeded by
+// attack.BatchSeed(cell root, b) — the derivation both the distributed
+// workers and the single-process oracle share.
+type Security struct {
+	// Seed is the experiment's root seed.
+	Seed uint64 `json:"seed"`
+	// Trials is the per-cell trial count; Batch the trials-per-batch
+	// granularity jobs are cut at.
+	Trials int `json:"trials"`
+	Batch  int `json:"batch"`
+	// Figures lists the covered security figures with their fan-out
+	// maps; Cells is the deduplicated cell set they fan out over.
+	Figures []SecurityFigureRef   `json:"figures"`
+	Cells   []report.SecurityCell `json:"cells,omitempty"`
 }
 
 // cellCost predicts a cell's relative simulation cost. The event
@@ -182,6 +275,13 @@ type PlanOptions struct {
 	// Log, when non-nil, receives one-line planning notes (which cost
 	// source was used).
 	Log io.Writer
+	// MCTrials is the per-cell Monte-Carlo trial count for security
+	// figures (0 = attack.DefaultTrials); MCBatch the trials-per-batch
+	// job granularity (0 = attack.DefaultBatch); MCSeed the experiment
+	// root seed.
+	MCTrials int
+	MCBatch  int
+	MCSeed   uint64
 }
 
 // Plan expands a single figure into a sharded job manifest — the
@@ -191,28 +291,62 @@ func Plan(figID string, opt report.PerfOptions, shards int, strategy string) (*M
 	return PlanEvaluation([]string{figID}, opt, PlanOptions{Shards: shards, Strategy: strategy})
 }
 
-// PlanEvaluation expands the given figures into one deduplicated,
-// sharded job manifest without simulating anything. Planning is
-// deterministic given the cost source: the same figures, options, shard
-// count, binary, and measured-cost index always produce the same
-// manifest, so coordinator and workers can independently agree on every
-// job's identity.
+// MCWorkload is the pseudo-workload name Monte-Carlo jobs carry in the
+// manifest and the daemon's queue stats.
+const MCWorkload = "monte-carlo"
+
+// splitFigIDs partitions requested figure IDs into performance and
+// security figures, rejecting unknown IDs and duplicates. The two
+// catalogues share no IDs; performance wins on lookup order anyway.
+func splitFigIDs(figIDs []string) (perfIDs, secIDs []string, err error) {
+	seen := map[string]bool{}
+	for _, id := range figIDs {
+		if seen[id] {
+			return nil, nil, fmt.Errorf("sweep: figure %q requested twice", id)
+		}
+		seen[id] = true
+		if _, ok := report.PerfFigureByID(id); ok {
+			perfIDs = append(perfIDs, id)
+			continue
+		}
+		if _, ok := report.SecurityFigureByID(id); ok {
+			secIDs = append(secIDs, id)
+			continue
+		}
+		return nil, nil, fmt.Errorf("sweep: no figure %q (performance: %v, security: %v)",
+			id, report.PerfFigureIDs(), report.SecurityFigureIDs())
+	}
+	return perfIDs, secIDs, nil
+}
+
+// mcJobCost predicts a trial batch's relative cost for StrategyCost.
+// A direct-regime trial simulates an expected 1/p windows (one Poisson
+// draw each); tail-regime and latent-only trials are constant work.
+// Like cellCost this only steers load balance — measured wall-seconds
+// replace it on re-plans.
+func mcJobCost(spec attack.TrialSpec, trials int) float64 {
+	p := spec.Model.EpochSuccessProb(spec.Rounds)
+	perTrial := 4.0
+	if p >= attack.MinDirectProb && p < 1 {
+		perTrial = 1 / p
+	}
+	return float64(trials) * perTrial
+}
+
+// PlanEvaluation expands the given figures — performance, security, or
+// a mix — into one deduplicated, sharded job manifest without running
+// anything. Planning is deterministic given the cost source: the same
+// figures, options, shard count, seed, binary, and measured-cost index
+// always produce the same manifest, so coordinator and workers can
+// independently agree on every job's identity. Simulation jobs come
+// first (evaluation order), then every security cell's trial batches.
 func PlanEvaluation(figIDs []string, opt report.PerfOptions, po PlanOptions) (*Manifest, error) {
 	if len(figIDs) == 0 {
 		return nil, fmt.Errorf("sweep: no figures requested")
 	}
-	figs := make([]report.PerfFigure, 0, len(figIDs))
-	seen := map[string]bool{}
-	for _, id := range figIDs {
-		f, ok := report.PerfFigureByID(id)
-		if !ok {
-			return nil, fmt.Errorf("sweep: no performance figure %q", id)
-		}
-		if seen[id] {
-			return nil, fmt.Errorf("sweep: figure %q requested twice", id)
-		}
-		seen[id] = true
-		figs = append(figs, f)
+	perfIDs, secIDs, err := splitFigIDs(figIDs)
+	if err != nil {
+		return nil, err
 	}
 	if po.Shards < 1 {
 		return nil, fmt.Errorf("sweep: shard count %d < 1", po.Shards)
@@ -223,62 +357,121 @@ func PlanEvaluation(figIDs []string, opt report.PerfOptions, po PlanOptions) (*M
 		return nil, fmt.Errorf("sweep: unknown sharding strategy %q", po.Strategy)
 	}
 
-	eval := opt.PlanEvaluation(figs)
-	if len(eval.Cells) == 0 {
-		return nil, fmt.Errorf("sweep: figures %s expand to an empty matrix", strings.Join(figIDs, ","))
+	m := &Manifest{
+		Schema:   ManifestSchema,
+		Binary:   simcache.CodeVersion(),
+		Shards:   po.Shards,
+		Strategy: po.Strategy,
 	}
-	names := make([]string, len(eval.Figures[0].Plan.Workloads))
-	for i, w := range eval.Figures[0].Plan.Workloads {
-		names[i] = w.Name
+	var jobs []Job
+	var costKeys []string // parallel to jobs: build-independent cost identity
+
+	var eval report.EvaluationPlan
+	if len(perfIDs) > 0 {
+		figs := make([]report.PerfFigure, len(perfIDs))
+		for i, id := range perfIDs {
+			figs[i], _ = report.PerfFigureByID(id)
+		}
+		eval = opt.PlanEvaluation(figs)
+		if len(eval.Cells) == 0 {
+			return nil, fmt.Errorf("sweep: figures %s expand to an empty matrix", strings.Join(perfIDs, ","))
+		}
+		names := make([]string, len(eval.Figures[0].Plan.Workloads))
+		for i, w := range eval.Figures[0].Plan.Workloads {
+			names[i] = w.Name
+		}
+		m.Workloads = names
+		m.Cores = eval.Cells[0].System.Core.Cores
+		m.Sim = eval.Sim
+		for i, cell := range eval.Cells {
+			jobs = append(jobs, Job{
+				Workload: cell.Workload.Name,
+				Label:    cell.Label,
+				Key:      eval.Keys[i],
+				Cost:     cellCost(cell, eval.Sim.Instructions),
+			})
+			costKeys = append(costKeys, simcache.CostKey(cell.Workload, cell.System, eval.Sim))
+		}
+		mfigs := make([]Figure, len(eval.Figures))
+		for fi, fp := range eval.Figures {
+			mfigs[fi] = Figure{
+				Fig:     fp.Figure.ID,
+				Configs: fp.Figure.Configs,
+				Labels:  fp.Figure.Labels,
+				Cells:   fp.Cells,
+			}
+		}
+		m.Figures = mfigs
 	}
-	jobs := make([]Job, len(eval.Cells))
-	for i, cell := range eval.Cells {
-		jobs[i] = Job{
-			Workload: cell.Workload.Name,
-			Label:    cell.Label,
-			Key:      eval.Keys[i],
-			Cost:     cellCost(cell, eval.Sim.Instructions),
+
+	if len(secIDs) > 0 {
+		sec, err := report.PlanSecurity(secIDs)
+		if err != nil {
+			return nil, err
+		}
+		trials, batch := po.MCTrials, po.MCBatch
+		if trials <= 0 {
+			trials = attack.DefaultTrials
+		}
+		if batch <= 0 {
+			batch = attack.DefaultBatch
+		}
+		sfigs := make([]SecurityFigureRef, len(sec.Figures))
+		for fi, fp := range sec.Figures {
+			sfigs[fi] = SecurityFigureRef{Fig: fp.Figure.ID, Cells: fp.Cells}
+		}
+		m.Security = &Security{
+			Seed:    po.MCSeed,
+			Trials:  trials,
+			Batch:   batch,
+			Figures: sfigs,
+			Cells:   sec.Cells,
+		}
+		for ci, cell := range sec.Cells {
+			root := report.SecurityCellSeed(po.MCSeed, ci)
+			for b := 0; b*batch < trials; b++ {
+				n := batch
+				if rem := trials - b*batch; n > rem {
+					n = rem
+				}
+				jobs = append(jobs, Job{
+					Kind:     JobKindMC,
+					Workload: MCWorkload,
+					Label:    fmt.Sprintf("%s batch %d", cell.Label, b),
+					Key:      simcache.MCKey(cell.Spec, root, b, n),
+					Cost:     mcJobCost(cell.Spec, n),
+					MC:       &MCRef{Cell: ci, Batch: b, Trials: n},
+				})
+				costKeys = append(costKeys, simcache.MCCostKey(cell.Spec, n))
+			}
 		}
 	}
+	if m.Security == nil && len(m.Figures) == 0 {
+		return nil, fmt.Errorf("sweep: figures %s cover nothing", strings.Join(figIDs, ","))
+	}
+
 	costSource := CostSourceStatic
 	if po.Strategy == StrategyCost {
-		costSource = applyMeasuredCosts(jobs, eval, po.Costs)
+		costSource = applyMeasuredCosts(jobs, costKeys, po.Costs)
 		if po.Log != nil {
 			fmt.Fprintf(po.Log, "cost source: %s\n", costSource)
 		}
 	}
+	m.CostSource = costSource
 	assignShards(jobs, po.Shards, po.Strategy)
-
-	mfigs := make([]Figure, len(eval.Figures))
-	for fi, fp := range eval.Figures {
-		mfigs[fi] = Figure{
-			Fig:     fp.Figure.ID,
-			Configs: fp.Figure.Configs,
-			Labels:  fp.Figure.Labels,
-			Cells:   fp.Cells,
-		}
-	}
-	return &Manifest{
-		Schema:     ManifestSchema,
-		Binary:     simcache.CodeVersion(),
-		Workloads:  names,
-		Cores:      eval.Cells[0].System.Core.Cores,
-		Sim:        eval.Sim,
-		Shards:     po.Shards,
-		Strategy:   po.Strategy,
-		CostSource: costSource,
-		Figures:    mfigs,
-		Jobs:       jobs,
-	}, nil
+	m.Jobs = jobs
+	return m, nil
 }
 
 // applyMeasuredCosts replaces static job costs with measured
 // wall-seconds where the cost index has them, returning a description
-// of the resulting cost source. When only part of the job set is
-// measured, the unmeasured jobs keep their static estimate rescaled
+// of the resulting cost source. costKeys[i] is job i's
+// build-independent cost identity (simcache.CostKey for simulations,
+// simcache.MCCostKey for trial batches). When only part of the job set
+// is measured, the unmeasured jobs keep their static estimate rescaled
 // into the measured unit (seconds) by the ratio observed on the
 // measured jobs, so LPT compares like with like.
-func applyMeasuredCosts(jobs []Job, eval report.EvaluationPlan, costs *simcache.CostIndex) string {
+func applyMeasuredCosts(jobs []Job, costKeys []string, costs *simcache.CostIndex) string {
 	if costs.Len() == 0 {
 		return CostSourceStatic
 	}
@@ -286,8 +479,7 @@ func applyMeasuredCosts(jobs []Job, eval report.EvaluationPlan, costs *simcache.
 	n := 0
 	var sumMeasured, sumStatic float64
 	for i := range jobs {
-		cell := eval.Cells[i]
-		if s, ok := costs.Seconds(simcache.CostKey(cell.Workload, cell.System, eval.Sim)); ok {
+		if s, ok := costs.Seconds(costKeys[i]); ok {
 			measured[i] = s
 			n++
 			sumMeasured += s
@@ -352,21 +544,35 @@ func (m *Manifest) perfOptions() report.PerfOptions {
 }
 
 // validateStructure checks the manifest's internal consistency without
-// re-deriving any plan: schema, shard assignments, key uniqueness, and
-// the figure fan-out maps. Every failure is an operator-actionable
-// error — these are the mistakes a hand-edited or corrupted manifest,
-// or a mismatched -shards between plan and workers, actually produces.
+// re-deriving any plan: schema, shard assignments, key uniqueness, job
+// kinds, the figure fan-out maps, and the security section's batch
+// coverage. Every failure is an operator-actionable error — these are
+// the mistakes a hand-edited or corrupted manifest, or a mismatched
+// -shards between plan and workers, actually produces. Schema-2
+// manifests (perf-only, planned before generic job kinds existed) are
+// accepted unchanged.
 func (m *Manifest) validateStructure() error {
-	if m.Schema != ManifestSchema {
-		return fmt.Errorf("sweep: manifest schema %d, this build expects %d (re-run plan with this build; schema 1 single-figure manifests predate evaluation-wide planning)", m.Schema, ManifestSchema)
+	switch m.Schema {
+	case ManifestSchema:
+	case 2:
+		if m.Security != nil {
+			return fmt.Errorf("sweep: manifest declares schema 2 but carries a security section; schema 2 is perf-only — re-run plan with this build to get a schema-%d manifest", ManifestSchema)
+		}
+		for i, j := range m.Jobs {
+			if j.Kind != "" || j.MC != nil {
+				return fmt.Errorf("sweep: manifest declares schema 2 but job %d (%s) carries a job kind; schema 2 is perf-only — re-run plan with this build", i, j.desc())
+			}
+		}
+	default:
+		return fmt.Errorf("sweep: manifest schema %d, this build expects %d (or a perf-only schema-2 manifest); re-run plan with this build — schema 1 single-figure manifests predate evaluation-wide planning", m.Schema, ManifestSchema)
 	}
 	if m.Shards < 1 {
 		return fmt.Errorf("sweep: manifest declares %d shards; a sweep needs at least 1", m.Shards)
 	}
-	if len(m.Figures) == 0 {
+	if len(m.Figures) == 0 && m.Security == nil {
 		return fmt.Errorf("sweep: manifest covers no figures")
 	}
-	if len(m.Jobs) == 0 {
+	if len(m.Jobs) == 0 && m.Security == nil {
 		return fmt.Errorf("sweep: manifest has no jobs")
 	}
 	seenFig := map[string]int{}
@@ -375,6 +581,10 @@ func (m *Manifest) validateStructure() error {
 			return fmt.Errorf("sweep: figure %q appears twice in the manifest (entries %d and %d); re-run plan", f.Fig, prev, fi)
 		}
 		seenFig[f.Fig] = fi
+	}
+	nCells := 0
+	if m.Security != nil {
+		nCells = len(m.Security.Cells)
 	}
 	seenKey := map[string]int{}
 	for i, j := range m.Jobs {
@@ -388,6 +598,27 @@ func (m *Manifest) validateStructure() error {
 		if j.Shard < 0 || j.Shard >= m.Shards {
 			return fmt.Errorf("sweep: job %d (%s) is assigned to shard %d, but the manifest declares %d shards (valid: 0…%d) — re-run plan instead of editing shard assignments", i, j.desc(), j.Shard, m.Shards, m.Shards-1)
 		}
+		switch j.kind() {
+		case JobKindSim:
+			if j.MC != nil {
+				return fmt.Errorf("sweep: job %d (%s) is a simulation job but carries a Monte-Carlo batch reference — the manifest is corrupt, re-run plan", i, j.desc())
+			}
+		case JobKindMC:
+			if m.Security == nil {
+				return fmt.Errorf("sweep: job %d (%s) is a Monte-Carlo batch but the manifest has no security section — re-run plan", i, j.desc())
+			}
+			if j.MC == nil {
+				return fmt.Errorf("sweep: job %d (%s) is a Monte-Carlo batch but names no cell/batch — the manifest is corrupt, re-run plan", i, j.desc())
+			}
+			if j.MC.Cell < 0 || j.MC.Cell >= nCells {
+				return fmt.Errorf("sweep: job %d (%s) references security cell %d, but the manifest lists only %d cells — re-run plan", i, j.desc(), j.MC.Cell, nCells)
+			}
+			if j.MC.Batch < 0 || j.MC.Trials < 1 {
+				return fmt.Errorf("sweep: job %d (%s) has batch %d with %d trials; batches are non-negative and non-empty — re-run plan", i, j.desc(), j.MC.Batch, j.MC.Trials)
+			}
+		default:
+			return fmt.Errorf("sweep: job %d (%s) has unknown kind %q; this build knows %q (simulation) and %q (Monte-Carlo trial batch) — re-run plan with this build", i, j.desc(), j.Kind, JobKindSim, JobKindMC)
+		}
 	}
 	referenced := make([]bool, len(m.Jobs))
 	for _, f := range m.Figures {
@@ -395,8 +626,14 @@ func (m *Manifest) validateStructure() error {
 			if ji < 0 || ji >= len(m.Jobs) {
 				return fmt.Errorf("sweep: figure %s cell %d references job %d, but the manifest lists only %d jobs — the fan-out map is corrupt, re-run plan", f.Fig, ci, ji, len(m.Jobs))
 			}
+			if m.Jobs[ji].kind() != JobKindSim {
+				return fmt.Errorf("sweep: figure %s cell %d references job %d (%s), which is a %s job, not a simulation — the fan-out map is corrupt, re-run plan", f.Fig, ci, ji, m.Jobs[ji].desc(), m.Jobs[ji].kind())
+			}
 			referenced[ji] = true
 		}
+	}
+	if err := m.validateSecurity(referenced); err != nil {
+		return err
 	}
 	for i, ok := range referenced {
 		if !ok {
@@ -406,51 +643,229 @@ func (m *Manifest) validateStructure() error {
 	return nil
 }
 
-// expand re-derives the evaluation plan behind the manifest and
-// verifies the manifest's jobs and fan-out maps still describe it
-// exactly — same deduplicated cells, same order, same
-// content-addressed keys, same per-figure fan-out. A key mismatch means
-// the manifest was planned by a different build (any code change
+// validateSecurity checks the security section: figure fan-out maps,
+// per-cell batch coverage (every cell's batches present exactly once
+// and summing to the trial count), and cell referencing. It marks
+// referenced Monte-Carlo jobs in referenced (parallel to m.Jobs).
+func (m *Manifest) validateSecurity(referenced []bool) error {
+	s := m.Security
+	if s == nil {
+		return nil
+	}
+	if s.Trials < 1 || s.Batch < 1 {
+		return fmt.Errorf("sweep: security section declares %d trials in batches of %d; both must be positive — re-run plan", s.Trials, s.Batch)
+	}
+	if len(s.Figures) == 0 {
+		return fmt.Errorf("sweep: security section covers no figures — re-run plan")
+	}
+	seenFig := map[string]int{}
+	cellUsed := make([]bool, len(s.Cells))
+	for fi, f := range s.Figures {
+		if prev, dup := seenFig[f.Fig]; dup {
+			return fmt.Errorf("sweep: security figure %q appears twice (entries %d and %d); re-run plan", f.Fig, prev, fi)
+		}
+		seenFig[f.Fig] = fi
+		for ci, pi := range f.Cells {
+			if pi < 0 || pi >= len(s.Cells) {
+				return fmt.Errorf("sweep: security figure %s cell %d references cell %d, but the section lists only %d cells — the fan-out map is corrupt, re-run plan", f.Fig, ci, pi, len(s.Cells))
+			}
+			cellUsed[pi] = true
+		}
+	}
+	for ci, used := range cellUsed {
+		if !used {
+			return fmt.Errorf("sweep: security cell %d (%s) is referenced by no figure — re-run plan", ci, s.Cells[ci].Label)
+		}
+	}
+	// Batch coverage: cell ci must be cut into ceil(Trials/Batch)
+	// batches 0…nb-1, full-size except a short tail, each appearing
+	// exactly once across the job set.
+	nb := (s.Trials + s.Batch - 1) / s.Batch
+	got := make([]map[int]int, len(s.Cells))
+	for ji, j := range m.Jobs {
+		if j.kind() != JobKindMC {
+			continue
+		}
+		if got[j.MC.Cell] == nil {
+			got[j.MC.Cell] = map[int]int{}
+		}
+		if _, dup := got[j.MC.Cell][j.MC.Batch]; dup {
+			return fmt.Errorf("sweep: security cell %d (%s) batch %d appears in two jobs — duplicate tally keys would double-count trials; re-run plan", j.MC.Cell, s.Cells[j.MC.Cell].Label, j.MC.Batch)
+		}
+		got[j.MC.Cell][j.MC.Batch] = j.MC.Trials
+		referenced[ji] = true
+	}
+	for ci := range s.Cells {
+		bs := got[ci]
+		if len(bs) != nb {
+			return fmt.Errorf("sweep: security cell %d (%s) has %d batch jobs, want %d (%d trials in batches of %d) — the job set is incomplete, re-run plan", ci, s.Cells[ci].Label, len(bs), nb, s.Trials, s.Batch)
+		}
+		total := 0
+		for b, n := range bs {
+			if b < 0 || b >= nb {
+				return fmt.Errorf("sweep: security cell %d (%s) has batch index %d, valid 0…%d — re-run plan", ci, s.Cells[ci].Label, b, nb-1)
+			}
+			total += n
+		}
+		if total != s.Trials {
+			return fmt.Errorf("sweep: security cell %d (%s) batches sum to %d trials, manifest declares %d — re-run plan", ci, s.Cells[ci].Label, total, s.Trials)
+		}
+	}
+	return nil
+}
+
+// plan is a manifest's re-derived execution state: the performance
+// evaluation plan (empty for security-only manifests) and the security
+// plan (empty for perf-only manifests). Simulation jobs index
+// eval.Cells directly (they come first in the job set); Monte-Carlo
+// jobs address sec-plan cells through their MCRef.
+type plan struct {
+	eval report.EvaluationPlan
+	sec  report.SecurityPlan
+}
+
+// run executes manifest job ji against the store: a simulation for
+// JobKindSim, a seeded trial batch for JobKindMC. Both are cached,
+// idempotent, and deterministic — the job-kind dispatch is the only
+// difference between the pipeline's two implementations.
+func (p plan) run(m *Manifest, ji int, s simcache.Store) (bool, error) {
+	j := m.Jobs[ji]
+	if j.kind() == JobKindMC {
+		root := report.SecurityCellSeed(m.Security.Seed, j.MC.Cell)
+		_, hit, err := simcache.RunMCBatch(s, p.sec.Cells[j.MC.Cell].Spec, root, j.MC.Batch, j.MC.Trials)
+		return hit, err
+	}
+	cell := p.eval.Cells[ji]
+	_, hit, err := simcache.RunCachedStore(s, cell.Workload, cell.System, p.eval.Sim)
+	return hit, err
+}
+
+// expand re-derives the plans behind the manifest and verifies the
+// manifest's jobs and fan-out maps still describe them exactly — same
+// deduplicated cells, same order, same content-addressed keys, same
+// per-figure fan-out, same batch cuts. A key mismatch means the
+// manifest was planned by a different build (any code change
 // re-fingerprints the binary) or hand-edited; either way no cache entry
 // this process writes or reads could line up with it, so expansion
 // fails loudly instead.
-func (m *Manifest) expand() (report.EvaluationPlan, error) {
+func (m *Manifest) expand() (plan, error) {
 	if err := m.validateStructure(); err != nil {
-		return report.EvaluationPlan{}, err
+		return plan{}, err
 	}
 	if got := simcache.CodeVersion(); m.Binary != got {
-		return report.EvaluationPlan{}, fmt.Errorf("sweep: manifest was planned by binary %.12s…, this is %.12s…: results would not be interchangeable (re-run plan with this build)", m.Binary, got)
+		return plan{}, fmt.Errorf("sweep: manifest was planned by binary %.12s…, this is %.12s…: results would not be interchangeable (re-run plan with this build)", m.Binary, got)
 	}
-	figs := make([]report.PerfFigure, len(m.Figures))
-	for fi, f := range m.Figures {
-		figs[fi] = report.PerfFigure{ID: f.Fig, Configs: f.Configs, Labels: f.Labels}
+	var p plan
+	nSim := 0
+	for _, j := range m.Jobs {
+		if j.kind() == JobKindSim {
+			nSim++
+		}
 	}
-	eval := m.perfOptions().PlanEvaluation(figs)
-	if len(eval.Cells) != len(m.Jobs) {
-		return report.EvaluationPlan{}, fmt.Errorf("sweep: manifest lists %d jobs but the evaluation deduplicates to %d cells", len(m.Jobs), len(eval.Cells))
+	if len(m.Figures) > 0 {
+		figs := make([]report.PerfFigure, len(m.Figures))
+		for fi, f := range m.Figures {
+			figs[fi] = report.PerfFigure{ID: f.Fig, Configs: f.Configs, Labels: f.Labels}
+		}
+		p.eval = m.perfOptions().PlanEvaluation(figs)
 	}
-	for i, cell := range eval.Cells {
+	if len(p.eval.Cells) != nSim {
+		return plan{}, fmt.Errorf("sweep: manifest lists %d simulation jobs but the evaluation deduplicates to %d cells", nSim, len(p.eval.Cells))
+	}
+	for i, cell := range p.eval.Cells {
 		j := m.Jobs[i]
+		if j.kind() != JobKindSim {
+			return plan{}, fmt.Errorf("sweep: job %d (%s) is a %s job inside the simulation block; simulation jobs come first — re-run plan", i, j.desc(), j.kind())
+		}
 		if j.Workload != cell.Workload.Name || j.Label != cell.Label {
-			return report.EvaluationPlan{}, fmt.Errorf("sweep: job %d is (%s, %q) but the evaluation expands to (%s, %q)",
+			return plan{}, fmt.Errorf("sweep: job %d is (%s, %q) but the evaluation expands to (%s, %q)",
 				i, j.Workload, j.Label, cell.Workload.Name, cell.Label)
 		}
-		if j.Key != eval.Keys[i] {
-			return report.EvaluationPlan{}, fmt.Errorf("sweep: job %d (%s) key does not match this build's plan", i, j.desc())
+		if j.Key != p.eval.Keys[i] {
+			return plan{}, fmt.Errorf("sweep: job %d (%s) key does not match this build's plan", i, j.desc())
 		}
 	}
-	for fi, fp := range eval.Figures {
+	for fi, fp := range p.eval.Figures {
 		f := m.Figures[fi]
 		if len(f.Cells) != len(fp.Cells) {
-			return report.EvaluationPlan{}, fmt.Errorf("sweep: figure %s fan-out lists %d cells but its matrix expands to %d", f.Fig, len(f.Cells), len(fp.Cells))
+			return plan{}, fmt.Errorf("sweep: figure %s fan-out lists %d cells but its matrix expands to %d", f.Fig, len(f.Cells), len(fp.Cells))
 		}
 		for ci := range f.Cells {
 			if f.Cells[ci] != fp.Cells[ci] {
-				return report.EvaluationPlan{}, fmt.Errorf("sweep: figure %s cell %d fans out to job %d but the evaluation maps it to job %d", f.Fig, ci, f.Cells[ci], fp.Cells[ci])
+				return plan{}, fmt.Errorf("sweep: figure %s cell %d fans out to job %d but the evaluation maps it to job %d", f.Fig, ci, f.Cells[ci], fp.Cells[ci])
 			}
 		}
 	}
-	return eval, nil
+	if err := m.expandSecurity(&p, nSim); err != nil {
+		return plan{}, err
+	}
+	return p, nil
+}
+
+// expandSecurity re-derives the security plan and verifies the
+// manifest's security section and Monte-Carlo jobs against it: same
+// deduplicated cells, same fan-out, and every batch job carrying the
+// key this build derives for its (spec, seed, batch, trials) identity.
+func (m *Manifest) expandSecurity(p *plan, nSim int) error {
+	if m.Security == nil {
+		return nil
+	}
+	s := m.Security
+	figIDs := make([]string, len(s.Figures))
+	for fi, f := range s.Figures {
+		figIDs[fi] = f.Fig
+	}
+	sec, err := report.PlanSecurity(figIDs)
+	if err != nil {
+		return err
+	}
+	if len(sec.Cells) != len(s.Cells) {
+		return fmt.Errorf("sweep: security section lists %d cells but the figures deduplicate to %d", len(s.Cells), len(sec.Cells))
+	}
+	for ci, cell := range sec.Cells {
+		if s.Cells[ci] != cell {
+			return fmt.Errorf("sweep: security cell %d is %q in the manifest but this build plans %q there — re-run plan", ci, s.Cells[ci].Label, cell.Label)
+		}
+	}
+	for fi, fp := range sec.Figures {
+		f := s.Figures[fi]
+		if len(f.Cells) != len(fp.Cells) {
+			return fmt.Errorf("sweep: security figure %s fan-out lists %d cells but the figure declares %d", f.Fig, len(f.Cells), len(fp.Cells))
+		}
+		for ci := range f.Cells {
+			if f.Cells[ci] != fp.Cells[ci] {
+				return fmt.Errorf("sweep: security figure %s cell %d fans out to cell %d but this build maps it to %d", f.Fig, ci, f.Cells[ci], fp.Cells[ci])
+			}
+		}
+	}
+	// Monte-Carlo jobs follow the simulation block in (cell, batch)
+	// order; verify each against the key this build derives.
+	ji := nSim
+	for ci, cell := range sec.Cells {
+		root := report.SecurityCellSeed(s.Seed, ci)
+		for b := 0; b*s.Batch < s.Trials; b++ {
+			n := s.Batch
+			if rem := s.Trials - b*s.Batch; n > rem {
+				n = rem
+			}
+			if ji >= len(m.Jobs) {
+				return fmt.Errorf("sweep: manifest is missing the Monte-Carlo job for cell %d (%s) batch %d — re-run plan", ci, cell.Label, b)
+			}
+			j := m.Jobs[ji]
+			if j.kind() != JobKindMC || j.MC.Cell != ci || j.MC.Batch != b || j.MC.Trials != n {
+				return fmt.Errorf("sweep: job %d (%s) should be cell %d (%s) batch %d (%d trials); the job order is corrupt — re-run plan", ji, j.desc(), ci, cell.Label, b, n)
+			}
+			if want := simcache.MCKey(cell.Spec, root, b, n); j.Key != want {
+				return fmt.Errorf("sweep: job %d (%s) key does not match this build's plan", ji, j.desc())
+			}
+			ji++
+		}
+	}
+	if ji != len(m.Jobs) {
+		return fmt.Errorf("sweep: manifest lists %d jobs beyond the planned set — re-run plan", len(m.Jobs)-ji)
+	}
+	p.sec = sec
+	return nil
 }
 
 // Validate checks that the manifest is internally consistent and was
@@ -500,15 +915,16 @@ type ShardStats struct {
 	Jobs, Hits int
 }
 
-// RunShard executes every job of the given shard, writing results into
-// the simcache directory at cacheDir. It is the worker-process entry
-// point: plain, stateless, and idempotent — a re-run after a crash
-// redoes only the cells the cache is missing. Jobs are independent
-// deterministic simulations, so they are spread over a pool of workers
-// goroutines (0 = one per CPU) without affecting any result.
+// RunShard executes every job of the given shard — simulations and
+// Monte-Carlo trial batches alike — writing results into the simcache
+// directory at cacheDir. It is the worker-process entry point: plain,
+// stateless, and idempotent — a re-run after a crash redoes only the
+// jobs the cache is missing. Jobs are independent and deterministic,
+// so they are spread over a pool of workers goroutines (0 = one per
+// CPU) without affecting any result.
 func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io.Writer) (ShardStats, error) {
 	var stats ShardStats
-	eval, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return stats, err
 	}
@@ -522,11 +938,8 @@ func (m *Manifest) RunShard(shard int, cacheDir string, workers int, progress io
 
 	mine := m.shardJobs(shard)
 	stats.Jobs = len(mine)
-	exec := func(cell report.MatrixCell) (bool, error) {
-		_, hit, err := simcache.RunCached(cache, cell.Workload, cell.System, eval.Sim)
-		return hit, err
-	}
-	stats.Hits, err = m.runJobPool(eval, mine, workers, progress, fmt.Sprintf("shard %d", shard), exec)
+	exec := func(ji int) (bool, error) { return p.run(m, ji, cache) }
+	stats.Hits, err = m.runJobPool(mine, workers, progress, fmt.Sprintf("shard %d", shard), exec)
 	return stats, err
 }
 
@@ -543,10 +956,10 @@ func (m *Manifest) shardJobs(shard int) []int {
 
 // runJobPool spreads exec over the given manifest job indices on a
 // pool of workers goroutines (0 = one per CPU), stopping at the first
-// error. Jobs are independent deterministic simulations, so the pool
-// affects wall time only, never any result. It returns how many jobs
-// exec reported as store/cache hits.
-func (m *Manifest) runJobPool(eval report.EvaluationPlan, indices []int, workers int, progress io.Writer, who string, exec func(cell report.MatrixCell) (bool, error)) (int, error) {
+// error. Jobs are independent and deterministic, so the pool affects
+// wall time only, never any result. It returns how many jobs exec
+// reported as store/cache hits.
+func (m *Manifest) runJobPool(indices []int, workers int, progress io.Writer, who string, exec func(ji int) (bool, error)) (int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -573,7 +986,7 @@ func (m *Manifest) runJobPool(eval report.EvaluationPlan, indices []int, workers
 					return
 				}
 				ji := indices[k]
-				hit, err := exec(eval.Cells[ji])
+				hit, err := exec(ji)
 				if err != nil {
 					firstMu.Lock()
 					if firstE == nil {
@@ -617,7 +1030,7 @@ func (m *Manifest) runJobPool(eval report.EvaluationPlan, indices []int, workers
 // shard index ("shard-index.pack") so later readers of mergedDir pay
 // one file scan instead of thousands of opens.
 func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progress io.Writer) (*Results, error) {
-	eval, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return nil, err
 	}
@@ -635,18 +1048,40 @@ func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progr
 			fmt.Fprintf(progress, "  imported %d entries (+%d measured costs) from %s\n", n, nc, dir)
 		}
 	}
-	return m.assemble(eval, cache, pack, progress)
+	return m.assemble(p, cache, pack, progress)
 }
 
 // assemble audits that the merged cache holds a valid result for every
 // manifest job, reconstructs every covered figure's rows via the
-// fan-out maps, and optionally packs the loose entries. It is the
-// shared tail of both merge transports (worker directories and the
-// HTTP store).
-func (m *Manifest) assemble(eval report.EvaluationPlan, cache *simcache.Cache, pack bool, progress io.Writer) (*Results, error) {
-	results := make([]*sim.Result, len(m.Jobs))
+// fan-out maps — simulation results into performance rows, batch
+// tallies folded per security cell into MonteCarloResult rows — and
+// optionally packs the loose entries. It is the shared tail of both
+// merge transports (worker directories and the HTTP store). Tally
+// folding is exact (attack.Tally merges over integer accumulators), so
+// the security rows are bit-identical to a single-process oracle run
+// of the same seeded trial stream, whatever order workers completed
+// the batches in. A stored tally that decodes but violates its
+// invariants fails the merge loudly — corrupt data never folds in.
+func (m *Manifest) assemble(p plan, cache *simcache.Cache, pack bool, progress io.Writer) (*Results, error) {
+	results := make([]*sim.Result, 0, len(m.Jobs))
+	var tallies []attack.Tally
+	if m.Security != nil {
+		tallies = make([]attack.Tally, len(m.Security.Cells))
+	}
 	var missing []string
-	for i, j := range m.Jobs {
+	for _, j := range m.Jobs {
+		if j.kind() == JobKindMC {
+			t, hit, err := simcache.GetTally(cache, j.Key)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: read tally for %s: %w", j.desc(), err)
+			}
+			if !hit {
+				missing = append(missing, fmt.Sprintf("%s (shard %d)", j.desc(), j.Shard))
+				continue
+			}
+			tallies[j.MC.Cell] = tallies[j.MC.Cell].Merge(t)
+			continue
+		}
 		var res sim.Result
 		hit, err := cache.Get(j.Key, &res)
 		if err != nil {
@@ -656,7 +1091,7 @@ func (m *Manifest) assemble(eval report.EvaluationPlan, cache *simcache.Cache, p
 			missing = append(missing, fmt.Sprintf("%s (shard %d)", j.desc(), j.Shard))
 			continue
 		}
-		results[i] = &res
+		results = append(results, &res)
 	}
 	if len(missing) > 0 {
 		if len(missing) > 8 {
@@ -667,12 +1102,29 @@ func (m *Manifest) assemble(eval report.EvaluationPlan, cache *simcache.Cache, p
 	}
 
 	out := &Results{Schema: ManifestSchema}
-	for _, fp := range eval.Figures {
+	for _, fp := range p.eval.Figures {
 		rows, err := fp.Rows(results)
 		if err != nil {
 			return nil, err
 		}
 		out.Figures = append(out.Figures, FigureResults{Fig: fp.Figure.ID, Labels: fp.Figure.Labels, Rows: rows})
+	}
+	if m.Security != nil {
+		cellResults := make([]attack.MonteCarloResult, len(p.sec.Cells))
+		for ci := range p.sec.Cells {
+			cellResults[ci] = tallies[ci].Result(p.sec.Cells[ci].Spec.Model)
+		}
+		for _, fp := range p.sec.Figures {
+			figRes, err := fp.Results(cellResults)
+			if err != nil {
+				return nil, err
+			}
+			rows := make([]MonteCarloRow, len(figRes))
+			for i, r := range figRes {
+				rows[i] = MonteCarloRow{Label: fp.Figure.Cells[i].Label, Result: r}
+			}
+			out.Security = append(out.Security, SecurityResults{Fig: fp.Figure.ID, Rows: rows})
+		}
 	}
 	if pack {
 		n, err := cache.PackLoose("shard-index")
@@ -693,12 +1145,29 @@ type FigureResults struct {
 	Rows   []report.PerfRow `json:"rows"`
 }
 
+// MonteCarloRow is one security cell's merged Monte-Carlo outcome,
+// labelled for rendering.
+type MonteCarloRow struct {
+	Label  string                  `json:"label"`
+	Result attack.MonteCarloResult `json:"result"`
+}
+
+// SecurityResults is one security figure's reconstructed result rows,
+// parallel to the figure's declared cells.
+type SecurityResults struct {
+	Fig  string          `json:"fig"`
+	Rows []MonteCarloRow `json:"rows"`
+}
+
 // Results is the merge stage's durable output: every covered figure's
-// rows, ready to render (rowswap-figures -manifest) without any
-// simulation.
+// rows — performance and security — ready to render
+// (rowswap-figures -manifest) without any simulation.
 type Results struct {
 	Schema  int             `json:"schema"`
 	Figures []FigureResults `json:"figures"`
+	// Security holds the security figures' merged Monte-Carlo rows
+	// (schema 3; empty for perf-only sweeps).
+	Security []SecurityResults `json:"security,omitempty"`
 }
 
 // FigureRows returns the rows reconstructed for the given figure.
@@ -711,24 +1180,59 @@ func (r *Results) FigureRows(id string) ([]report.PerfRow, bool) {
 	return nil, false
 }
 
+// SecurityRows returns the merged Monte-Carlo rows of the given
+// security figure.
+func (r *Results) SecurityRows(id string) ([]MonteCarloRow, bool) {
+	for _, f := range r.Security {
+		if f.Fig == id {
+			return f.Rows, true
+		}
+	}
+	return nil, false
+}
+
 // Render prints every covered figure from its rows, exactly as the
 // in-process figure functions would, separated by blank lines.
+// Schema-2 results files (perf-only) render unchanged.
 func (r *Results) Render(w io.Writer) error {
-	if r.Schema != ManifestSchema {
-		return fmt.Errorf("sweep: results schema %d, this build expects %d", r.Schema, ManifestSchema)
+	if r.Schema != ManifestSchema && r.Schema != 2 {
+		return fmt.Errorf("sweep: results schema %d, this build expects %d (or perf-only schema 2)", r.Schema, ManifestSchema)
 	}
-	if len(r.Figures) == 0 {
+	if len(r.Figures) == 0 && len(r.Security) == 0 {
 		return fmt.Errorf("sweep: results cover no figures")
 	}
-	for i, fr := range r.Figures {
+	first := true
+	for _, fr := range r.Figures {
 		f, ok := report.PerfFigureByID(fr.Fig)
 		if !ok {
 			return fmt.Errorf("sweep: results reference unknown figure %q", fr.Fig)
 		}
-		if i > 0 {
+		if !first {
 			fmt.Fprintln(w)
 		}
+		first = false
 		f.Render(w, fr.Rows)
+	}
+	for _, sr := range r.Security {
+		f, ok := report.SecurityFigureByID(sr.Fig)
+		if !ok {
+			return fmt.Errorf("sweep: results reference unknown security figure %q", sr.Fig)
+		}
+		if len(sr.Rows) != len(f.Cells) {
+			return fmt.Errorf("sweep: security figure %s has %d result rows but declares %d cells", sr.Fig, len(sr.Rows), len(f.Cells))
+		}
+		var results []attack.MonteCarloResult
+		if len(sr.Rows) > 0 {
+			results = make([]attack.MonteCarloResult, len(sr.Rows))
+			for i, row := range sr.Rows {
+				results[i] = row.Result
+			}
+		}
+		if !first {
+			fmt.Fprintln(w)
+		}
+		first = false
+		f.Render(w, results)
 	}
 	return nil
 }

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"repro/internal/objstore"
-	"repro/internal/report"
 	"repro/internal/simcache"
 )
 
@@ -44,7 +43,7 @@ func (m *Manifest) QueueJobs() []objstore.QueueJob {
 // swap; see RunWork for the mode that also replaces the sharding.
 func (m *Manifest) RunShardServer(shard int, client *objstore.Client, workers int, progress io.Writer) (ShardStats, error) {
 	var stats ShardStats
-	eval, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return stats, err
 	}
@@ -53,11 +52,8 @@ func (m *Manifest) RunShardServer(shard int, client *objstore.Client, workers in
 	}
 	mine := m.shardJobs(shard)
 	stats.Jobs = len(mine)
-	exec := func(cell report.MatrixCell) (bool, error) {
-		_, hit, err := simcache.RunCachedStore(client, cell.Workload, cell.System, eval.Sim)
-		return hit, err
-	}
-	stats.Hits, err = m.runJobPool(eval, mine, workers, progress, fmt.Sprintf("shard %d", shard), exec)
+	exec := func(ji int) (bool, error) { return p.run(m, ji, client) }
+	stats.Hits, err = m.runJobPool(mine, workers, progress, fmt.Sprintf("shard %d", shard), exec)
 	return stats, err
 }
 
@@ -130,7 +126,7 @@ func heartbeatLease(client *objstore.Client, job int, lease, worker string, leas
 // plan fails loudly instead of simulating the wrong cell.
 func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines int, progress io.Writer) (WorkStats, error) {
 	var stats WorkStats
-	eval, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return stats, err
 	}
@@ -194,8 +190,7 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 					fail(fmt.Errorf("sweep: worker %s: claimed job %d (key %.12s…) does not match the manifest — the daemon was started with a different plan", worker, claim.Job, claim.Key))
 					return
 				}
-				cell := eval.Cells[claim.Job]
-				// Renew the lease while the job runs: simulation time is
+				// Renew the lease while the job runs: job time is
 				// unbounded (and uncalibrated across hosts), the lease is
 				// not. Stopped before Complete — a completed job needs no
 				// lease.
@@ -205,7 +200,7 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 					defer close(hbDone)
 					heartbeatLease(client, claim.Job, claim.Lease, worker, claim.LeaseSeconds, stopHB)
 				}()
-				_, hit, err := simcache.RunCachedStore(client, cell.Workload, cell.System, eval.Sim)
+				hit, err := p.run(m, claim.Job, client)
 				close(stopHB)
 				<-hbDone
 				if err != nil {
@@ -252,7 +247,7 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 // are idempotent: entries already present locally are not re-fetched,
 // so an interrupted merge resumes where it stopped.
 func (m *Manifest) MergeServer(mergedDir string, client *objstore.Client, pack bool, progress io.Writer) (*Results, error) {
-	eval, err := m.expand()
+	p, err := m.expand()
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +328,7 @@ func (m *Manifest) MergeServer(mergedDir string, client *objstore.Client, pack b
 	if progress != nil {
 		fmt.Fprintf(progress, "  pulled %d entries (+%d measured costs) from %s\n", pulled.Load(), nc, client.Base())
 	}
-	return m.assemble(eval, cache, pack, progress)
+	return m.assemble(p, cache, pack, progress)
 }
 
 // mergePullers bounds MergeServer's concurrent entry downloads.

@@ -50,6 +50,9 @@ REQUIRED = {
     "service": {"benchmark", "jobs", "jobs_recovered_on_restart",
                 "restart_recovery_wall_seconds", "cold_rerun_wall_seconds",
                 "heartbeats_total", "heartbeats_per_worker"},
+    "monte_carlo": {"benchmark", "jobs", "monte_carlo_batch_jobs",
+                    "trials_total", "trials_per_second",
+                    "distributed_wall_seconds", "single_process_wall_seconds"},
 }
 problems = []
 if not isinstance(new_doc, dict) or not new_doc:
