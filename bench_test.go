@@ -237,6 +237,7 @@ func quickMatrixOpts(workers int, kernel sim.Kernel) report.PerfOptions {
 var kernelBench struct {
 	sync.Mutex
 	parallelEventSecs float64
+	serialEventSecs   float64
 	serialCycleSecs   float64
 	warmCacheSecs     float64
 	workers           int
@@ -271,8 +272,39 @@ func BenchmarkQuickMatrix(b *testing.B) {
 	}
 	secs := time.Since(start).Seconds() / float64(b.N)
 	kernelBench.Lock()
-	kernelBench.parallelEventSecs = secs
+	recordMinSecs(&kernelBench.parallelEventSecs, secs)
 	kernelBench.workers = workers
+	kernelBench.Unlock()
+	b.ReportMetric(secs, "s/matrix")
+}
+
+// recordMinSecs keeps the fastest measurement across repeated benchmark
+// invocations (go test -count=N): wall-clock noise on shared runners is
+// strictly additive, so the minimum is the least-contaminated estimate
+// of the kernel's actual speed. Callers hold kernelBench.Lock.
+func recordMinSecs(dst *float64, secs float64) {
+	if *dst == 0 || secs < *dst {
+		*dst = secs
+	}
+}
+
+// BenchmarkQuickMatrixSerialEvent is the single-threaded event-kernel
+// figure: the same matrix with a one-worker pool. Recording it next to
+// the parallel figure regression-gates both paths — a scheduler or
+// contention regression shows up in their ratio even when one of them
+// happens to hold steady.
+func BenchmarkQuickMatrixSerialEvent(b *testing.B) {
+	popt := quickMatrixOpts(1, sim.KernelEvent)
+	warmQuickMatrix(b, popt)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig14(io.Discard, popt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	secs := time.Since(start).Seconds() / float64(b.N)
+	kernelBench.Lock()
+	recordMinSecs(&kernelBench.serialEventSecs, secs)
 	kernelBench.Unlock()
 	b.ReportMetric(secs, "s/matrix")
 }
@@ -291,7 +323,7 @@ func BenchmarkQuickMatrixSerialCycleStepped(b *testing.B) {
 	}
 	secs := time.Since(start).Seconds() / float64(b.N)
 	kernelBench.Lock()
-	kernelBench.serialCycleSecs = secs
+	recordMinSecs(&kernelBench.serialCycleSecs, secs)
 	kernelBench.Unlock()
 	b.ReportMetric(secs, "s/matrix")
 }
@@ -321,7 +353,7 @@ func BenchmarkQuickMatrixWarmCache(b *testing.B) {
 	}
 	secs := time.Since(start).Seconds() / float64(b.N)
 	kernelBench.Lock()
-	kernelBench.warmCacheSecs = secs
+	recordMinSecs(&kernelBench.warmCacheSecs, secs)
 	kernelBench.Unlock()
 	b.ReportMetric(secs, "s/matrix")
 }
@@ -330,6 +362,12 @@ func BenchmarkQuickMatrixWarmCache(b *testing.B) {
 // (go test -bench QuickMatrix .), so future PRs can track the
 // simulator's perf trajectory machine-readably.
 func TestMain(m *testing.M) {
+	// Pin the harness to every hardware thread. The bench file once
+	// recorded gomaxprocs: 1 from an inherited environment cap, which
+	// silently turned the "parallel" figure into a serial one; pinning
+	// here makes the recorded parallel/serial pair trustworthy on any
+	// runner.
+	runtime.GOMAXPROCS(runtime.NumCPU())
 	code := m.Run()
 	writeKernelBench()
 	os.Exit(code)
@@ -358,6 +396,11 @@ func writeKernelBench() {
 		"speedup":                   kernelBench.serialCycleSecs / kernelBench.parallelEventSecs,
 		"approx_sim_ips":            matrixInstructions / kernelBench.parallelEventSecs,
 		"approx_sim_ips_pre_reform": matrixInstructions / kernelBench.serialCycleSecs,
+		"hot_path":                  measureHotPaths(),
+	}
+	if kernelBench.serialEventSecs > 0 {
+		payload["serial_event_seconds"] = kernelBench.serialEventSecs
+		payload["approx_sim_ips_serial"] = matrixInstructions / kernelBench.serialEventSecs
 	}
 	if regimeCycles > 0 {
 		payload["regime_breakdown"] = map[string]any{
@@ -412,6 +455,76 @@ func measureRegimeBreakdown() (cpu.RegimeStats, int64) {
 		}
 	}
 	return total, coreCycles
+}
+
+// measureHotPaths times the three data paths the batched/SoA kernel
+// pass restructured — generator slab fill, the per-slot activation
+// accounting, and the LLC probe — and returns them for the hot_path
+// section of BENCH_kernel.json, so the aggregate sim-IPS trajectory
+// stays attributable to its components. Fixed iteration counts keep the
+// measurement cheap (well under a second) and deterministic in shape.
+func measureHotPaths() map[string]any {
+	geo := config.DefaultGeometry()
+	p, _ := trace.ProfileByName("gcc")
+
+	// Generator bulk fill: the NextBatch sampling+address pipeline.
+	const fillRecords = 1 << 21
+	gb := trace.NewGenerator(p, geo, 12345).(trace.BatchStream)
+	slab := make([]trace.Record, 4096)
+	start := time.Now()
+	for n := 0; n < fillRecords; {
+		n += gb.NextBatch(slab)
+	}
+	batchRate := fillRecords / time.Since(start).Seconds()
+
+	// Legacy per-record fill, for attribution of the batching win.
+	const nextRecords = 1 << 19
+	gn := trace.NewGenerator(p, geo, 12345)
+	start = time.Now()
+	for i := 0; i < nextRecords; i++ {
+		gn.Next()
+	}
+	nextRate := nextRecords / time.Since(start).Seconds()
+
+	// recordACT via Bank.Access over a random-slot sequence: the packed
+	// epoch-counter read-modify-write plus the bank timing updates.
+	sys := config.Default()
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	tm := mem.Timing()
+	rng := stats.NewRNG(9)
+	slots := make([]dram.RowID, 8192)
+	for i := range slots {
+		slots[i] = dram.RowID(rng.Intn(sys.Geometry.RowsPerBank))
+	}
+	const acts = 1 << 21
+	bk := mem.Bank(0)
+	start = time.Now()
+	for i := 0; i < acts; i++ {
+		bk.Access(slots[i%len(slots)], false, dram.Cycles(i)*4, tm)
+	}
+	actNs := time.Since(start).Seconds() * 1e9 / acts
+	mem.Recycle()
+
+	// LLC probe (same shape as BenchmarkLLCAccess).
+	l := cache.New(config.DefaultLLC(), 128)
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1<<26)) &^ 63
+	}
+	const probes = 1 << 21
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		a := addrs[i%len(addrs)]
+		l.Access(a, i%3 == 0, a>>13)
+	}
+	llcNs := time.Since(start).Seconds() * 1e9 / probes
+
+	return map[string]any{
+		"stream_batch_records_per_sec": batchRate,
+		"stream_next_records_per_sec":  nextRate,
+		"record_act_ns_per_op":         actNs,
+		"llc_access_ns_per_op":         llcNs,
+	}
 }
 
 // --- Ablations (design decisions called out in DESIGN.md) ---
@@ -562,6 +675,45 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g.Next()
 	}
+}
+
+// BenchmarkStreamBatch measures the bulk generator fill per record —
+// the batched counterpart of BenchmarkTraceGeneration.
+func BenchmarkStreamBatch(b *testing.B) {
+	p, _ := trace.ProfileByName("gcc")
+	g := trace.NewGenerator(p, config.DefaultGeometry(), 5).(trace.BatchStream)
+	slab := make([]trace.Record, 4096)
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		want := b.N - n
+		if want > len(slab) {
+			want = len(slab)
+		}
+		n += g.NextBatch(slab[:want])
+	}
+}
+
+// BenchmarkRecordACT measures the per-activation accounting path: a
+// closed-page access on a random slot of a random bank, charging the
+// packed epoch-stamped counter exactly as the memory controller does.
+func BenchmarkRecordACT(b *testing.B) {
+	sys := config.Default()
+	mem := dram.NewMemory(sys.Geometry, dram.FromConfig(sys.Timing, sys.Core.ClockGHz))
+	tm := mem.Timing()
+	rng := stats.NewRNG(6)
+	n := 8192
+	banks := make([]*dram.Bank, n)
+	slots := make([]dram.RowID, n)
+	for i := 0; i < n; i++ {
+		banks[i] = mem.Bank(rng.Intn(mem.NumBanks()))
+		slots[i] = dram.RowID(rng.Intn(sys.Geometry.RowsPerBank))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		banks[i%n].Access(slots[i%n], false, dram.Cycles(i)*4, tm)
+	}
+	b.StopTimer()
+	mem.Recycle()
 }
 
 func BenchmarkEndToEndSimCyclePerInstr(b *testing.B) {

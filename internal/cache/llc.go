@@ -12,11 +12,15 @@ import (
 	"repro/internal/config"
 )
 
-// Per-line state bits (see LLC.flags).
+// Per-line state bits, stored in the low bits of each meta word (see
+// LLC.meta).
 const (
-	fValid uint8 = 1 << iota
+	fValid uint32 = 1 << iota
 	fDirty
 	fPinned
+
+	metaFlagBits = 3
+	metaFlagMask = 1<<metaFlagBits - 1
 )
 
 // AccessResult describes the outcome of an LLC access.
@@ -42,12 +46,15 @@ type Stats struct {
 // LLC is a set-associative, LRU, write-back cache with a pin-buffer.
 // It is not safe for concurrent use.
 //
-// Line metadata is stored structure-of-arrays (parallel tag, flag, and
-// LRU-stamp slices indexed set*ways+way) rather than as a slice of line
-// structs: the hit scan then reads 16 contiguous 32-bit tags (one cache
-// line) instead of striding through interleaved metadata, which matters
-// because Access is the hottest single function in kernel-benchmark
-// profiles. Tags are 32-bit: the model works in 48-bit physical
+// Line metadata is stored structure-of-arrays (a meta word and an
+// LRU-stamp slice indexed set*ways+way) rather than as a slice of line
+// structs: the hit scan then reads 16 contiguous 32-bit words (one
+// cache line) instead of striding through interleaved metadata, which
+// matters because Access is the hottest single function in
+// kernel-benchmark profiles. Each meta word packs tag<<3 | flags, so a
+// hit test is a single load and compare ((meta &^ fDirty) == want)
+// where the separate tag and flag arrays used to cost two dependent
+// loads per way. Tags get 29 bits: the model works in 48-bit physical
 // addresses (see PinBufferEntryBits) and the tag drops the line-offset
 // and set-index bits, at least 19 for any Table III-sized LLC. LRU
 // stamps are 32-bit because an LLC serves one simulation Run, far
@@ -58,9 +65,8 @@ type LLC struct {
 	lineBytes int
 	clock     uint64
 
-	tags  []uint32 // sets*ways, way-major within set
-	flags []uint8
-	lru   []uint32
+	meta []uint32 // sets*ways packed tag<<3|flags words, way-major within set
+	lru  []uint32
 
 	// lineShift/setShift/setMask enable the shift/mask fast path of
 	// setIndex and tag when lineBytes and sets are powers of two (every
@@ -93,7 +99,7 @@ func New(cfg config.LLC, linesPerRow int) *LLC {
 		pinned:      make(map[uint64]int),
 		linesPerRow: linesPerRow,
 	}
-	l.tags, l.flags, l.lru = takeArrays(sets * cfg.Ways)
+	l.meta, l.lru = takeArrays(sets * cfg.Ways)
 	l.lineShift = -1
 	if isPow2(cfg.LineBytes) && isPow2(sets) {
 		l.lineShift = log2(cfg.LineBytes)
@@ -112,36 +118,35 @@ func New(cfg config.LLC, linesPerRow int) *LLC {
 }
 
 // arraysPool recycles line-metadata arrays across LLC instances: a
-// figure sweep constructs one LLC per Run, and zeroing ~1 MB of tags
-// and LRU stamps each time showed up as runtime.memclrNoHeapPointers
-// in kernel-benchmark profiles. Only flags must be zero on reuse — an
-// invalid way's tag and stamp are never read before the fill path
-// overwrites them.
+// figure sweep constructs one LLC per Run, and zeroing ~1 MB of
+// metadata each time showed up as runtime.memclrNoHeapPointers in
+// kernel-benchmark profiles. Only meta must be zero on reuse (zero =
+// invalid, and an invalid way's stamp is never read before the fill
+// path overwrites it).
 var arraysPool sync.Pool
 
 type llcArrays struct {
-	tags  []uint32
-	flags []uint8
-	lru   []uint32
+	meta []uint32
+	lru  []uint32
 }
 
-func takeArrays(n int) ([]uint32, []uint8, []uint32) {
+func takeArrays(n int) ([]uint32, []uint32) {
 	if v := arraysPool.Get(); v != nil {
 		a := v.(*llcArrays)
-		if len(a.tags) == n {
-			clear(a.flags)
-			return a.tags, a.flags, a.lru
+		if len(a.meta) == n {
+			clear(a.meta)
+			return a.meta, a.lru
 		}
 	}
-	return make([]uint32, n), make([]uint8, n), make([]uint32, n)
+	return make([]uint32, n), make([]uint32, n)
 }
 
 // Recycle returns the line-metadata arrays to the package pool for the
 // next LLC of the same configuration. The cache must not be used
 // afterwards.
 func (l *LLC) Recycle() {
-	arraysPool.Put(&llcArrays{tags: l.tags, flags: l.flags, lru: l.lru})
-	l.tags, l.flags, l.lru = nil, nil, nil
+	arraysPool.Put(&llcArrays{meta: l.meta, lru: l.lru})
+	l.meta, l.lru = nil, nil
 }
 
 // Sets returns the number of sets.
@@ -193,11 +198,15 @@ func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
 	setIdx := l.setIndex(addr)
 	tag := uint32(l.tag(addr))
 	base := setIdx * l.ways
+	// A hit requires tag match, valid set, pinned clear; only the dirty
+	// bit is a don't-care, so masking it out reduces the test to one
+	// equality on the packed word.
+	want := tag<<metaFlagBits | fValid
 	for i := base; i < base+l.ways; i++ {
-		if l.tags[i] == tag && l.flags[i]&(fValid|fPinned) == fValid {
+		if l.meta[i]&^fDirty == want {
 			l.lru[i] = uint32(l.clock)
 			if write {
-				l.flags[i] |= fDirty
+				l.meta[i] |= fDirty
 			}
 			l.stats.Hits++
 			return AccessResult{Hit: true}
@@ -209,7 +218,7 @@ func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
 	victim := -1
 	var oldest uint32 = ^uint32(0)
 	for i := base; i < base+l.ways; i++ {
-		f := l.flags[i]
+		f := l.meta[i]
 		if f&fPinned != 0 {
 			continue
 		}
@@ -227,16 +236,16 @@ func (l *LLC) Access(addr uint64, write bool, rowKey uint64) AccessResult {
 		l.stats.Bypasses++
 		return res
 	}
-	if l.flags[victim]&(fValid|fDirty) == fValid|fDirty {
-		res.Writeback = l.victimAddr(setIdx, l.tags[victim])
+	if v := l.meta[victim]; v&(fValid|fDirty) == fValid|fDirty {
+		res.Writeback = l.victimAddr(setIdx, v>>metaFlagBits)
 		res.WritebackValid = true
 		l.stats.Writebacks++
 	}
-	l.tags[victim] = tag
-	l.flags[victim] = fValid
+	nv := want
 	if write {
-		l.flags[victim] |= fDirty
+		nv |= fDirty
 	}
+	l.meta[victim] = nv
 	l.lru[victim] = uint32(l.clock)
 	return res
 }
@@ -276,15 +285,15 @@ func (l *LLC) PinRow(rowKey uint64) (writebacks []uint64, ok bool) {
 			if reserved == l.waysPerPin {
 				break
 			}
-			if l.flags[i]&fPinned != 0 {
+			v := l.meta[i]
+			if v&fPinned != 0 {
 				continue // already reserved by another pinned row
 			}
-			if l.flags[i]&(fValid|fDirty) == fValid|fDirty {
-				writebacks = append(writebacks, l.victimAddr(s, l.tags[i]))
+			if v&(fValid|fDirty) == fValid|fDirty {
+				writebacks = append(writebacks, l.victimAddr(s, v>>metaFlagBits))
 				l.stats.Writebacks++
 			}
-			l.tags[i] = 0
-			l.flags[i] = fValid | fPinned
+			l.meta[i] = fValid | fPinned
 			l.lru[i] = 0
 			reserved++
 		}
@@ -302,10 +311,9 @@ func (l *LLC) UnpinAll() {
 	if len(l.pinned) == 0 {
 		return
 	}
-	for i := range l.flags {
-		if l.flags[i]&fPinned != 0 {
-			l.tags[i] = 0
-			l.flags[i] = 0
+	for i := range l.meta {
+		if l.meta[i]&fPinned != 0 {
+			l.meta[i] = 0
 			l.lru[i] = 0
 		}
 	}

@@ -132,7 +132,7 @@ func TestPaperPinCapacityFraction(t *testing.T) {
 	l := newLLC()
 	l.PinRow(1)
 	reserved := 0
-	for _, f := range l.flags {
+	for _, f := range l.meta {
 		if f&fPinned != 0 {
 			reserved++
 		}

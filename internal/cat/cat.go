@@ -100,6 +100,12 @@ func (t *Table) Capacity() int { return 2 * t.sets * t.ways }
 
 // Lookup returns the value mapped to key.
 func (t *Table) Lookup(key uint64) (uint64, bool) {
+	if t.live == 0 {
+		// Empty table: the common case for every workload phase before
+		// the first swap (and the whole run under light mitigations) —
+		// skip both skewed set probes on the per-access path.
+		return 0, false
+	}
 	for skew := 0; skew < 2; skew++ {
 		s := t.set(skew, key)
 		for i := range s {
@@ -113,6 +119,9 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 
 // Locked reports whether key is present and locked (current epoch).
 func (t *Table) Locked(key uint64) bool {
+	if t.live == 0 {
+		return false
+	}
 	for skew := 0; skew < 2; skew++ {
 		s := t.set(skew, key)
 		for i := range s {

@@ -21,30 +21,86 @@ type Issuer interface {
 	Issue(coreID int, rec trace.Record, now Cycles) Cycles
 }
 
-// robEntry is a group of instructions that complete at the same cycle.
-// Non-memory runs are coalesced into weighted entries so the simulator
-// does not pay per-instruction cost.
+// robEntry is a group of instructions in the reorder buffer. A plain
+// entry (rate == 0) is a run that completes at a single cycle —
+// non-memory runs are coalesced into weighted entries so the simulator
+// does not pay per-instruction cost. A ramp entry (rate > 0) compresses
+// a whole staircase of such runs: blocks of rate instructions completing
+// at done, done+1, done+2, … (the front block may be partial after
+// partial retirement). Ramps are only created by the closed-form
+// fill/drain replays, which would otherwise push one ring entry per
+// skipped cycle; every consumer treats a ramp exactly as the sequence of
+// per-cycle entries it stands for, so the representation is invisible to
+// simulated timing.
 type robEntry struct {
 	count int    // instructions represented
-	done  Cycles // cycle at which they may retire
+	done  Cycles // completion cycle (plain) / of the front block (ramp)
+	rate  int    // 0: plain; >0: block width of the per-cycle staircase
+	front int    // ramp only: instructions left in the front block
 }
+
+// blocks returns the number of virtual per-cycle entries e stands for.
+// Every block behind the front one is exactly rate wide, so the division
+// is exact; hot paths avoid even that (see retire).
+func (e *robEntry) blocks() int {
+	if e.rate == 0 {
+		return 1
+	}
+	return 1 + (e.count-e.front)/e.rate
+}
+
+// rampAvail returns how many of a ramp's instructions have completed by
+// cycle now (callers ensure e.done <= now): the front block plus every
+// full block whose staircase cycle has passed.
+func (e *robEntry) rampAvail(now Cycles) int {
+	a := int64(e.front) + int64(e.rate)*(now-e.done)
+	if a >= int64(e.count) {
+		return e.count
+	}
+	return int(a)
+}
+
+// coreSlabRecords is the record slab size: one NextBatch refill per 256
+// accesses replaces 256 interface dispatches (and, for synthetic
+// streams, 256 per-record sampling calls) on the fetch path.
+const coreSlabRecords = 256
 
 // Core is one simulated core consuming a trace stream.
 type Core struct {
-	id     int
-	cfg    config.Core
-	stream trace.Stream
-	issue  Issuer
+	id    int
+	cfg   config.Core
+	batch trace.BatchStream
+	issue Issuer
+
+	// slab is the reusable record buffer fetch consumes by index;
+	// slabPos/slabLen delimit the unconsumed records of the last refill.
+	slab    []trace.Record
+	slabPos int
+	slabLen int
 
 	rob      []robEntry
 	head     int
 	tail     int
-	robCount int // entries in ring
+	robCount int // virtual entries (a ramp counts once per block)
+	robSlots int // physical ring slots occupied (<= robCount)
 	robInstr int // instructions occupying the ROB
 
 	gapLeft  int          // non-memory instructions awaiting fetch
 	pending  trace.Record // memory op awaiting fetch
 	havePend bool
+
+	// fill/drain regime-length memoization: NextWork(now) computes
+	// fillCycles/drainCycles for the core's current state, and the very
+	// next Tick's replay asks the same question at the same reference
+	// cycle with the state untouched in between. The memo keys on the
+	// reference cycle and is dropped at the end of every Tick (the only
+	// place core state mutates), so it is correctness-neutral.
+	fillRef  Cycles
+	fillVal  Cycles
+	fillOK   bool
+	drainRef Cycles
+	drainVal Cycles
+	drainOK  bool
 
 	lastTick Cycles // cycle of the previous Tick (-1 before the first)
 
@@ -91,17 +147,39 @@ func (s RegimeStats) BatchedCycles() int64 {
 // Regimes returns the core's batching instrumentation.
 func (c *Core) Regimes() RegimeStats { return c.regimes }
 
-// NewCore returns a core with the given instruction budget.
+// NewCore returns a core with the given instruction budget. Streams
+// that implement trace.BatchStream are consumed through slab refills;
+// any other Stream is adapted per-record via trace.Batched.
 func NewCore(id int, cfg config.Core, stream trace.Stream, issue Issuer, budget int64) *Core {
 	return &Core{
 		id:       id,
 		cfg:      cfg,
-		stream:   stream,
+		batch:    trace.Batched(stream),
+		slab:     make([]trace.Record, coreSlabRecords),
 		issue:    issue,
 		rob:      make([]robEntry, cfg.ROBSize+1),
 		budget:   budget,
 		lastTick: -1,
 	}
+}
+
+// loadRecord copies the next trace record from the slab straight into
+// c.pending (one Record copy per access, not two), refilling the slab
+// when it runs dry. A BatchStream may legitimately return short batches
+// (e.g. at memoized-chunk boundaries) but never zero for a non-empty
+// slab.
+func (c *Core) loadRecord() {
+	if c.slabPos >= c.slabLen {
+		n := c.batch.NextBatch(c.slab)
+		if n <= 0 {
+			panic("cpu: BatchStream.NextBatch returned no records for a non-empty slab")
+		}
+		c.slabPos, c.slabLen = 0, n
+	}
+	c.pending = c.slab[c.slabPos]
+	c.slabPos++
+	c.gapLeft = c.pending.Gap
+	c.havePend = true
 }
 
 // Done reports whether the core has retired its instruction budget.
@@ -129,7 +207,25 @@ func (c *Core) push(e robEntry) {
 		c.tail = 0
 	}
 	c.robCount++
+	c.robSlots++
 	c.robInstr += e.count
+}
+
+// pushRamp appends a ramp of count instructions in blocks of rate
+// completing at done, done+1, …. robCount grows by the virtual entry
+// count, so every capacity and regime-length formula sees exactly the
+// occupancy the equivalent per-cycle pushes would have produced (which
+// also guarantees the ring itself can never overflow: physical slots
+// used are always <= robCount, and robCount is capped by the same
+// formulas as before).
+func (c *Core) pushRamp(count int, done Cycles, rate int) {
+	c.rob[c.tail] = robEntry{count: count, done: done, rate: rate, front: rate}
+	if c.tail++; c.tail == len(c.rob) {
+		c.tail = 0
+	}
+	c.robCount += count / rate // always a whole number of blocks at creation
+	c.robSlots++
+	c.robInstr += count
 }
 
 // Tick advances the core to cycle now. If cycles were skipped since the
@@ -159,6 +255,27 @@ func (c *Core) Tick(now Cycles) {
 	c.regimes.Ticks++
 	c.retire(now)
 	c.fetch(now)
+	c.fillOK, c.drainOK = false, false
+}
+
+// fillCyclesAt and drainCyclesAt are the memoizing entry points for the
+// regime-length computations (see the memo fields on Core).
+func (c *Core) fillCyclesAt(ref Cycles) Cycles {
+	if c.fillOK && c.fillRef == ref {
+		return c.fillVal
+	}
+	v := c.fillCycles(ref)
+	c.fillRef, c.fillVal, c.fillOK = ref, v, true
+	return v
+}
+
+func (c *Core) drainCyclesAt(ref Cycles) Cycles {
+	if c.drainOK && c.drainRef == ref {
+		return c.drainVal
+	}
+	v := c.drainCycles(ref)
+	c.drainRef, c.drainVal, c.drainOK = ref, v, true
+	return v
 }
 
 // robFull reports whether fetch is blocked on ROB capacity (either
@@ -183,8 +300,13 @@ func (c *Core) steadyCompute(ref Cycles) bool {
 	if !c.havePend || c.gapLeft < 2*w || c.robInstr > c.cfg.RetireWidth {
 		return false
 	}
-	for k, i := 0, c.head; k < c.robCount; k++ {
-		if c.rob[i].done > ref+1 {
+	for k, i := 0, c.head; k < c.robSlots; k++ {
+		e := &c.rob[i]
+		last := e.done
+		if e.rate > 0 {
+			last += Cycles(e.blocks() - 1) // a ramp's last block completes latest
+		}
+		if last > ref+1 {
 			return false
 		}
 		if i++; i == len(c.rob) {
@@ -228,12 +350,12 @@ func (c *Core) replay(from, to Cycles) {
 		c.advanceComputeStretch(from, k)
 		return
 	}
-	if k > 0 && c.fillCycles(from-1) >= k {
+	if k > 0 && c.fillCyclesAt(from-1) >= k {
 		c.regimes.FillCycles += k
 		c.advanceFill(from, k)
 		return
 	}
-	if k > 0 && c.drainCycles(from-1) >= k {
+	if k > 0 && c.drainCyclesAt(from-1) >= k {
 		c.regimes.DrainCycles += k
 		c.advanceDrain(from, k)
 		return
@@ -261,10 +383,11 @@ func (c *Core) advanceComputeStretch(from, k Cycles) {
 	}
 	c.retired += retireTotal
 	c.gapLeft -= int(k) * w
-	c.head = (c.head + c.robCount + int(k) - 1) % len(c.rob)
-	c.tail = (c.head + 1) % len(c.rob)
-	c.rob[c.head] = robEntry{count: w, done: from + k}
+	c.head = 0
+	c.tail = 1
+	c.rob[0] = robEntry{count: w, done: from + k}
 	c.robCount = 1
+	c.robSlots = 1
 	c.robInstr = w
 }
 
@@ -303,17 +426,15 @@ func (c *Core) fillCycles(ref Cycles) Cycles {
 }
 
 // advanceFill applies k (>=1) fill-toward-full ticks at cycles
-// from .. from+k-1: each pushes one full-width gap entry completing the
-// next cycle, exactly as the per-cycle fetch would, while the blocked
+// from .. from+k-1: each would push one full-width gap entry completing
+// the next cycle, exactly as the per-cycle fetch does, while the blocked
 // head keeps retirement (and therefore retired/done/budget state)
-// frozen. One ROB push per skipped cycle is the whole replay — no
-// retire scan, no fetch loop, and on the kernel side the entire
-// stretch was a single event.
+// frozen. The k entries form a perfect staircase, so the whole replay is
+// a single ramp push — no retire scan, no fetch loop, O(1) ring traffic
+// — and on the kernel side the entire stretch was a single event.
 func (c *Core) advanceFill(from, k Cycles) {
 	w := c.cfg.FetchWidth
-	for i := Cycles(0); i < k; i++ {
-		c.push(robEntry{count: w, done: from + i + 1})
-	}
+	c.pushRamp(int(k)*w, from+1, w)
 	c.gapLeft -= int(k) * w
 }
 
@@ -370,11 +491,24 @@ func (c *Core) drainCycles(ref Cycles) Cycles {
 	// call cheap (memory-bound ROBs hit an in-flight entry within a few
 	// steps; compute-heavy ROBs cover k*w in a few wide entries).
 	prefix, need := int64(0), int64(k)*int64(w)
-	for i, idx := 0, c.head; i < c.robCount && prefix < need; i++ {
+	for i, idx := 0, c.head; i < c.robSlots && prefix < need; i++ {
 		e := &c.rob[idx]
 		if e.done > ref+1 {
 			k = Cycles(prefix / int64(w))
 			break
+		}
+		if e.rate > 0 {
+			// A ramp's blocks complete on consecutive cycles: if the
+			// staircase runs past ref+1, the first late block is the
+			// stopper and only the earlier blocks count toward the
+			// prefix.
+			if cb := ref + 2 - e.done; cb < Cycles(e.blocks()) {
+				prefix += int64(e.front) + int64(cb-1)*int64(e.rate)
+				if k2 := Cycles(prefix / int64(w)); k2 < k {
+					k = k2
+				}
+				break
+			}
 		}
 		prefix += int64(e.count)
 		if idx++; idx == len(c.rob) {
@@ -401,17 +535,34 @@ func (c *Core) advanceDrain(from, k Cycles) {
 	for m > 0 && c.robCount > 0 {
 		e := &c.rob[c.head]
 		if int64(e.count) > m {
-			e.count -= int(m)
-			c.robInstr -= int(m)
+			mi := int(m)
+			e.count -= mi
+			if e.rate == 0 {
+				// plain entry: nothing else to maintain
+			} else if mi < e.front {
+				e.front -= mi
+			} else {
+				q := (mi - e.front) / e.rate
+				r := (mi - e.front) % e.rate
+				e.front = e.rate - r
+				e.done += Cycles(q + 1)
+				c.robCount -= q + 1
+			}
+			c.robInstr -= mi
 			m = 0
 			break
 		}
 		m -= int64(e.count)
 		c.robInstr -= e.count
+		if e.rate > 0 {
+			c.robCount -= e.blocks()
+		} else {
+			c.robCount--
+		}
 		if c.head++; c.head == len(c.rob) {
 			c.head = 0
 		}
-		c.robCount--
+		c.robSlots--
 	}
 	pushFrom := Cycles(0)
 	if m > 0 {
@@ -425,8 +576,10 @@ func (c *Core) advanceDrain(from, k Cycles) {
 			pushFrom++
 		}
 	}
-	for i := pushFrom; i < k; i++ {
-		c.push(robEntry{count: w, done: from + i + 1})
+	if n := k - pushFrom; n > 0 {
+		// The window's surviving full-width gap entries, one per cycle,
+		// as a single ramp.
+		c.pushRamp(int(n)*w, from+pushFrom+1, w)
 	}
 }
 
@@ -462,7 +615,7 @@ func (c *Core) NextWork(now Cycles) Cycles {
 		// Head completes by now+1, so retirement resumes next tick even
 		// though fetch is blocked this instant: the freed width re-opens
 		// fetch within the same cycle, which is the drain regime.
-		if k := c.drainCycles(now); k > 0 {
+		if k := c.drainCyclesAt(now); k > 0 {
 			return now + k + 1
 		}
 		return now + 1
@@ -476,10 +629,10 @@ func (c *Core) NextWork(now Cycles) Cycles {
 		}
 		return next
 	}
-	if k := c.fillCycles(now); k > 0 {
+	if k := c.fillCyclesAt(now); k > 0 {
 		return now + k + 1
 	}
-	if k := c.drainCycles(now); k > 0 {
+	if k := c.drainCyclesAt(now); k > 0 {
 		return now + k + 1
 	}
 	return now + 1
@@ -493,18 +646,49 @@ func (c *Core) retire(now Cycles) {
 			return // head not complete: in-order retirement stalls
 		}
 		n := e.count
+		if e.rate > 0 {
+			// Ramp: only blocks whose staircase cycle has passed are
+			// retireable; a later block reaching the front stalls just
+			// like a separate incomplete entry would.
+			if avail := e.rampAvail(now); n > avail {
+				n = avail
+			}
+		}
 		if n > width {
 			n = width
 		}
-		e.count -= n
 		width -= n
 		c.robInstr -= n
 		c.retired += int64(n)
+		if e.rate > 0 {
+			e.count -= n
+			if n < e.front {
+				e.front -= n
+			} else {
+				// Crossed at least the front block; count the block
+				// boundaries without dividing (n <= RetireWidth, so the
+				// loop almost never iterates).
+				r := n - e.front
+				crossed := 1
+				for r >= e.rate {
+					r -= e.rate
+					crossed++
+				}
+				e.front = e.rate - r
+				e.done += Cycles(crossed)
+				c.robCount -= crossed
+			}
+		} else {
+			e.count -= n
+			if e.count == 0 {
+				c.robCount--
+			}
+		}
 		if e.count == 0 {
 			if c.head++; c.head == len(c.rob) {
 				c.head = 0
 			}
-			c.robCount--
+			c.robSlots--
 		}
 		if !c.done && c.retired >= c.budget {
 			c.done = true
@@ -517,10 +701,7 @@ func (c *Core) fetch(now Cycles) {
 	width := c.cfg.FetchWidth
 	for width > 0 && c.robInstr < c.cfg.ROBSize && c.robCount < len(c.rob)-1 {
 		if c.gapLeft == 0 && !c.havePend {
-			rec := c.stream.Next()
-			c.gapLeft = rec.Gap
-			c.pending = rec
-			c.havePend = true
+			c.loadRecord()
 		}
 		if c.gapLeft > 0 {
 			n := c.gapLeft

@@ -21,6 +21,15 @@ import (
 // Cycles is a simulation timestamp or duration in CPU clock cycles.
 type Cycles = int64
 
+// Slot-counter packing: each entry of a bank's counter segment holds
+// epoch<<epochShift | count. Epochs live in 1..epochLimit-1; the wrap
+// back to 1 clears the segment so no ancient stamp can alias.
+const (
+	epochShift = 24
+	epochLimit = 1 << (32 - epochShift)
+	countMask  = 1<<epochShift - 1
+)
+
 // RowID identifies a row within a bank (0 .. RowsPerBank-1). It is used
 // both for logical rows (the addresses the OS hands out) and physical
 // slots (the locations where the contents currently live); swap-based
@@ -75,6 +84,12 @@ func FromConfig(t config.Timing, clockGHz float64) Timing {
 // Bank models one DRAM bank: a row buffer, timing state, per-slot
 // activation counters for the current refresh window, and the identity
 // (logical row) of the data currently stored in each physical slot.
+//
+// Bank state is structure-of-arrays: the counters and permutation maps
+// of all banks in a rank live in one contiguous rankState (see below),
+// and each Bank holds subslices of its segment. recordACT is therefore
+// a single indexed read-modify-write on one packed uint32, and window
+// sweeps (MaxWindowACT, VictimSlots) scan contiguous memory.
 type Bank struct {
 	rows int
 
@@ -82,94 +97,181 @@ type Bank struct {
 	nextACT   Cycles
 	busyUntil Cycles // refresh or migration blocking
 
-	// acts counts activations per physical slot in the current refresh
-	// window — the quantity Row Hammer safety is defined over. It is
-	// allocated lazily on the bank's first activation (from a package
-	// pool, see takeCounters) because most banks of a short simulation
-	// are never touched. touched lists the slots with a non-zero count
-	// this window, so window rollover zeroes only those entries instead
-	// of sweeping all 128K rows of every bank.
-	acts    []uint32
+	// slots is this bank's segment of the rank's packed activation
+	// counters: each 32-bit entry holds epoch<<24 | count, where count
+	// is the slot's activations in the refresh window stamped by the
+	// 8-bit epoch — the quantity Row Hammer safety is defined over. A
+	// stale stamp reads as zero, so a window roll is just an epoch bump
+	// (StartNewWindow) and a recycled rankState needs no zeroing: the
+	// next Memory continues from a fresh epoch and every old stamp is
+	// dead. The epoch wraps every 255 generations, where the segment is
+	// cleared once (amortized to nothing). 24 count bits are safe by
+	// physics: tRC bounds a slot's activations in even a full 64 ms
+	// window to ~1.4M, far under 2^24. The packing matters because
+	// recordACT's slot touch is effectively random: 32-bit entries
+	// halve the counter footprint (and double the slots per cache
+	// line) versus split count+epoch arrays.
+	// touched lists the slots with a live count this window, bounding
+	// window sweeps to the slots actually activated.
+	slots   []uint32
 	touched []RowID
+	epoch   uint32
+	bankIdx int // index within the owning rankState
+	state   *rankState
+
 	// content[slot] is the logical row whose data currently occupies the
 	// physical slot; location[logical] is the inverse permutation. Both
 	// are nil while the mapping is the identity — only banks that a swap
-	// mitigation actually touches pay for materializing them.
+	// mitigation actually touches pay for materializing them (subslices
+	// of the rank-level arrays, allocated on the rank's first swap).
 	// displaced counts the slots whose content differs from the identity
-	// (maintained by SwapContents); it lets recycle pool the maps only
-	// when every swap has been unwound, so a reused pair needs no
-	// re-initialization.
-	content   []RowID
-	location  []RowID
-	displaced int
+	// (maintained by SwapContents); permDirty lists every slot whose
+	// content ever left its home this run (appended by SwapContents,
+	// duplicates allowed). Together they let recycle restore a displaced
+	// segment to the identity by repairing only the dirty slots — a few
+	// hundred writes — instead of leaving the next materialize to refill
+	// all 128K entries.
+	content           []RowID
+	location          []RowID
+	displaced         int
+	permDirty         []RowID
+	permDirtyOverflow bool
 
 	// Statistics (cumulative, never reset).
 	TotalACTs    uint64
 	TotalRefresh uint64
 }
 
+// rankState is the contiguous backing store for all banks of one rank:
+// packed epoch-stamped activation counters, the (lazily allocated)
+// content/location permutation arrays, and the carried-over bookkeeping
+// that lets the whole block be pooled across Memory instances with zero
+// clearing cost. It exists purely as storage — all behaviour stays on
+// Bank, which operates on its own segment.
+type rankState struct {
+	banks, rows int
+	slots       []uint32 // banks*rows packed epoch<<24|count entries
+
+	// content/location are nil until the first swap anywhere in the
+	// rank. permIdentity[b] records whether bank b's segment currently
+	// holds the identity permutation (so a reused segment skips the
+	// identity refill); it is only meaningful once the arrays exist.
+	content      []RowID
+	location     []RowID
+	permIdentity []bool
+
+	// Carried across pooling: the high-water epoch per bank (a reused
+	// state resumes each bank above every stamp its segment contains)
+	// and the touched-/dirty-list backings (capacity retained, length
+	// zero).
+	bankEpoch []uint32
+	touched   [][]RowID
+	permDirty [][]RowID
+}
+
+// rankStatePool recycles rankStates across Memory instances: zeroing
+// 32 banks x 128K packed counters per run would dwarf a short
+// simulation's wall clock, and the epoch scheme makes clearing
+// unnecessary — a pooled state is reusable as-is.
+var rankStatePool sync.Pool
+
+func takeRankState(banks, rows int) *rankState {
+	if v, ok := rankStatePool.Get().(*rankState); ok && v.banks == banks && v.rows == rows {
+		return v
+	}
+	return &rankState{
+		banks:     banks,
+		rows:      rows,
+		slots:     make([]uint32, banks*rows),
+		bankEpoch: make([]uint32, banks),
+		touched:   make([][]RowID, banks),
+		permDirty: make([][]RowID, banks),
+	}
+}
+
+// bankFromState returns the idx'th bank of a rankState, resuming one
+// epoch above the segment's high-water stamp so every count a previous
+// owner left behind reads as zero.
+func bankFromState(st *rankState, idx int) *Bank {
+	b := &Bank{
+		rows:      st.rows,
+		openRow:   -1,
+		slots:     st.slots[idx*st.rows : (idx+1)*st.rows],
+		touched:   st.touched[idx],
+		permDirty: st.permDirty[idx],
+		epoch:     st.bankEpoch[idx] + 1,
+		bankIdx:   idx,
+		state:     st,
+	}
+	if b.epoch == epochLimit { // stamp space exhausted: clear and restart
+		clearSlots(b.slots)
+		b.epoch = 1
+	}
+	return b
+}
+
+// newBank returns a standalone bank backed by a private single-bank
+// rankState (direct Bank construction is used by tests and tools; the
+// simulator always builds banks rank-at-a-time via NewMemory).
 func newBank(rows int) *Bank {
-	return &Bank{rows: rows, openRow: -1}
+	return bankFromState(takeRankState(1, rows), 0)
 }
 
-// countersPool recycles per-bank activation-counter arrays across Memory
-// instances: zeroing 64 banks x 128K rows per run was ~20% of a short
-// simulation's wall clock. Pooled slices are always fully zero across
-// their capacity (recycle zeroes the touched entries before returning a
-// slice), so a reused array needs no re-initialization.
-var countersPool sync.Pool
-
-func takeCounters(rows int) []uint32 {
-	if v, ok := countersPool.Get().(*[]uint32); ok && cap(*v) >= rows {
-		return (*v)[:rows]
-	}
-	return make([]uint32, rows)
-}
-
-// recycle zeroes the counters this window touched and returns the array
-// to the package pool, along with the permutation maps when they are
-// back to the identity (the usual end state: place-back unwinds every
-// swap). The bank must not be used afterwards.
+// recycle detaches the bank from its rankState, recording the
+// high-water epoch (so the next owner of the segment resumes above it),
+// the touched backing (capacity kept, length zeroed), and whether the
+// permutation segment is back to the identity (the usual end state:
+// place-back unwinds every swap). The bank must not be used afterwards;
+// Memory.Recycle pools the rankState itself once every bank detached.
 func (b *Bank) recycle() {
-	if b.content != nil && b.displaced == 0 {
-		permPool.Put(&permPair{content: b.content, location: b.location})
-		b.content, b.location = nil, nil
+	st := b.state
+	st.bankEpoch[b.bankIdx] = b.epoch
+	st.touched[b.bankIdx] = b.touched[:0]
+	if b.content != nil {
+		if b.displaced > 0 && !b.permDirtyOverflow {
+			// Restore the segment to the identity by repairing only the
+			// entries swaps ever moved: O(swaps this run), vs a full
+			// 2x128K-entry refill on the segment's next materialize.
+			for _, s := range b.permDirty {
+				b.content[s] = s
+				b.location[s] = s
+			}
+			b.displaced = 0
+		}
+		st.permIdentity[b.bankIdx] = b.displaced == 0
 	}
-	if b.acts == nil {
-		return
-	}
-	for _, s := range b.touched {
-		b.acts[s] = 0
-	}
-	a := b.acts[:cap(b.acts)]
-	b.acts, b.touched = nil, nil
-	countersPool.Put(&a)
+	st.permDirty[b.bankIdx] = b.permDirty[:0]
+	b.slots, b.touched, b.permDirty, b.content, b.location, b.state = nil, nil, nil, nil, nil, nil
 }
 
-// permPool recycles identity permutation maps across Memory instances;
-// every pooled pair is the identity over its full length.
-var permPool sync.Pool
-
-type permPair struct {
-	content  []RowID
-	location []RowID
+func clearSlots(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
 }
 
-// materialize allocates the content/location permutation maps, which are
-// implicitly the identity until the first swap.
+// materialize attaches the bank's content/location permutation segments,
+// which are implicitly the identity until the first swap. The rank-level
+// arrays are allocated on the rank's first swap; a segment is refilled
+// with the identity only if a previous owner left it displaced.
 func (b *Bank) materialize() {
 	if b.content != nil {
 		return
 	}
-	if v, ok := permPool.Get().(*permPair); ok && len(v.content) == b.rows {
-		b.content, b.location = v.content, v.location
-		return
+	st := b.state
+	if st.content == nil {
+		st.content = make([]RowID, st.banks*st.rows)
+		st.location = make([]RowID, st.banks*st.rows)
+		st.permIdentity = make([]bool, st.banks)
 	}
-	b.content = make([]RowID, b.rows)
-	b.location = make([]RowID, b.rows)
-	for i := 0; i < b.rows; i++ {
-		b.content[i] = RowID(i)
-		b.location[i] = RowID(i)
+	b.content = st.content[b.bankIdx*st.rows : (b.bankIdx+1)*st.rows]
+	b.location = st.location[b.bankIdx*st.rows : (b.bankIdx+1)*st.rows]
+	if !st.permIdentity[b.bankIdx] {
+		for i := 0; i < st.rows; i++ {
+			b.content[i] = RowID(i)
+			b.location[i] = RowID(i)
+		}
+		st.permIdentity[b.bankIdx] = true
 	}
 }
 
@@ -180,12 +282,14 @@ func (b *Bank) Rows() int { return b.rows }
 func (b *Bank) OpenRow() RowID { return b.openRow }
 
 // ACTCount returns the activation count of a physical slot in the
-// current refresh window.
+// current refresh window. Counts stamped by an earlier window (or an
+// earlier owner of the pooled storage) read as zero.
 func (b *Bank) ACTCount(slot RowID) uint32 {
-	if b.acts == nil {
+	v := b.slots[slot]
+	if v>>epochShift != b.epoch {
 		return 0
 	}
-	return b.acts[slot]
+	return v & countMask
 }
 
 // MaxWindowACT returns the highest per-slot activation count seen in the
@@ -197,7 +301,9 @@ func (b *Bank) MaxWindowACT() (uint32, RowID) {
 	var count uint32
 	var slot RowID
 	for _, s := range b.touched {
-		if c := b.acts[s]; c > count {
+		// Every touched entry was stamped this window, so the packed
+		// value's count bits are live.
+		if c := b.slots[s] & countMask; c > count {
 			count = c
 			slot = s
 		}
@@ -238,16 +344,20 @@ func (b *Bank) Activate(slot RowID, now Cycles, t *Timing) Cycles {
 	return start + t.TRCD
 }
 
+// recordACT charges one activation to the slot's Row Hammer counter:
+// one predictable indexed read-modify-write on the packed epoch|count
+// word (the common in-window case adds 1 and is done), with the
+// first-touch-this-window case restamping the word and appending to the
+// touched list.
 func (b *Bank) recordACT(slot RowID) {
 	b.TotalACTs++
-	if b.acts == nil {
-		b.acts = takeCounters(b.rows)
+	v := b.slots[slot]
+	if v>>epochShift == b.epoch {
+		b.slots[slot] = v + 1
+		return
 	}
-	c := b.acts[slot] + 1
-	b.acts[slot] = c
-	if c == 1 {
-		b.touched = append(b.touched, slot)
-	}
+	b.slots[slot] = b.epoch<<epochShift | 1
+	b.touched = append(b.touched, slot)
 }
 
 // Precharge closes the row buffer.
@@ -328,6 +438,15 @@ func (b *Bank) SwapContents(slotA, slotB RowID) {
 	b.content[slotA], b.content[slotB] = lb, la
 	b.location[la], b.location[lb] = slotB, slotA
 	b.displaced += displacedOf(slotA, lb) + displacedOf(slotB, la) - before
+	// Record every permutation entry this swap wrote (content at the two
+	// slots, location at the two logical rows) so recycle can repair the
+	// segment back to the identity without a full sweep. The cap bounds
+	// pathological swap volumes: past it, repair falls back to a refill.
+	if len(b.permDirty)+4 <= b.rows {
+		b.permDirty = append(b.permDirty, slotA, slotB, la, lb)
+	} else {
+		b.permDirtyOverflow = true
+	}
 }
 
 // displacedOf is 1 when a slot holding the given logical row is away
@@ -387,11 +506,15 @@ func (b *Bank) DisplacedRows() int {
 	return n
 }
 
-// StartNewWindow zeroes the per-slot activation counters at a refresh-
-// window boundary. Only the slots activated this window are swept.
+// StartNewWindow resets the per-slot activation counters at a refresh-
+// window boundary. With epoch-stamped counters this is a generation
+// bump — every count stamped by the old epoch now reads as zero without
+// touching a single slot — plus truncating the touched list.
 func (b *Bank) StartNewWindow() {
-	for _, s := range b.touched {
-		b.acts[s] = 0
+	b.epoch++
+	if b.epoch == epochLimit { // stamp wrap: old stamps would alias, clear them
+		clearSlots(b.slots)
+		b.epoch = 1
 	}
 	b.touched = b.touched[:0]
 }
@@ -402,7 +525,7 @@ func (b *Bank) StartNewWindow() {
 func (b *Bank) VictimSlots(trh uint32) []RowID {
 	var out []RowID
 	for _, slot := range b.touched {
-		if b.acts[slot] >= trh {
+		if b.slots[slot]&countMask >= trh {
 			out = append(out, slot)
 		}
 	}

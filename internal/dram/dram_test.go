@@ -273,13 +273,10 @@ func TestLazyIdentityMaps(t *testing.T) {
 	}
 }
 
-func TestLazyCountersAndTouchedWindowReset(t *testing.T) {
+func TestCountersAndTouchedWindowReset(t *testing.T) {
 	b := newBank(32)
-	if b.acts != nil {
-		t.Fatal("counters allocated before any ACT")
-	}
 	if b.ACTCount(3) != 0 {
-		t.Error("ACTCount on unallocated counters")
+		t.Error("ACTCount non-zero on a fresh bank")
 	}
 	tm := testTiming()
 	b.Access(3, false, 0, &tm)
@@ -295,16 +292,55 @@ func TestLazyCountersAndTouchedWindowReset(t *testing.T) {
 	if b.ACTCount(3) != 0 || b.ACTCount(9) != 0 || len(b.touched) != 0 {
 		t.Error("window reset missed touched slots")
 	}
-	// The array stays allocated across windows; counting resumes cleanly.
+	// Counting resumes cleanly under the new epoch.
 	b.Access(9, false, 3000, &tm)
 	if b.ACTCount(9) != 1 {
 		t.Errorf("post-reset count = %d, want 1", b.ACTCount(9))
 	}
 }
 
-func TestRecycledCountersAreClean(t *testing.T) {
-	// Dirty a bank across two windows, recycle it, and verify that a
-	// pooled array handed to a new bank reads all zero.
+// TestEpochCountersAcrossWindowRoll is the SoA analogue of PR 6's
+// "dirty banks must not pool" regression: a bank left dirty when a
+// refresh window rolls must report zero ACTCount for every untouched
+// slot — including the slots the *previous* window stamped, whose stale
+// packed counts still sit in the slots array — and must not leak stale
+// touched-list entries into the new window's sweeps.
+func TestEpochCountersAcrossWindowRoll(t *testing.T) {
+	b := newBank(64)
+	tm := testTiming()
+	for i := 0; i < 40; i++ {
+		b.Access(RowID(i%5), false, Cycles(i)*tm.TRC, &tm)
+	}
+	if c, _ := b.MaxWindowACT(); c != 8 {
+		t.Fatalf("pre-roll MaxWindowACT = %d, want 8", c)
+	}
+	b.StartNewWindow() // roll with slots 0..4 dirty (counts left in storage)
+
+	for s := RowID(0); s < 64; s++ {
+		if c := b.ACTCount(s); c != 0 {
+			t.Fatalf("slot %d reads %d after window roll, want 0 (stale stamp leaked)", s, c)
+		}
+	}
+	if len(b.touched) != 0 {
+		t.Fatalf("touched = %v after window roll, want empty", b.touched)
+	}
+	b.Access(2, false, 0, &tm) // slot 2 was dirty last window
+	if c := b.ACTCount(2); c != 1 {
+		t.Fatalf("slot 2 reads %d after one post-roll ACT, want 1 (stale count revived)", c)
+	}
+	if c, s := b.MaxWindowACT(); c != 1 || s != 2 {
+		t.Fatalf("post-roll MaxWindowACT = %d@%d, want 1@2", c, s)
+	}
+	if got := b.VictimSlots(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("post-roll VictimSlots = %v, want [2]", got)
+	}
+}
+
+// TestRecycledCountersReadClean pins the pooled-reuse half of the epoch
+// scheme: a rankState handed back dirty (mid-window counts, stale
+// touched lists) must read all-zero to its next owner with no clearing
+// pass — the new bank resumes above the segment's high-water epoch.
+func TestRecycledCountersReadClean(t *testing.T) {
 	b := newBank(128)
 	tm := testTiming()
 	for i := 0; i < 50; i++ {
@@ -312,39 +348,103 @@ func TestRecycledCountersAreClean(t *testing.T) {
 	}
 	b.StartNewWindow()
 	b.Access(99, false, 0, &tm)
+	st := b.state
 	b.recycle()
-	if b.acts != nil || b.touched != nil {
-		t.Fatal("recycle left arrays attached")
+	if b.slots != nil || b.touched != nil || b.state != nil {
+		t.Fatal("recycle left storage attached")
 	}
-	got := takeCounters(128)
-	for i, v := range got {
-		if v != 0 {
-			t.Fatalf("pooled counter array dirty at slot %d: %d", i, v)
+	reused := bankFromState(st, 0)
+	if reused.epoch <= st.bankEpoch[0] {
+		t.Fatalf("reused bank epoch %d not above segment high-water %d",
+			reused.epoch, st.bankEpoch[0])
+	}
+	for s := RowID(0); s < 128; s++ {
+		if v := reused.ACTCount(s); v != 0 {
+			t.Fatalf("reused bank reads count %d at slot %d, want 0", v, s)
+		}
+	}
+	if len(reused.touched) != 0 {
+		t.Fatalf("reused bank inherited touched list %v", reused.touched)
+	}
+}
+
+// TestEpochWrapClearsSlots covers the epoch wraparound guard: a wrapped
+// generation must not let ancient stamps alias the new epoch.
+func TestEpochWrapClearsSlots(t *testing.T) {
+	b := newBank(16)
+	tm := testTiming()
+	b.Access(4, false, 0, &tm)
+	b.epoch = epochLimit - 1 // force the next roll to wrap
+	b.slots[4] = b.epoch<<epochShift | 77
+	b.StartNewWindow()
+	if b.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", b.epoch)
+	}
+	for s := RowID(0); s < 16; s++ {
+		if v := b.ACTCount(s); v != 0 {
+			t.Fatalf("slot %d reads %d after epoch wrap, want 0", s, v)
 		}
 	}
 }
 
 func TestRecycledPermutationMapsAreIdentity(t *testing.T) {
-	// A bank whose swaps were fully unwound may donate its permutation
-	// maps to the pool; a bank with displaced rows must not. Either way
-	// every later materialize must observe the identity mapping.
+	// A bank whose swaps were fully unwound leaves its permutation
+	// segment marked identity-valid; a bank with displaced rows must
+	// not. Either way every later materialize must observe the identity
+	// mapping.
 	unwound := newBank(64)
 	unwound.SwapContents(3, 9)
 	unwound.SwapContents(3, 9)
 	if unwound.displaced != 0 {
 		t.Fatalf("displaced = %d after unwinding, want 0", unwound.displaced)
 	}
+	stU := unwound.state
 	unwound.recycle()
+	if !stU.permIdentity[0] {
+		t.Fatal("unwound bank's segment not marked identity-valid")
+	}
 
+	// A bank recycled with displaced rows is repaired slot-by-slot from
+	// its dirty list, so its segment is identity-valid afterwards too.
 	dirty := newBank(64)
 	dirty.SwapContents(1, 2)
 	dirty.SwapContents(2, 5)
 	if dirty.displaced != 3 {
 		t.Fatalf("displaced = %d after chained swaps, want 3", dirty.displaced)
 	}
+	stD := dirty.state
 	dirty.recycle()
-	if dirty.content == nil {
-		t.Fatal("recycle released a non-identity permutation to the pool")
+	if !stD.permIdentity[0] {
+		t.Fatal("displaced bank's segment not repaired to identity by recycle")
+	}
+	repaired := bankFromState(stD, 0)
+	repaired.materialize()
+	if !repaired.IsIdentity() {
+		t.Fatal("repaired segment is not the identity")
+	}
+	if err := repaired.VerifyPermutation(); err != nil {
+		t.Fatalf("repaired segment: %v", err)
+	}
+
+	// Past the dirty-list cap the repair falls back to marking the
+	// segment invalid, and the next materialize refills it.
+	overflowed := bankFromState(repaired.state, 0)
+	for i := 0; i < 64; i++ { // 4 entries/swap over a 64-row bank: overflows
+		overflowed.SwapContents(RowID(i%32), RowID((i+11)%32))
+	}
+	if !overflowed.permDirtyOverflow {
+		t.Fatal("dirty list never hit its cap")
+	}
+	stO := overflowed.state
+	wasDisplaced := overflowed.displaced > 0
+	overflowed.recycle()
+	if wasDisplaced && stO.permIdentity[0] {
+		t.Fatal("overflowed displaced segment marked identity-valid")
+	}
+	refilled := bankFromState(stO, 0)
+	refilled.materialize()
+	if !refilled.IsIdentity() {
+		t.Fatal("materialize over an overflowed segment did not refill the identity")
 	}
 
 	for trial := 0; trial < 4; trial++ {

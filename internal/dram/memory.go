@@ -13,14 +13,27 @@ type Memory struct {
 	geo    config.Geometry
 	timing Timing
 	banks  []*Bank
+	ranks  []*rankState // one SoA backing store per (channel, rank)
 }
 
-// NewMemory builds the full DRAM system described by geo.
+// NewMemory builds the full DRAM system described by geo. Bank state is
+// allocated rank-at-a-time: each (channel, rank) gets one pooled
+// rankState holding the packed activation counters and permutation
+// storage of its banks contiguously (see rankState in dram.go).
 func NewMemory(geo config.Geometry, t Timing) *Memory {
 	n := geo.TotalBanks()
-	m := &Memory{geo: geo, timing: t, banks: make([]*Bank, n)}
-	for i := range m.banks {
-		m.banks[i] = newBank(geo.RowsPerBank)
+	m := &Memory{
+		geo:    geo,
+		timing: t,
+		banks:  make([]*Bank, n),
+		ranks:  make([]*rankState, geo.Channels*geo.RanksPerCh),
+	}
+	for r := range m.ranks {
+		st := takeRankState(geo.BanksPerRnk, geo.RowsPerBank)
+		m.ranks[r] = st
+		for b := 0; b < geo.BanksPerRnk; b++ {
+			m.banks[r*geo.BanksPerRnk+b] = bankFromState(st, b)
+		}
 	}
 	return m
 }
@@ -137,14 +150,19 @@ func (m *Memory) VerifyPermutations() error {
 	return nil
 }
 
-// Recycle releases every bank's pooled scratch arrays (the per-window
-// activation counters) back to the package pool so the next Memory pays
-// no allocation or zeroing cost for them. The Memory and its banks must
-// not be used afterwards; sim.Run calls this once a run's statistics
-// have been extracted.
+// Recycle returns the rank-level SoA backing stores to the package pool
+// so the next Memory pays no allocation or zeroing cost for them: each
+// bank records its high-water epoch on detach, and the epoch-stamped
+// counters make every count a previous owner left behind read as zero.
+// The Memory and its banks must not be used afterwards; sim.Run calls
+// this once a run's statistics have been extracted.
 func (m *Memory) Recycle() {
 	for _, b := range m.banks {
 		b.recycle()
+	}
+	for i, st := range m.ranks {
+		rankStatePool.Put(st)
+		m.ranks[i] = nil
 	}
 }
 

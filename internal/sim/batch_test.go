@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestBatchedStreamMatchesPerRecord is the sim-level differential oracle
+// for the batched access-stream pipeline: for every workload in the
+// evaluation set (all 72 single-benchmark profiles plus the 6 mixes),
+// a run consuming shared memoized streams through NextBatch slabs must
+// produce a Result bit-identical to the legacy configuration — private
+// per-record generators behind a Next-only wrapper, so the core's
+// trace.Batched adapter path is exercised too. Mitigations alternate
+// between the unprotected baseline and scale-srs so both the plain
+// access path and the swap/permutation machinery consume batched
+// records.
+func TestBatchedStreamMatchesPerRecord(t *testing.T) {
+	if forcePerRecordStream {
+		t.Fatal("forcePerRecordStream left set by another test")
+	}
+	opt := Options{Instructions: 20_000, WindowNS: 200_000}
+	for i, w := range trace.Workloads(2) {
+		label := "baseline"
+		sys := config.Default()
+		sys.Core.Cores = 2
+		if i%2 == 1 {
+			label = "scale-srs"
+			sys.Mitigation = config.DefaultScaleSRS(1200)
+		}
+
+		batched, err := Run(w, sys, opt)
+		if err != nil {
+			t.Fatalf("%s %s (batched): %v", w.Name, label, err)
+		}
+		forcePerRecordStream = true
+		perRecord, err := Run(w, sys, opt)
+		forcePerRecordStream = false
+		if err != nil {
+			t.Fatalf("%s %s (per-record): %v", w.Name, label, err)
+		}
+		if !reflect.DeepEqual(stripHostPerf(batched), stripHostPerf(perRecord)) {
+			t.Errorf("%s %s: batched run differs from per-record run:\nbatched:    %+v\nper-record: %+v",
+				w.Name, label, batched, perRecord)
+		}
+	}
+}

@@ -179,6 +179,20 @@ func rowKeyOf(loc dram.Location) uint64 {
 // identical results. Never set outside tests.
 var forceDecodeAddr = false
 
+// forcePerRecordStream replaces the shared batched streams with private
+// per-record generators (hidden behind a Next-only wrapper, so the core
+// exercises the trace.Batched adapter) — the legacy PR 6 configuration.
+// The batched-pipeline differential oracle flips this to prove both
+// paths produce bit-identical Results. Never set outside tests.
+var forcePerRecordStream = false
+
+// perRecordOnly hides NextBatch from a Stream so trace.Batched must fall
+// back to its per-record adapter.
+type perRecordOnly struct{ s trace.Stream }
+
+func (p perRecordOnly) Next() trace.Record { return p.s.Next() }
+func (p perRecordOnly) Name() string       { return p.s.Name() }
+
 // Issue implements cpu.Issuer.
 func (is *issuer) Issue(_ int, rec trace.Record, now Cycles) Cycles {
 	// The synthetic generator pre-decodes every address it composes
@@ -253,7 +267,19 @@ func Run(w trace.Workload, sys config.System, opt Options) (*Result, error) {
 	is := &issuer{sys: sys, geo: sys.Geometry, llc: llc, ctrl: ctrl, opt: opt}
 	cores := make([]*cpu.Core, len(w.PerCore))
 	for i, prof := range w.PerCore {
-		st := trace.NewGenerator(prof, sys.Geometry, opt.Seed^uint64(i*2654435761+17))
+		// Streams read through the process-wide memoized record cache:
+		// every run of the same (profile, geometry, seed) — each
+		// mitigation config of a sweep, each bench iteration — consumes
+		// the same records, so sampling them once is pure savings. The
+		// differential oracle in batch_test.go forces this back to the
+		// legacy per-record generator and proves bit-identical Results.
+		seed := opt.Seed ^ uint64(i*2654435761+17)
+		var st trace.Stream
+		if forcePerRecordStream {
+			st = perRecordOnly{trace.NewGenerator(w.PerCore[i], sys.Geometry, seed)}
+		} else {
+			st = trace.NewSharedGenerator(prof, sys.Geometry, seed)
+		}
 		cores[i] = cpu.NewCore(i, sys.Core, st, is, opt.Instructions)
 	}
 
@@ -414,7 +440,9 @@ func (m *machine) runEventDriven(maxCycles Cycles) (Cycles, uint32, error) {
 			m.ctrl.Tick(now)
 			ctrlNext = m.ctrl.NextWork(now)
 		}
-		if m.windowRoll(now, &windowEnd, &maxACT) {
+		// Inline guard: windowEnd is almost never due, and keeping the
+		// common case to one compare avoids a call per kernel iteration.
+		if now >= windowEnd && m.windowRoll(now, &windowEnd, &maxACT) {
 			// OnWindowEnd may have scheduled mitigation work (SRS
 			// place-back pacing), so the cached deadline is stale.
 			ctrlNext = m.ctrl.NextWork(now)

@@ -21,19 +21,17 @@ import (
 	"repro/internal/stats"
 )
 
-// Record is one entry of a core's access stream.
+// Record is one entry of a core's access stream. Field order groups the
+// word-sized fields first so the three flag bytes share one padding
+// tail: records are copied through slabs and memoized chunks by value,
+// so the 8 bytes saved per record are real cache-bandwidth savings on
+// the hot path.
 type Record struct {
 	// Gap is the number of non-memory instructions the core retires
 	// before issuing this access.
 	Gap int
-	// Write marks stores (dirty fills / writebacks at the LLC level).
-	Write bool
 	// Addr is the physical byte address (line aligned).
 	Addr uint64
-	// NoAlloc marks streaming accesses that bypass the LLC (modelling
-	// the conflict/stream misses that let a row be activated repeatedly
-	// in real traces even though its footprint would fit in cache).
-	NoAlloc bool
 
 	// Loc caches the DRAM decomposition of Addr. The synthetic
 	// generator composes every address from a (bank, row, column)
@@ -45,8 +43,15 @@ type Record struct {
 	// geometry the stream was built for — EncodeLoc and DecodeAddr are
 	// exact inverses (see dram's round-trip property test), which is
 	// what makes the cached and decoded paths interchangeable.
-	Loc    dram.Location
-	HasLoc bool
+	Loc dram.Location
+
+	// Write marks stores (dirty fills / writebacks at the LLC level).
+	Write bool
+	// NoAlloc marks streaming accesses that bypass the LLC (modelling
+	// the conflict/stream misses that let a row be activated repeatedly
+	// in real traces even though its footprint would fit in cache).
+	NoAlloc bool
+	HasLoc  bool
 }
 
 // Stream produces an unbounded access stream for one core.
@@ -56,6 +61,49 @@ type Stream interface {
 	Next() Record
 	// Name identifies the generating benchmark.
 	Name() string
+}
+
+// BatchStream is a Stream that can also fill records in bulk. The
+// simulator's core consumes records by slab index (cpu.Core keeps a
+// reusable record slab and refills it with one NextBatch call instead
+// of paying one interface dispatch plus one Record copy per access),
+// which is the hot-path contract of the event kernel. Batch boundaries
+// are not semantic: interleaving Next and NextBatch calls in any way
+// must yield the same record sequence (TestNextBatchMatchesNext pins
+// this for every profile).
+type BatchStream interface {
+	Stream
+	// NextBatch fills dst from the stream and returns the number of
+	// records written. Streams are infinite, so for a non-empty dst the
+	// return is at least 1; it may be less than len(dst) (e.g. when a
+	// memoized chunk boundary is reached), never 0.
+	NextBatch(dst []Record) int
+}
+
+// Batched adapts any Stream to the BatchStream interface. Streams that
+// already implement NextBatch (the synthetic generator, shared memoized
+// streams) are returned unchanged; others — text-trace replay, any
+// third-party Stream — are wrapped in a per-record Next() adapter so
+// they keep working against the slab-consuming core without changes.
+func Batched(s Stream) BatchStream {
+	if b, ok := s.(BatchStream); ok {
+		return b
+	}
+	return &nextAdapter{Stream: s}
+}
+
+// nextAdapter implements NextBatch for per-record Streams by looping
+// Next. It preserves the stream's sequence exactly; only the call
+// granularity changes.
+type nextAdapter struct {
+	Stream
+}
+
+func (a *nextAdapter) NextBatch(dst []Record) int {
+	for i := range dst {
+		dst[i] = a.Stream.Next()
+	}
+	return len(dst)
 }
 
 // Profile is a parametric description of one benchmark's memory
@@ -120,11 +168,23 @@ type generator struct {
 	curRow  int32
 	curCol  int
 	runLeft int
+
+	// Scratch (bank, row, col) triples reused across NextBatch calls:
+	// the batch sampling pass records only the triple per record, and a
+	// second pass composes Addr/Loc for the whole slab at once.
+	sBank []uint8
+	sRow  []int32
+	sCol  []int32
 }
 
 // NewGenerator returns a deterministic Stream for prof over the given
-// geometry, seeded independently per (workload, core).
+// geometry, seeded independently per (workload, core). The result also
+// implements BatchStream.
 func NewGenerator(prof Profile, geo config.Geometry, seed uint64) Stream {
+	return newGenerator(prof, geo, seed)
+}
+
+func newGenerator(prof Profile, geo config.Geometry, seed uint64) *generator {
 	rng := stats.NewRNG(seed)
 	g := &generator{
 		prof:       prof,
@@ -220,4 +280,102 @@ func (g *generator) Next() Record {
 	g.curCol++
 	g.runLeft--
 	return Record{Gap: gap, Write: write, Addr: addr, Loc: loc, HasLoc: true}
+}
+
+// NextBatch fills dst with the next len(dst) records of the stream in
+// two passes: a sampling pass that draws gap/write/hot decisions and
+// row selections in exactly the per-record order Next uses (so the
+// sequence is bit-identical regardless of batch boundaries — the
+// all-profiles differential test pins this), recording only a
+// (bank, row, col) triple per record; then an address pass that
+// composes Addr and the cached Loc for the whole slab with the
+// geometry constants hoisted out of the loop. Splitting the passes
+// keeps the sampling loop's working set tiny (RNG state + the triple
+// arrays) and turns the EncodeLoc arithmetic into a straight-line
+// vectorizable sweep.
+func (g *generator) NextBatch(dst []Record) int {
+	n := len(dst)
+	if n == 0 {
+		return 0
+	}
+	if cap(g.sBank) < n {
+		g.sBank = make([]uint8, n)
+		g.sRow = make([]int32, n)
+		g.sCol = make([]int32, n)
+	}
+	sBank := g.sBank[:n]
+	sRow := g.sRow[:n]
+	sCol := g.sCol[:n]
+
+	p := &g.prof
+	rng := g.rng
+	lpr := g.lpr
+
+	// Pass 1: sampling. Draw order per record matches Next exactly:
+	// gap, write, hot, then on a new row {zipf rank, column, run}.
+	for i := 0; i < n; i++ {
+		gap := 0
+		if p.AvgGap > 0 {
+			gap = int(g.gap.Next()) - 1
+		}
+		write := rng.Float64() < p.WriteFrac
+
+		if p.HotRows > 0 && rng.Float64() < p.HotFrac {
+			hi := g.hotCol % p.HotRows
+			col := (g.hotCol / p.HotRows) % lpr
+			g.hotCol++
+			dst[i] = Record{Gap: gap, Write: write, NoAlloc: true, HasLoc: true}
+			sBank[i] = g.hotBank[hi]
+			sRow[i] = g.hotRow[hi]
+			sCol[i] = int32(col)
+			continue
+		}
+
+		if g.runLeft <= 0 || g.curCol >= lpr {
+			rank := g.zipf.Next()
+			g.curBank = g.rowBank[rank]
+			g.curRow = g.rowID[rank]
+			g.curCol = rng.Intn(lpr)
+			run := 1
+			if p.SeqRun > 1 {
+				run = 1 + rng.Intn(2*p.SeqRun-1) // mean ~= SeqRun
+			}
+			g.runLeft = run
+		}
+		dst[i] = Record{Gap: gap, Write: write, HasLoc: true}
+		sBank[i] = g.curBank
+		sRow[i] = g.curRow
+		sCol[i] = int32(g.curCol)
+		g.curCol++
+		g.runLeft--
+	}
+
+	// Pass 2: address composition for the whole slab. Same math as
+	// place/dram.EncodeLoc with the geometry divisors hoisted.
+	geo := g.geo
+	banksPerCh := g.banksPerCh
+	ranksPerCh := uint64(geo.RanksPerCh)
+	banksPerRnk := uint64(geo.BanksPerRnk)
+	channels := uint64(geo.Channels)
+	lineBytes := uint64(geo.LineBytes)
+	lpr64 := uint64(lpr)
+	for i := 0; i < n; i++ {
+		b := int(sBank[i])
+		row := sRow[i]
+		col := int(sCol[i])
+		ch := b / banksPerCh
+		rem := b % banksPerCh
+		rank := rem / geo.BanksPerRnk
+		bank := rem % geo.BanksPerRnk
+		line := uint64(row)*ranksPerCh + uint64(rank)
+		line = line*lpr64 + uint64(col)
+		line = line*banksPerRnk + uint64(bank)
+		line = line*channels + uint64(ch)
+		r := &dst[i]
+		r.Addr = line * lineBytes
+		r.Loc = dram.Location{
+			Channel: ch, Rank: rank, Bank: bank, BankIdx: b, Row: row, Col: col,
+		}
+	}
+	return n
 }

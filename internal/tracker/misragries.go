@@ -83,9 +83,14 @@ func (t *MisraGries) Count(bankIdx int, row int32) int {
 // entries are at all times exactly the resident rows (evict and remove
 // zero the departing row's entry immediately), which is what lets
 // recycle return it to the pool after zeroing at most cap entries.
+// counts mirrors each heap position's count (counts[i] ==
+// nodes[heapArr[i]].count at all times): the sift comparisons then read
+// one contiguous array instead of chasing heapArr into nodes — two
+// dependent loads per comparison on the hottest tracker path.
 type ssBank struct {
 	nodes   []ssEntry // node id -> entry (stable while resident)
 	heapArr []int32   // heap position -> node id
+	counts  []int32   // heap position -> that node's count (mirror)
 	pos     []int32   // node id -> heap position
 	ids     []int32   // row -> node id + 1, 0 = absent
 }
@@ -152,11 +157,12 @@ type ssEntry struct {
 }
 
 func (b *ssBank) less(i, j int32) bool {
-	return b.nodes[b.heapArr[i]].count < b.nodes[b.heapArr[j]].count
+	return b.counts[i] < b.counts[j]
 }
 
 func (b *ssBank) swap(i, j int32) {
 	b.heapArr[i], b.heapArr[j] = b.heapArr[j], b.heapArr[i]
+	b.counts[i], b.counts[j] = b.counts[j], b.counts[i]
 	b.pos[b.heapArr[i]] = i
 	b.pos[b.heapArr[j]] = j
 }
@@ -202,13 +208,16 @@ func (b *ssBank) record(row int32, capacity int) int {
 	if id, ok := b.lookup(row); ok {
 		c := b.nodes[id].count + 1
 		b.nodes[id].count = c
-		b.fix(b.pos[id]) // may move the entry; c is captured beforehand
+		p := b.pos[id]
+		b.counts[p] = int32(c)
+		b.fix(p) // may move the entry; c is captured beforehand
 		return c
 	}
 	if len(b.nodes) < capacity {
 		id := int32(len(b.nodes))
 		b.nodes = append(b.nodes, ssEntry{row: row, count: 1})
 		b.heapArr = append(b.heapArr, id)
+		b.counts = append(b.counts, 1)
 		b.pos = append(b.pos, id)
 		b.setID(row, id)
 		b.up(id)
@@ -222,6 +231,7 @@ func (b *ssBank) record(row int32, capacity int) int {
 	min.row = row
 	min.count++
 	c := min.count
+	b.counts[0] = int32(c)
 	b.setID(row, id)
 	b.fix(0)
 	return c
@@ -239,11 +249,13 @@ func (b *ssBank) remove(row int32) {
 	if i := b.pos[id]; i != n {
 		b.swap(i, n)
 		b.heapArr = b.heapArr[:n]
+		b.counts = b.counts[:n]
 		if !b.down(i, n) {
 			b.up(i)
 		}
 	} else {
 		b.heapArr = b.heapArr[:n]
+		b.counts = b.counts[:n]
 	}
 	// Free the node slot by moving the last node into it.
 	last := int32(len(b.nodes)) - 1
@@ -263,5 +275,6 @@ func (b *ssBank) clear() {
 	}
 	b.nodes = b.nodes[:0]
 	b.heapArr = b.heapArr[:0]
+	b.counts = b.counts[:0]
 	b.pos = b.pos[:0]
 }

@@ -7,7 +7,14 @@
 #   freshly measured file against the committed baseline and fails when
 #   approx_sim_ips regressed by more than the tolerance (default 15%,
 #   generous because CI runners are shared and noisy — the gate catches
-#   algorithmic regressions, not jitter).
+#   algorithmic regressions, not jitter). When both files carry the
+#   serial-event figure (approx_sim_ips_serial) it is held to the same
+#   tolerance, so a contention regression that the parallel figure
+#   happens to absorb still fails. The fresh file must also be
+#   structurally complete: a hot_path section with all four component
+#   measurements (so the aggregate number stays attributable), and a
+#   regime_breakdown with stepped_cycles == 0 (nothing silently fell
+#   back to per-cycle stepping).
 #
 #   BENCH_sweep.json — sectioned ({evaluation, work_stealing, service,
 #   ...}), each section written by one e2e test. Sections hold
@@ -31,14 +38,46 @@ base_doc = json.load(open(baseline_path))
 new_doc = json.load(open(fresh_path))
 
 if "approx_sim_ips" in base_doc:
-    # Kernel-throughput regression gate.
-    base = base_doc["approx_sim_ips"]
-    new = new_doc["approx_sim_ips"]
-    floor = base * (1 - tolerance)
-    verdict = "OK" if new >= floor else "REGRESSION"
-    print(f"bench gate: baseline {base:,.0f} sim-IPS, fresh {new:,.0f} sim-IPS, "
-          f"floor {floor:,.0f} ({tolerance:.0%} tolerance): {verdict}")
-    sys.exit(0 if new >= floor else 1)
+    # Kernel-throughput regression gate plus structural completeness.
+    failed = False
+
+    def gate(name, base, new):
+        global failed
+        floor = base * (1 - tolerance)
+        verdict = "OK" if new >= floor else "REGRESSION"
+        print(f"bench gate: {name} baseline {base:,.0f} sim-IPS, fresh "
+              f"{new:,.0f} sim-IPS, floor {floor:,.0f} "
+              f"({tolerance:.0%} tolerance): {verdict}")
+        failed |= new < floor
+
+    gate("parallel", base_doc["approx_sim_ips"], new_doc["approx_sim_ips"])
+    if "approx_sim_ips_serial" in base_doc:
+        # Serial figure is gated once the committed baseline records it;
+        # a fresh file missing it means the SerialEvent bench didn't run.
+        gate("serial", base_doc["approx_sim_ips_serial"],
+             new_doc.get("approx_sim_ips_serial", 0.0))
+
+    HOT_PATH_KEYS = {"stream_batch_records_per_sec", "stream_next_records_per_sec",
+                     "record_act_ns_per_op", "llc_access_ns_per_op"}
+    hot = new_doc.get("hot_path")
+    if not isinstance(hot, dict) or HOT_PATH_KEYS - set(hot):
+        missing = sorted(HOT_PATH_KEYS - set(hot or {}))
+        print(f"bench gate: hot_path section missing or lacks keys {missing}",
+              file=sys.stderr)
+        failed = True
+    else:
+        print(f"bench gate: hot_path OK ({len(hot)} component measurements)")
+
+    stepped = new_doc.get("regime_breakdown", {}).get("stepped_cycles")
+    if stepped != 0:
+        print(f"bench gate: regime_breakdown.stepped_cycles = {stepped!r}, "
+              f"want 0 (event kernel fell back to per-cycle stepping)",
+              file=sys.stderr)
+        failed = True
+    else:
+        print("bench gate: stepped_cycles == 0 (no per-cycle fallback)")
+
+    sys.exit(1 if failed else 0)
 
 # Sectioned sweep-bench structure gate. Wall times are machine noise;
 # what must hold is that each e2e wrote a complete section.

@@ -6,8 +6,26 @@
 # for reading the result; the bench harness accepts go test's built-in
 # -cpuprofile/-memprofile for profiling BenchmarkQuickMatrix instead.
 #
-# Usage: ./scripts/profile.sh [output-dir] [extra rowswap-sim flags...]
+# Usage: ./scripts/profile.sh [-diff OLD] [output-dir] [extra rowswap-sim flags...]
+#
+#   -diff OLD    after profiling, also print a pprof top-25 *delta*
+#                against a previous run (pprof -diff_base): positive
+#                flat times are where the new binary spends more,
+#                negative where it got cheaper. OLD is either a prior
+#                output directory (its cpu.out is used) or a .out
+#                profile file directly. This is how perf PRs document
+#                before/after: profile at the old commit, optimize,
+#                profile again with -diff pointing at the first run.
 set -eu
+
+diff_base=
+if [ "${1:-}" = "-diff" ]; then
+    diff_base=${2:?usage: profile.sh -diff OLD [output-dir] [flags...]}
+    shift 2
+    # Accept a previous output directory or a raw profile file.
+    [ -d "$diff_base" ] && diff_base="$diff_base/cpu.out"
+    [ -f "$diff_base" ] || { echo "profile: diff base $diff_base not found" >&2; exit 1; }
+fi
 
 out=${1:-/tmp/rowswap-profile}
 [ $# -gt 0 ] && shift
@@ -27,3 +45,11 @@ else
     echo "profile: graphviz (dot) not found, skipping SVG; see $out/cpu_top.txt"
 fi
 echo "heap profile: $out/mem.out (go tool pprof $out/rowswap-sim $out/mem.out)"
+
+if [ -n "$diff_base" ]; then
+    echo
+    echo "=== delta vs $diff_base (positive = new binary spends more) ==="
+    go tool pprof -top -nodecount=25 -diff_base "$diff_base" \
+        "$out/rowswap-sim" "$out/cpu.out" | tee "$out/cpu_diff.txt"
+    echo "profile delta: $out/cpu_diff.txt"
+fi
