@@ -41,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -69,7 +70,7 @@ func main() {
 }
 
 func run(manifestPath, storeDir, addr string, lease time.Duration, progress bool) error {
-	opts := objstore.ServerOptions{Lease: lease}
+	opts := objstore.ServerOptions{Lease: lease, NewFolder: newFolder}
 	if manifestPath != "" {
 		raw, err := os.ReadFile(manifestPath)
 		if err != nil {
@@ -115,6 +116,21 @@ func run(manifestPath, storeDir, addr string, lease time.Duration, progress bool
 	fmt.Printf("rowswap-cached: serving %d jobs on http://%s (store %s, lease %s)\n",
 		srv.Jobs(), ln.Addr(), storeDir, lease)
 	return http.Serve(ln, srv.Handler())
+}
+
+// newFolder builds the per-manifest figure accumulator the daemon
+// folds completions into (GET /m/<fp>/figures). This wiring lives
+// here, not in objstore, because the import points the other way:
+// sweep builds on objstore, so the server only knows the
+// FigureFolder interface and the binary that links both supplies the
+// constructor. Structure-only verification, same as the queue — the
+// daemon never interprets a job beyond its content-addressed key.
+func newFolder(raw []byte) (objstore.FigureFolder, error) {
+	var m sweep.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	return m.NewAccumulator()
 }
 
 // logIfSet converts a possibly-nil *os.File into the io.Writer the

@@ -21,14 +21,27 @@
 // an evaluation-wide results file renders every figure it covers:
 //
 //	rowswap-figures -manifest results.json
+//
+// With -follow, the command tails a running rowswap-cached daemon
+// instead of a finished results file: it long-polls the daemon's
+// completion feed and re-renders every already-covered figure (with
+// n/m cell-coverage annotations, to stderr) as results stream in.
+// When coverage completes it prints the final render to stdout —
+// byte-identical to -manifest over the merged results — and exits:
+//
+//	rowswap-figures -follow -server http://COORD:8344
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/objstore"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simcache"
@@ -48,7 +61,24 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-workload progress for performance figures")
 	cacheDir := flag.String("cache-dir", simcache.DefaultDir(), "persistent simulation-result cache directory")
 	noCache := flag.Bool("no-cache", false, "disable the persistent result cache")
+	follow := flag.Bool("follow", false, "tail a rowswap-cached daemon (-server): re-render covered figures as results stream in, print the final render to stdout when coverage completes")
+	server := flag.String("server", "", "rowswap-cached base URL for -follow (host:port or http://HOST:PORT)")
 	flag.Parse()
+
+	if *follow {
+		if *server == "" {
+			fmt.Fprintln(os.Stderr, "rowswap-figures: -follow requires -server")
+			os.Exit(2)
+		}
+		// In follow mode -manifest selects the daemon tenant (by the
+		// manifest's content fingerprint); without it the daemon's
+		// default manifest is followed.
+		if err := runFollow(*server, *manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "rowswap-figures: follow %s: %v\n", *server, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *manifest != "" {
 		res, err := sweep.LoadResults(*manifest)
@@ -141,4 +171,94 @@ func main() {
 		return
 	}
 	run(*fig)
+}
+
+// followPollWait is the long-poll window for one events request. It
+// stays under the client's 60s HTTP timeout and the server's 30s
+// wait cap, so an idle poll answers empty instead of erroring.
+const followPollWait = 25 * time.Second
+
+// runFollow tails the daemon's completion feed and re-renders the
+// partial figures after every batch of completions. Progress renders
+// go to stderr; the final, complete render goes to stdout with
+// exactly the framing of -manifest mode, so piping -follow and
+// re-rendering the merged results file produce identical bytes.
+func runFollow(serverURL, manifestPath string) error {
+	client := objstore.NewClient(serverURL)
+	if manifestPath != "" {
+		raw, err := os.ReadFile(manifestPath)
+		if err != nil {
+			return err
+		}
+		fp, err := objstore.ManifestFingerprint(raw)
+		if err != nil {
+			return err
+		}
+		client = client.ForManifest(fp)
+	}
+	cursor := 0
+	// rendered tracks whether the initial (possibly all-waiting)
+	// coverage frame has been shown; after that only new events
+	// trigger a re-render, so idle long-polls stay silent.
+	rendered := false
+	for {
+		evs, err := client.Events(cursor, followPollWait)
+		if err != nil {
+			return err
+		}
+		if len(evs) == 0 && rendered {
+			continue // long-poll answered empty: nothing new yet
+		}
+		if len(evs) > 0 {
+			cursor = evs[len(evs)-1].Seq
+		}
+		data, err := client.FiguresJSON()
+		if err != nil {
+			return err
+		}
+		var p sweep.Partial
+		if err := json.Unmarshal(data, &p); err != nil {
+			return fmt.Errorf("decoding partial figures: %w", err)
+		}
+		if err := renderPartial(os.Stderr, &p); err != nil {
+			return err
+		}
+		rendered = true
+		if p.Coverage.Complete() {
+			res := p.Results
+			ids := make([]string, len(res.Figures))
+			for i, f := range res.Figures {
+				ids[i] = f.Fig
+			}
+			fmt.Printf("==== %s (from sweep results) ====\n", strings.Join(ids, ", "))
+			return res.Render(os.Stdout)
+		}
+	}
+}
+
+// renderPartial writes one progress frame: the per-figure coverage
+// table, then every figure already renderable from the results seen
+// so far.
+func renderPartial(w io.Writer, p *sweep.Partial) error {
+	fmt.Fprintf(w, "---- coverage %d/%d jobs ----\n", p.Coverage.Done, p.Coverage.Jobs)
+	for _, fc := range p.Coverage.Figures {
+		kind := "fig"
+		if fc.Security {
+			kind = "sec"
+		}
+		state := "waiting"
+		switch {
+		case fc.Rendered:
+			state = "rendered"
+		case fc.Covered > 0:
+			state = "partial"
+		}
+		fmt.Fprintf(w, "  %s %-4s %3d/%-3d cells  %s\n", kind, fc.Fig, fc.Covered, fc.Cells, state)
+	}
+	if p.Results != nil && len(p.Results.Figures)+len(p.Results.Security) > 0 {
+		if err := p.Results.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

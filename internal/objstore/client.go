@@ -330,6 +330,58 @@ func (c *Client) Heartbeat(job int, lease, worker string) error {
 	return err
 }
 
+// Events tails the completion feed of the client's namespace: every
+// completion after cursor (the last Seq already seen; 0 = from the
+// start), long-polling up to wait when nothing is new. An empty answer
+// means "nothing yet, poll again from the same cursor". A cursor ahead
+// of the server's log — the daemon restarted and rebuilt a shorter
+// feed — makes the server replay from the start; fold the replayed
+// events idempotently and resume from the new Seq. wait must stay
+// below the client's 60 s request timeout; the server additionally
+// caps it at 30 s.
+func (c *Client) Events(cursor int, wait time.Duration) ([]Event, error) {
+	path := fmt.Sprintf("%s?cursor=%d&wait_ms=%d", c.ctl("events"), cursor, wait.Milliseconds())
+	data, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEvents(data)
+}
+
+// DecodeEvents decodes a completion feed body (NDJSON, one Event per
+// line) as served by GET /v1/events and /m/{fp}/events. Exported
+// alongside the status decoders so it can be fuzzed directly: any
+// input yields events or an error, never a panic, and a decoded event
+// always carries a positive Seq and a well-formed key.
+func DecodeEvents(data []byte) ([]Event, error) {
+	var evs []Event
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("objstore: events feed line does not decode: %w", err)
+		}
+		if ev.Seq < 1 {
+			return nil, fmt.Errorf("objstore: events feed line carries sequence %d; sequences start at 1", ev.Seq)
+		}
+		if !validKey(ev.Key) {
+			return nil, fmt.Errorf("objstore: events feed line (seq %d) carries key %q, not a SHA-256 hex digest", ev.Seq, ev.Key)
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// FiguresJSON fetches the namespace's partial-figure snapshot (a
+// sweep.Partial: renderable rows so far plus coverage). 404 means the
+// daemon keeps no figure folder for this manifest.
+func (c *Client) FiguresJSON() ([]byte, error) {
+	return c.do(http.MethodGet, c.ctl("figures"), nil)
+}
+
 // Status fetches a queue snapshot of the client's namespace.
 func (c *Client) Status() (QueueStats, error) {
 	data, err := c.do(http.MethodGet, c.ctl("status"), nil)

@@ -1,0 +1,111 @@
+package objstore
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simcache"
+)
+
+// This file is the completion feed behind GET /m/{fp}/events: an
+// append-only, per-tenant log of completed job keys that clients tail
+// by cursor. The cursor is simply "how many events I have seen"; event
+// i carries Seq i+1, so a client advances its cursor to the last Seq
+// it read. A cursor beyond the log's end — a client that outlived a
+// daemon restart, whose fresh log is shorter — resets to zero and the
+// feed replays from the start; consumers fold idempotently (see
+// sweep.Accumulator), so a replay re-asserts facts instead of
+// double-counting them.
+
+// Event is one completion-feed entry: the Seq-th job completion of the
+// tenant's sweep, identified by the completed job's content-addressed
+// key.
+type Event struct {
+	Seq int    `json:"seq"`
+	Key string `json:"key"`
+}
+
+// eventLog is a tenant's completion feed. Appends come from the
+// queue's done transitions (with the queue lock held — the log only
+// ever takes its own lock, so there is no ordering cycle); readers
+// poll by cursor or block on wait.
+type eventLog struct {
+	mu   sync.Mutex
+	keys []string
+	// ch is closed and replaced on every append — a broadcast every
+	// blocked wait call wakes on.
+	ch chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{ch: make(chan struct{})}
+}
+
+// append records one completion and wakes every waiter.
+func (l *eventLog) append(key string) {
+	l.mu.Lock()
+	l.keys = append(l.keys, key)
+	close(l.ch)
+	l.ch = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// sinceLocked builds the events after cursor, normalizing an
+// out-of-range cursor to zero (the restart-replay contract). Callers
+// must hold l.mu.
+func (l *eventLog) sinceLocked(cursor int) []Event {
+	if cursor < 0 || cursor > len(l.keys) {
+		cursor = 0
+	}
+	evs := make([]Event, 0, len(l.keys)-cursor)
+	for i := cursor; i < len(l.keys); i++ {
+		evs = append(evs, Event{Seq: i + 1, Key: l.keys[i]})
+	}
+	return evs
+}
+
+// since returns every event after cursor without blocking.
+func (l *eventLog) since(cursor int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceLocked(cursor)
+}
+
+// wait blocks until the log holds events past cursor or d elapses,
+// returning the new events (nil on timeout — a long-poll answering
+// empty is the "nothing yet, ask again" signal).
+func (l *eventLog) wait(cursor int, d time.Duration) []Event {
+	deadline := time.Now().Add(d)
+	for {
+		l.mu.Lock()
+		if evs := l.sinceLocked(cursor); len(evs) > 0 {
+			l.mu.Unlock()
+			return evs
+		}
+		ch := l.ch
+		l.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return nil
+		}
+	}
+}
+
+// FigureFolder folds completed entries into partial-figure state on
+// the daemon's behalf. It is sweep.Accumulator's server-facing face,
+// kept as an interface because the import points the other way (sweep
+// builds on objstore): cmd/rowswap-cached wires the two together via
+// ServerOptions.NewFolder. FoldKey must tolerate unknown keys (a
+// shared store completes jobs of other sweeps) and fold idempotently
+// (the feed replays from zero after a daemon restart).
+type FigureFolder interface {
+	FoldKey(key string, store simcache.Store) (bool, error)
+	PartialJSON() ([]byte, error)
+}

@@ -241,6 +241,41 @@ func FuzzRegisterDecode(f *testing.F) {
 	})
 }
 
+// FuzzEventsDecode fuzzes the completion-feed decoder with arbitrary
+// bytes: whatever a broken proxy or truncated long-poll delivers,
+// DecodeEvents returns clean events or an error — never panics, and
+// never lets a malformed sequence number or a hostile key (the only
+// thing a feed consumer forwards into store lookups) through.
+func FuzzEventsDecode(f *testing.F) {
+	good := "{\"seq\":1,\"key\":\"" + testKey(0) + "\"}\n{\"seq\":2,\"key\":\"" + testKey(1) + "\"}\n"
+	f.Add([]byte(good))
+	f.Add([]byte(good + "\n\n")) // trailing blank lines are fine
+	f.Add([]byte(""))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(`{"seq":0,"key":"` + testKey(0) + `"}`))  // seq below 1
+	f.Add([]byte(`{"seq":-5,"key":"` + testKey(0) + `"}`)) // negative seq
+	f.Add([]byte(`{"seq":3,"key":"zz"}`))                  // malformed key
+	f.Add([]byte(`{"seq":3,"key":"../../etc/passwd"}`))    // hostile key
+	f.Add([]byte(`{"seq":1e300,"key":"` + testKey(0) + `"}`))
+	f.Add([]byte(good[:len(good)/2])) // torn mid-line
+	f.Add(bytes.Repeat([]byte(`{"seq":1,"key":"`+testKey(0)+`"}`+"\n"), 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		for i, ev := range evs {
+			if ev.Seq < 1 {
+				t.Fatalf("event %d decoded with seq %d", i, ev.Seq)
+			}
+			if !validKey(ev.Key) {
+				t.Fatalf("event %d decoded with invalid key %q", i, ev.Key)
+			}
+		}
+	})
+}
+
 // FuzzStatusDecoders fuzzes the client-side status decoders with
 // arbitrary bytes: whatever a broken proxy or mismatched daemon sends,
 // DecodeQueueStats and DecodeServiceStatus must return a value or an

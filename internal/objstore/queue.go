@@ -74,10 +74,32 @@ type Queue struct {
 	expires []time.Time
 	next    int64
 
-	requeues  int
-	stale     int
-	recovered int
-	workers   map[string]*workerInfo
+	requeues        int
+	stale           int
+	recovered       int
+	storeReconciled int
+	workers         map[string]*workerInfo
+
+	// onDone, when set, observes every pending/leased → done transition
+	// exactly once per job (completion, recovery, or store
+	// reconciliation), called with q.mu held — it feeds the tenant's
+	// completion feed, which only takes its own lock. stored, when set,
+	// lets the sweep reconcile leases against the store: a leased job
+	// whose result already exists is done, whoever pushed it. Both are
+	// wired by the server before the queue is published; they are not
+	// safe to set once the queue is shared.
+	onDone func(job int, key string)
+	stored func(key string) bool
+}
+
+// markDoneLocked transitions job i to done and notifies the completion
+// feed. Callers must hold q.mu and must have checked the job is not
+// already done (the feed carries each job at most once per transition).
+func (q *Queue) markDoneLocked(i int) {
+	q.state[i] = jobDone
+	if q.onDone != nil {
+		q.onDone(i, q.jobs[i].Key)
+	}
 }
 
 // workerInfo accumulates one worker's lifetime interaction with the
@@ -137,7 +159,7 @@ func (q *Queue) RecoverStored(stored func(key string) bool) int {
 	n := 0
 	for i := range q.jobs {
 		if q.state[i] == jobPending && stored(q.jobs[i].Key) {
-			q.state[i] = jobDone
+			q.markDoneLocked(i)
 			n++
 		}
 	}
@@ -177,12 +199,31 @@ type ClaimResponse struct {
 	RetryMS int    `json:"retry_ms,omitempty"`
 }
 
-// sweepExpiredLocked requeues every job whose lease has run out.
+// sweepExpiredLocked reconciles leased jobs against the store, then
+// requeues every remaining lease that has run out. Reconciliation runs
+// first: a leased job whose result entry already exists IS complete —
+// results are content-addressed, so the entry proves the work happened
+// even when the completion call never arrived (worker died between
+// push and complete, stale-lease completion raced a requeue). Marking
+// it done here, credited to the lease holder, keeps the service view
+// honest — ActiveLeases never lists a completed cell as in-flight, and
+// a completed-but-unacknowledged job is never requeued and re-claimed.
 // Callers must hold q.mu.
 func (q *Queue) sweepExpiredLocked() {
 	now := q.now()
 	for i := range q.jobs {
-		if q.state[i] == jobLeased && now.After(q.expires[i]) {
+		if q.state[i] != jobLeased {
+			continue
+		}
+		if q.stored != nil && q.stored(q.jobs[i].Key) {
+			q.markDoneLocked(i)
+			q.storeReconciled++
+			if w := q.workers[q.holder[i]]; w != nil {
+				w.completed++
+			}
+			continue
+		}
+		if now.After(q.expires[i]) {
 			q.state[i] = jobPending
 			q.requeues++
 		}
@@ -274,12 +315,12 @@ func (q *Queue) Complete(job int, lease, worker string, stored func(key string) 
 		return nil
 	}
 	if q.state[job] == jobLeased && q.leaseID[job] == lease {
-		q.state[job] = jobDone
+		q.markDoneLocked(job)
 		q.worker(worker).completed++
 		return nil
 	}
 	if stored != nil && stored(q.jobs[job].Key) {
-		q.state[job] = jobDone
+		q.markDoneLocked(job)
 		q.stale++
 		q.worker(worker).completed++
 		return nil
@@ -314,6 +355,12 @@ type QueueStats struct {
 	// StaleCompletions counts completions accepted on the
 	// stored-result proof rather than a live lease.
 	StaleCompletions int `json:"stale_completions"`
+	// StoreReconciled counts leased jobs the sweep marked done because
+	// their result entry already existed in the store — completions
+	// whose acknowledgement never arrived. Each one is a cell the
+	// service view would otherwise have shown in-flight after it was
+	// already complete.
+	StoreReconciled int `json:"store_reconciled"`
 	// Heartbeats is the total lease renewals the queue has granted.
 	Heartbeats int                    `json:"heartbeats"`
 	Claimed    map[string]int         `json:"claimed"`
@@ -331,7 +378,8 @@ func (q *Queue) Stats() QueueStats {
 	now := q.now()
 	st := QueueStats{Jobs: len(q.jobs), Requeues: q.requeues,
 		Recovered: q.recovered, StaleCompletions: q.stale,
-		Claimed: map[string]int{}, Complete: map[string]int{},
+		StoreReconciled: q.storeReconciled,
+		Claimed:         map[string]int{}, Complete: map[string]int{},
 		Workers: map[string]WorkerStats{}}
 	leases := map[string]int{}
 	for i := range q.jobs {

@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -120,6 +121,14 @@ type tenant struct {
 	fp       string
 	manifest []byte
 	queue    *Queue
+	// events is the tenant's completion feed (GET events); folder,
+	// when non-nil, folds completions into partial figures (GET
+	// figures). foldMu serializes the lazy fold drain; foldCursor is
+	// how far into events the folder has consumed.
+	events     *eventLog
+	folder     FigureFolder
+	foldMu     sync.Mutex
+	foldCursor int
 }
 
 // ServerOptions configures NewServer beyond the backing cache.
@@ -140,6 +149,14 @@ type ServerOptions struct {
 	// Log, when non-nil, receives one line per claim, completion,
 	// upload, and registration.
 	Log io.Writer
+	// NewFolder, when non-nil, builds a per-tenant figure folder from
+	// raw manifest bytes, enabling GET /m/{fp}/figures (partial
+	// figures). cmd/rowswap-cached wires sweep.Accumulator in here; the
+	// indirection exists because this package cannot import
+	// internal/sweep. A manifest NewFolder rejects (foreign schema,
+	// jobs-only test manifests) still gets its queue and completion
+	// feed — only the figures endpoint answers 404.
+	NewFolder func(manifest []byte) (FigureFolder, error)
 }
 
 // Server is the store/coordinator daemon's HTTP surface. Storage is a
@@ -147,9 +164,10 @@ type ServerOptions struct {
 // Queue per registered manifest. All handlers are safe for concurrent
 // use.
 type Server struct {
-	cache *simcache.Cache
-	lease time.Duration
-	mux   *http.ServeMux
+	cache     *simcache.Cache
+	lease     time.Duration
+	mux       *http.ServeMux
+	newFolder func(manifest []byte) (FigureFolder, error)
 
 	mu        sync.RWMutex
 	tenants   map[string]*tenant
@@ -167,11 +185,12 @@ type Server struct {
 // makes a daemon restarted on a warm store resume its sweep.
 func NewServer(cache *simcache.Cache, opt ServerOptions) *Server {
 	s := &Server{
-		cache:   cache,
-		lease:   opt.Lease,
-		mux:     http.NewServeMux(),
-		tenants: map[string]*tenant{},
-		log:     opt.Log,
+		cache:     cache,
+		lease:     opt.Lease,
+		mux:       http.NewServeMux(),
+		newFolder: opt.NewFolder,
+		tenants:   map[string]*tenant{},
+		log:       opt.Log,
 	}
 	if len(opt.Manifest) > 0 || len(opt.Jobs) > 0 {
 		fp, err := ManifestFingerprint(opt.Manifest)
@@ -214,6 +233,10 @@ func NewServer(cache *simcache.Cache, opt ServerOptions) *Server {
 	s.mux.HandleFunc("POST /m/{fp}/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("GET /m/{fp}/status", s.handleStatus)
 	s.mux.HandleFunc("GET /m/{fp}/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /m/{fp}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
+	s.mux.HandleFunc("GET /m/{fp}/figures", s.handleFigures)
 	return s
 }
 
@@ -228,7 +251,22 @@ func (s *Server) registerTenant(fp string, manifest []byte, jobs []QueueJob, isD
 		s.mu.Unlock()
 		return tn, 0, false
 	}
-	tn := &tenant{fp: fp, manifest: manifest, queue: NewQueue(jobs, s.lease)}
+	tn := &tenant{fp: fp, manifest: manifest, queue: NewQueue(jobs, s.lease), events: newEventLog()}
+	// Hooks are wired before the tenant is published: every done
+	// transition — completions, store reconciliation, and the recovery
+	// pass below — lands in the completion feed, so an events client
+	// starting from cursor zero sees the sweep's full history.
+	events := tn.events
+	tn.queue.onDone = func(job int, key string) { events.append(key) }
+	tn.queue.stored = s.cache.Has
+	if s.newFolder != nil && len(manifest) > 0 {
+		folder, err := s.newFolder(manifest)
+		if err != nil {
+			s.logf("manifest %.12s…: no figure folder (%v); events and queue still served", fp, err)
+		} else {
+			tn.folder = folder
+		}
+	}
 	s.tenants[fp] = tn
 	s.order = append(s.order, fp)
 	s.mu.Unlock()
@@ -639,6 +677,92 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, tn.queue.Stats())
 }
 
+// maxEventWait caps a long-poll's server-side wait, comfortably below
+// the client's 60 s request timeout so an idle poll always answers
+// with an empty 200 instead of a timed-out connection.
+const maxEventWait = 30 * time.Second
+
+// handleEvents serves the completion feed: NDJSON events after
+// ?cursor=N, long-polling up to ?wait_ms when nothing is new yet. An
+// empty body means "nothing new, poll again from the same cursor".
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantFor(r.PathValue("fp"))
+	if tn == nil {
+		unknownTenant(w, r.PathValue("fp"))
+		return
+	}
+	qv := r.URL.Query()
+	cursor := 0
+	if raw := qv.Get("cursor"); raw != "" {
+		var err error
+		if cursor, err = strconv.Atoi(raw); err != nil {
+			httpError(w, http.StatusBadRequest, "cursor %q is not an integer", raw)
+			return
+		}
+	}
+	// Stats sweeps the queue, which is what reconciles completed-but-
+	// unacknowledged leases into the feed — a poll is also a nudge.
+	tn.queue.Stats()
+	evs := tn.events.since(cursor)
+	if len(evs) == 0 {
+		if raw := qv.Get("wait_ms"); raw != "" {
+			ms, err := strconv.Atoi(raw)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "wait_ms %q is not an integer", raw)
+				return
+			}
+			d := time.Duration(ms) * time.Millisecond
+			if d > maxEventWait {
+				d = maxEventWait
+			}
+			if d > 0 {
+				evs = tn.events.wait(cursor, d)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		enc.Encode(ev)
+	}
+}
+
+// handleFigures serves the tenant's partial-figure snapshot. The
+// tenant's folder is driven lazily: each request first drains the
+// completion feed into the accumulator (off the queue lock — folding
+// reads store entries), then snapshots. Folding is idempotent, so
+// concurrent requests and feed replays are safe; foldMu only keeps the
+// cursor bookkeeping coherent.
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantFor(r.PathValue("fp"))
+	if tn == nil {
+		unknownTenant(w, r.PathValue("fp"))
+		return
+	}
+	if tn.folder == nil {
+		httpError(w, http.StatusNotFound, "no partial figures for this manifest: the daemon has no figure folder for it (started without one, or the manifest is not a sweep manifest this daemon understands)")
+		return
+	}
+	tn.queue.Stats() // reconcile so the snapshot reflects stored reality
+	tn.foldMu.Lock()
+	for _, ev := range tn.events.since(tn.foldCursor) {
+		if _, err := tn.folder.FoldKey(ev.Key, s.cache); err != nil {
+			tn.foldMu.Unlock()
+			httpError(w, http.StatusInternalServerError, "folding completed entry %.12s…: %v", ev.Key, err)
+			return
+		}
+		tn.foldCursor = ev.Seq
+	}
+	data, err := tn.folder.PartialJSON()
+	tn.foldMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "snapshotting partial figures: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
 // ManifestStatus is one tenant's row of the consolidated service
 // status: its fingerprint plus the full queue snapshot.
 type ManifestStatus struct {
@@ -706,7 +830,7 @@ func (s *Server) handleService(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.serviceStatus()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var jobs, done, pending, leased, requeues, recovered, stale, heartbeats int
+	var jobs, done, pending, leased, requeues, recovered, stale, reconciled, heartbeats int
 	for _, m := range st.Manifests {
 		jobs += m.Jobs
 		done += m.Done
@@ -715,6 +839,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		requeues += m.Requeues
 		recovered += m.Recovered
 		stale += m.StaleCompletions
+		reconciled += m.StoreReconciled
 		heartbeats += m.Heartbeats
 	}
 	fmt.Fprintf(w, "rowswap_manifests %d\n", len(st.Manifests))
@@ -725,6 +850,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "rowswap_requeues %d\n", requeues)
 	fmt.Fprintf(w, "rowswap_recovered %d\n", recovered)
 	fmt.Fprintf(w, "rowswap_stale_completions %d\n", stale)
+	fmt.Fprintf(w, "rowswap_store_reconciled %d\n", reconciled)
 	fmt.Fprintf(w, "rowswap_heartbeats %d\n", heartbeats)
 	fmt.Fprintf(w, "rowswap_workers %d\n", len(st.Workers))
 	fmt.Fprintf(w, "rowswap_costs_observed %d\n", st.CostsObserved)

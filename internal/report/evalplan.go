@@ -42,6 +42,22 @@ func (fp FigurePlan) Rows(results []*sim.Result) ([]PerfRow, error) {
 	return fp.Plan.Rows(local)
 }
 
+// PartialRows is Rows over an incomplete evaluation result set: nil
+// entries mark cells still pending, and only workloads whose every
+// cell is present produce a row (see MatrixPlan.PartialRows). Rows
+// that appear are bit-identical to the complete merge's.
+func (fp FigurePlan) PartialRows(results []*sim.Result) ([]PerfRow, error) {
+	local := make([]*sim.Result, len(fp.Cells))
+	for i, ci := range fp.Cells {
+		if ci < 0 || ci >= len(results) {
+			return nil, fmt.Errorf("report: figure %s cell %d maps to evaluation cell %d of %d",
+				fp.Figure.ID, i, ci, len(results))
+		}
+		local[i] = results[ci]
+	}
+	return fp.Plan.PartialRows(local)
+}
+
 // EvaluationPlan spans a set of performance figures as one experiment:
 // the union of every figure's MatrixPlan, content-deduplicated so each
 // unique (workload, system, options) simulation appears exactly once,

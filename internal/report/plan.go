@@ -115,16 +115,54 @@ func (p MatrixPlan) Rows(results []*sim.Result) ([]PerfRow, error) {
 			return nil, fmt.Errorf("report: missing result for cell %d (%s %s)", i, label, c.Workload.Name)
 		}
 	}
-	stride := p.stride()
 	rows := make([]PerfRow, len(p.Workloads))
-	for wi, w := range p.Workloads {
-		rb := results[wi*stride]
-		row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
-			Norm: map[string]float64{}}
-		for li, l := range p.Labels {
-			row.Norm[l] = results[wi*stride+1+li].MeanIPC / rb.MeanIPC
+	for wi := range p.Workloads {
+		rows[wi] = p.rowAt(wi, results)
+	}
+	return rows, nil
+}
+
+// rowAt assembles workload wi's normalized row. Every cell of the
+// workload (baseline and all labels) must be non-nil; Rows and
+// PartialRows both guarantee that before calling. This is the single
+// copy of the normalization arithmetic, so a row built from a partial
+// result set is bit-identical to the same row in a complete one.
+func (p MatrixPlan) rowAt(wi int, results []*sim.Result) PerfRow {
+	stride := p.stride()
+	w := p.Workloads[wi]
+	rb := results[wi*stride]
+	row := PerfRow{Workload: w.Name, Suite: w.Suite, HasHot: w.HasHotRows(),
+		Norm: map[string]float64{}}
+	for li, l := range p.Labels {
+		row.Norm[l] = results[wi*stride+1+li].MeanIPC / rb.MeanIPC
+	}
+	return row
+}
+
+// PartialRows assembles rows from an incomplete result set: nil
+// results mark cells still pending, and a workload's row is included
+// exactly when every one of its cells (the baseline and all labels) is
+// present — normalized performance is meaningless against a missing
+// baseline, and a row with holes would render as fake 1.0s. The rows
+// that do appear use the same arithmetic as Rows, so they are
+// bit-identical to the rows a complete merge produces.
+func (p MatrixPlan) PartialRows(results []*sim.Result) ([]PerfRow, error) {
+	if len(results) != len(p.Cells) {
+		return nil, fmt.Errorf("report: %d results for %d matrix cells", len(results), len(p.Cells))
+	}
+	stride := p.stride()
+	var rows []PerfRow
+	for wi := range p.Workloads {
+		covered := true
+		for k := 0; k < stride; k++ {
+			if results[wi*stride+k] == nil {
+				covered = false
+				break
+			}
 		}
-		rows[wi] = row
+		if covered {
+			rows = append(rows, p.rowAt(wi, results))
+		}
 	}
 	return rows, nil
 }

@@ -93,16 +93,31 @@ func (x *CostIndex) ensureLoaded() {
 	if err != nil {
 		return
 	}
-	defer f.Close()
+	lines := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	for sc.Scan() {
+		lines++
 		var r costRecord
 		if json.Unmarshal(sc.Bytes(), &r) == nil && r.Key != "" && r.Seconds > 0 {
 			x.secs[r.Key] = r.Seconds
 		}
 	}
+	f.Close()
+	// The file is append-only, so long-lived cache directories (a
+	// coordinator store fed by every sweep) accumulate superseded
+	// estimate lines without bound. Once the replay shows the file is
+	// mostly history — past a floor that keeps small sidecars cheap —
+	// rewrite it as one line per key.
+	if lines >= costCompactMin && lines > 2*len(x.secs) {
+		x.compactLocked()
+	}
 }
+
+// costCompactMin is the line count below which the sidecar is never
+// compacted: rewriting a few KB saves nothing, and the floor keeps
+// the churn of small test caches and fresh worker shards at zero.
+const costCompactMin = 256
 
 // Seconds returns the measured wall-seconds recorded for key.
 func (x *CostIndex) Seconds(key string) (float64, bool) {
@@ -153,7 +168,19 @@ func (x *CostIndex) Record(key string, seconds float64) {
 	x.ensureLoaded()
 	est := seconds
 	if old, ok := x.secs[key]; ok {
+		// Fixed-point guards: an observation equal to the current
+		// estimate leaves the EWMA where it is (up to float rounding),
+		// and a fold that rounds back to the stored estimate carries no
+		// new information either. Skipping the append in both cases is
+		// what keeps the sidecar from growing on every warm re-merge of
+		// the same worker directories.
+		if seconds == old {
+			return
+		}
 		est = costEWMAAlpha*seconds + (1-costEWMAAlpha)*old
+		if est == old {
+			return
+		}
 	}
 	line, err := json.Marshal(costRecord{Key: key, Seconds: est})
 	if err != nil {
@@ -185,6 +212,12 @@ func (x *CostIndex) Export() []byte {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.ensureLoaded()
+	return x.exportLocked()
+}
+
+// exportLocked serializes the in-memory estimates in sidecar format,
+// one line per key in sorted order. Callers must hold x.mu.
+func (x *CostIndex) exportLocked() []byte {
 	keys := make([]string, 0, len(x.secs))
 	for k := range x.secs {
 		keys = append(keys, k)
@@ -200,6 +233,30 @@ func (x *CostIndex) Export() []byte {
 		out = append(out, '\n')
 	}
 	return out
+}
+
+// compactLocked rewrites the sidecar file as the current one-line-per
+// -key export, via temp file + rename so a crash leaves the old or the
+// new file, never a torn one. Best-effort like every sidecar write:
+// the in-memory state is already correct, compaction only reclaims
+// disk. Callers must hold x.mu.
+func (x *CostIndex) compactLocked() {
+	tmp, err := os.CreateTemp(filepath.Dir(x.path), costFileName+".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(x.exportLocked()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), x.path); err != nil {
+		os.Remove(tmp.Name())
+	}
 }
 
 // ImportFrom merges the measured costs recorded in another cache

@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -175,6 +176,144 @@ func TestCostIndexEWMAOutlierDecays(t *testing.T) {
 	// The decay is persisted: a fresh open sees the same estimate.
 	if s, ok := OpenCostIndex(dir).Seconds("k"); !ok || s != prev {
 		t.Errorf("reloaded estimate (%g, %v) differs from in-memory %g", s, ok, prev)
+	}
+}
+
+// costLines counts the sidecar file's lines (0 when absent).
+func costLines(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, costFileName))
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+// TestCostIndexRepeatRecordStabilizes pins the unbounded-growth fix:
+// once the EWMA reaches its fixed point for an observation stream, a
+// repeat of the same observation appends nothing — re-merging the same
+// sweep over and over cannot grow the sidecar forever.
+func TestCostIndexRepeatRecordStabilizes(t *testing.T) {
+	dir := t.TempDir()
+	x := OpenCostIndex(dir)
+	x.Record("k", 2.0)
+	base := costLines(t, dir)
+	for i := 0; i < 50; i++ {
+		x.Record("k", 2.0) // equals the estimate: nothing new to persist
+	}
+	if got := costLines(t, dir); got != base {
+		t.Errorf("repeated identical observations grew the sidecar: %d -> %d lines", base, got)
+	}
+	if s, ok := x.Seconds("k"); !ok || s != 2.0 {
+		t.Errorf("estimate drifted under identical observations: (%g, %v)", s, ok)
+	}
+	// A genuinely different observation still folds and persists.
+	x.Record("k", 3.0)
+	if got := costLines(t, dir); got != base+1 {
+		t.Errorf("new observation after the fixed point appended %d lines, want 1", got-base)
+	}
+	// And converging EWMA folds reach a fixed point in bounded lines:
+	// alternating between the estimate's neighborhood decays until the
+	// fold rounds back to the stored value and stops appending.
+	for i := 0; i < 200; i++ {
+		x.Record("k", 3.0)
+	}
+	mid := costLines(t, dir)
+	for i := 0; i < 200; i++ {
+		x.Record("k", 3.0)
+	}
+	if got := costLines(t, dir); got != mid {
+		t.Errorf("EWMA never reached a fixed point: %d -> %d lines", mid, got)
+	}
+}
+
+// TestCostIndexCompactsOnLoad pins the compaction path: a sidecar
+// bloated with superseded estimate lines is rewritten as one line per
+// key when first replayed, preserving every final estimate.
+func TestCostIndexCompactsOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	// Synthesize a history-heavy file: 3 keys, 300 lines, later lines
+	// winning. Writing it by hand (not via Record) models a file
+	// accumulated before the fixed-point guards existed.
+	f, err := os.Create(filepath.Join(dir, costFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"ka", "kb", "kc"}
+	for i := 0; i < 300; i++ {
+		k := keys[i%len(keys)]
+		fmt.Fprintf(f, "{\"key\":%q,\"seconds\":%g}\n", k, 1.0+float64(i))
+	}
+	f.Close()
+
+	x := OpenCostIndex(dir)
+	want := map[string]float64{"ka": 1 + 297.0, "kb": 1 + 298.0, "kc": 1 + 299.0}
+	for k, w := range want {
+		if s, ok := x.Seconds(k); !ok || s != w {
+			t.Errorf("Seconds(%s) = (%g, %v), want (%g, true)", k, s, ok, w)
+		}
+	}
+	if got := costLines(t, dir); got != len(keys) {
+		t.Errorf("sidecar holds %d lines after load, want %d (compacted)", got, len(keys))
+	}
+	// The compacted file replays to the same estimates.
+	y := OpenCostIndex(dir)
+	for k, w := range want {
+		if s, ok := y.Seconds(k); !ok || s != w {
+			t.Errorf("post-compaction Seconds(%s) = (%g, %v), want (%g, true)", k, s, ok, w)
+		}
+	}
+}
+
+// TestCostIndexSmallFileNotCompacted pins the compaction floor: a
+// small sidecar with duplicate history is left alone (rewriting a few
+// hundred bytes on every open would be churn, not savings).
+func TestCostIndexSmallFileNotCompacted(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, costFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(f, "{\"key\":\"k\",\"seconds\":%g}\n", 1.0+float64(i))
+	}
+	f.Close()
+	if s, ok := OpenCostIndex(dir).Seconds("k"); !ok || s != 10.0 {
+		t.Fatalf("Seconds(k) = (%g, %v), want (10, true)", s, ok)
+	}
+	if got := costLines(t, dir); got != 10 {
+		t.Errorf("small sidecar was rewritten: %d lines, want 10", got)
+	}
+}
+
+// TestCostIndexRepeatImportStabilizes pins the merge-side contract:
+// re-importing the same worker directories leaves the sidecar file's
+// size and every estimate unchanged.
+func TestCostIndexRepeatImportStabilizes(t *testing.T) {
+	src := t.TempDir()
+	sx := OpenCostIndex(src)
+	sx.Record("a", 1.5)
+	sx.Record("b", 0.75)
+
+	dst := t.TempDir()
+	dx := OpenCostIndex(dst)
+	if n := dx.ImportFrom(src); n != 2 {
+		t.Fatalf("first import merged %d keys, want 2", n)
+	}
+	lines := costLines(t, dst)
+	for i := 0; i < 5; i++ {
+		if n := dx.ImportFrom(src); n != 0 {
+			t.Errorf("re-import %d merged %d keys, want 0", i, n)
+		}
+	}
+	if got := costLines(t, dst); got != lines {
+		t.Errorf("re-imports grew the sidecar: %d -> %d lines", lines, got)
+	}
+	if s, _ := dx.Seconds("a"); s != 1.5 {
+		t.Errorf("estimate changed across re-imports: %g", s)
 	}
 }
 

@@ -755,6 +755,20 @@ func (m *Manifest) expand() (plan, error) {
 	if got := simcache.CodeVersion(); m.Binary != got {
 		return plan{}, fmt.Errorf("sweep: manifest was planned by binary %.12s…, this is %.12s…: results would not be interchangeable (re-run plan with this build)", m.Binary, got)
 	}
+	return m.derivePlans(true)
+}
+
+// derivePlans re-derives the execution plans behind the manifest,
+// verifying structure against the manifest's fan-out maps. With
+// checkKeys the content-addressed keys must also match this build's
+// derivation (the expand contract — workers and merge need
+// interchangeable cache entries); without it only the build-independent
+// structure is verified (cell identity, order, fan-out, batch cuts),
+// which is what a different binary folding results BY THE MANIFEST'S
+// OWN KEYS needs — the deduplicated job set is identical across builds
+// because the fingerprint is a common component of every key.
+// validateStructure must have passed before calling.
+func (m *Manifest) derivePlans(checkKeys bool) (plan, error) {
 	var p plan
 	nSim := 0
 	for _, j := range m.Jobs {
@@ -781,7 +795,7 @@ func (m *Manifest) expand() (plan, error) {
 			return plan{}, fmt.Errorf("sweep: job %d is (%s, %q) but the evaluation expands to (%s, %q)",
 				i, j.Workload, j.Label, cell.Workload.Name, cell.Label)
 		}
-		if j.Key != p.eval.Keys[i] {
+		if checkKeys && j.Key != p.eval.Keys[i] {
 			return plan{}, fmt.Errorf("sweep: job %d (%s) key does not match this build's plan", i, j.desc())
 		}
 	}
@@ -796,7 +810,7 @@ func (m *Manifest) expand() (plan, error) {
 			}
 		}
 	}
-	if err := m.expandSecurity(&p, nSim); err != nil {
+	if err := m.expandSecurity(&p, nSim, checkKeys); err != nil {
 		return plan{}, err
 	}
 	return p, nil
@@ -806,7 +820,7 @@ func (m *Manifest) expand() (plan, error) {
 // manifest's security section and Monte-Carlo jobs against it: same
 // deduplicated cells, same fan-out, and every batch job carrying the
 // key this build derives for its (spec, seed, batch, trials) identity.
-func (m *Manifest) expandSecurity(p *plan, nSim int) error {
+func (m *Manifest) expandSecurity(p *plan, nSim int, checkKeys bool) error {
 	if m.Security == nil {
 		return nil
 	}
@@ -855,7 +869,7 @@ func (m *Manifest) expandSecurity(p *plan, nSim int) error {
 			if j.kind() != JobKindMC || j.MC.Cell != ci || j.MC.Batch != b || j.MC.Trials != n {
 				return fmt.Errorf("sweep: job %d (%s) should be cell %d (%s) batch %d (%d trials); the job order is corrupt — re-run plan", ji, j.desc(), ci, cell.Label, b, n)
 			}
-			if want := simcache.MCKey(cell.Spec, root, b, n); j.Key != want {
+			if want := simcache.MCKey(cell.Spec, root, b, n); checkKeys && j.Key != want {
 				return fmt.Errorf("sweep: job %d (%s) key does not match this build's plan", ji, j.desc())
 			}
 			ji++
@@ -966,13 +980,13 @@ func (m *Manifest) runJobPool(indices []int, workers int, progress io.Writer, wh
 	if workers > len(indices) {
 		workers = len(indices)
 	}
+	progress = syncProgress(progress)
 	var (
 		cursor  atomic.Int64
 		hits    atomic.Int64
 		failed  atomic.Bool
 		firstMu sync.Mutex
 		firstE  error
-		progMu  sync.Mutex
 		wg      sync.WaitGroup
 	)
 	cursor.Store(-1)
@@ -1000,13 +1014,11 @@ func (m *Manifest) runJobPool(indices []int, workers int, progress io.Writer, wh
 					hits.Add(1)
 				}
 				if progress != nil {
-					progMu.Lock()
 					state := "simulated"
 					if hit {
 						state = "cached"
 					}
 					fmt.Fprintf(progress, "  %s: %-30s %s\n", who, m.Jobs[ji].desc(), state)
-					progMu.Unlock()
 				}
 			}
 		}()
@@ -1063,68 +1075,22 @@ func (m *Manifest) Merge(mergedDir string, workerDirs []string, pack bool, progr
 // the batches in. A stored tally that decodes but violates its
 // invariants fails the merge loudly — corrupt data never folds in.
 func (m *Manifest) assemble(p plan, cache *simcache.Cache, pack bool, progress io.Writer) (*Results, error) {
-	results := make([]*sim.Result, 0, len(m.Jobs))
-	var tallies []attack.Tally
-	if m.Security != nil {
-		tallies = make([]attack.Tally, len(m.Security.Cells))
+	acc := m.newAccumulator(p)
+	for ji := range m.Jobs {
+		if _, err := acc.FoldJob(ji, cache); err != nil {
+			return nil, err
+		}
 	}
-	var missing []string
-	for _, j := range m.Jobs {
-		if j.kind() == JobKindMC {
-			t, hit, err := simcache.GetTally(cache, j.Key)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: read tally for %s: %w", j.desc(), err)
-			}
-			if !hit {
-				missing = append(missing, fmt.Sprintf("%s (shard %d)", j.desc(), j.Shard))
-				continue
-			}
-			tallies[j.MC.Cell] = tallies[j.MC.Cell].Merge(t)
-			continue
-		}
-		var res sim.Result
-		hit, err := cache.Get(j.Key, &res)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: read result for %s: %w", j.desc(), err)
-		}
-		if !hit {
-			missing = append(missing, fmt.Sprintf("%s (shard %d)", j.desc(), j.Shard))
-			continue
-		}
-		results = append(results, &res)
-	}
-	if len(missing) > 0 {
+	if missing := acc.Missing(); len(missing) > 0 {
 		if len(missing) > 8 {
 			missing = append(missing[:8], fmt.Sprintf("… and %d more", len(missing)-8))
 		}
 		return nil, fmt.Errorf("sweep: merge incomplete, %d of %d results missing:\n  %s",
 			len(missing), len(m.Jobs), strings.Join(missing, "\n  "))
 	}
-
-	out := &Results{Schema: ManifestSchema}
-	for _, fp := range p.eval.Figures {
-		rows, err := fp.Rows(results)
-		if err != nil {
-			return nil, err
-		}
-		out.Figures = append(out.Figures, FigureResults{Fig: fp.Figure.ID, Labels: fp.Figure.Labels, Rows: rows})
-	}
-	if m.Security != nil {
-		cellResults := make([]attack.MonteCarloResult, len(p.sec.Cells))
-		for ci := range p.sec.Cells {
-			cellResults[ci] = tallies[ci].Result(p.sec.Cells[ci].Spec.Model)
-		}
-		for _, fp := range p.sec.Figures {
-			figRes, err := fp.Results(cellResults)
-			if err != nil {
-				return nil, err
-			}
-			rows := make([]MonteCarloRow, len(figRes))
-			for i, r := range figRes {
-				rows[i] = MonteCarloRow{Label: fp.Figure.Cells[i].Label, Result: r}
-			}
-			out.Security = append(out.Security, SecurityResults{Fig: fp.Figure.ID, Rows: rows})
-		}
+	out, _, err := acc.Snapshot()
+	if err != nil {
+		return nil, err
 	}
 	if pack {
 		n, err := cache.PackLoose("shard-index")

@@ -139,6 +139,7 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 	if goroutines > len(m.Jobs) {
 		goroutines = len(m.Jobs)
 	}
+	progress = syncProgress(progress)
 	var (
 		mu                       sync.Mutex
 		firstE                   error
@@ -224,9 +225,7 @@ func (m *Manifest) RunWork(client *objstore.Client, worker string, goroutines in
 					if hit {
 						state = "from store"
 					}
-					mu.Lock()
 					fmt.Fprintf(progress, "  %s: %-30s %s\n", worker, m.Jobs[claim.Job].desc(), state)
-					mu.Unlock()
 				}
 			}
 		}()

@@ -92,6 +92,9 @@ REQUIRED = {
     "monte_carlo": {"benchmark", "jobs", "monte_carlo_batch_jobs",
                     "trials_total", "trials_per_second",
                     "distributed_wall_seconds", "single_process_wall_seconds"},
+    "streaming": {"benchmark", "jobs", "coverage_frames",
+                  "time_to_first_figure_seconds",
+                  "time_to_full_merge_seconds"},
 }
 problems = []
 if not isinstance(new_doc, dict) or not new_doc:
